@@ -1,0 +1,155 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation prints a small simulated-cycle table once (the design
+//! evidence) and then Criterion-times the default configuration so
+//! regressions in the end-to-end pipeline are caught.
+//!
+//! Ablations:
+//! * selection threshold (the paper's 5% margin) sweep;
+//! * hoist budget (max instructions hoisted per resolution block);
+//! * hoisting loads as `ld.s` on/off (§2.2 mechanism 1);
+//! * decomposition vs cmov-style if-conversion on predictable vs
+//!   unpredictable hammocks (Figure 1's quadrants);
+//! * DBB capacity (the paper sizes it at 16 empirically).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vanguard_bench::{quick_spec, to_experiment_input, BenchScale};
+use vanguard_core::{Experiment, ExperimentInput, SelectOptions, TransformOptions};
+use vanguard_sim::MachineConfig;
+use vanguard_workloads::{suite, BenchmarkSpec, OutcomeModel, SiteSpec};
+
+fn input_for(name: &str) -> ExperimentInput {
+    let spec = suite::all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("known benchmark");
+    to_experiment_input(quick_spec(spec, BenchScale::Quick).build())
+}
+
+fn speedup_with(input: &ExperimentInput, opts: TransformOptions, dbb: usize) -> f64 {
+    let mut machine = MachineConfig::four_wide();
+    machine.dbb_entries = dbb;
+    let mut e = Experiment::new(machine);
+    e.transform = opts;
+    e.run(input).expect("runs cleanly").geomean_speedup_pct()
+}
+
+fn threshold_sweep(c: &mut Criterion) {
+    let input = input_for("h264ref");
+    eprintln!("\n== ablation: selection threshold (predictability − bias margin) ==");
+    for threshold in [-1.0, 0.0, 0.05, 0.15, 0.30] {
+        let opts = TransformOptions {
+            select: SelectOptions {
+                threshold,
+                ..SelectOptions::default()
+            },
+            ..TransformOptions::default()
+        };
+        eprintln!(
+            "  threshold {threshold:>5.2}: speedup {:>6.2}%",
+            speedup_with(&input, opts, 16)
+        );
+    }
+    c.bench_function("ablation/threshold_default", |b| {
+        b.iter(|| black_box(speedup_with(&input, TransformOptions::default(), 16)))
+    });
+}
+
+fn hoist_ablation(c: &mut Criterion) {
+    let input = input_for("h264ref");
+    eprintln!("\n== ablation: hoist budget and ld.s hoisting ==");
+    for max_hoist in [0, 2, 6, 12] {
+        let opts = TransformOptions {
+            max_hoist,
+            ..TransformOptions::default()
+        };
+        eprintln!(
+            "  max_hoist {max_hoist:>2}: speedup {:>6.2}%",
+            speedup_with(&input, opts, 16)
+        );
+    }
+    let no_loads = TransformOptions {
+        hoist_loads: false,
+        ..TransformOptions::default()
+    };
+    eprintln!(
+        "  hoist_loads off: speedup {:>6.2}%  (the §2.2 non-faulting-load mechanism)",
+        speedup_with(&input, no_loads, 16)
+    );
+    let temps = TransformOptions {
+        shadow_temps: true,
+        ..TransformOptions::default()
+    };
+    eprintln!(
+        "  shadow_temps on: speedup {:>6.2}%  (§3 temporaries + commit moves in the resolve shadow)",
+        speedup_with(&input, temps, 16)
+    );
+    c.bench_function("ablation/hoist_default", |b| {
+        b.iter(|| black_box(speedup_with(&input, TransformOptions::default(), 16)))
+    });
+}
+
+fn dbb_capacity(c: &mut Criterion) {
+    let input = input_for("perlbench");
+    eprintln!("\n== ablation: DBB capacity (paper: 16 entries suffice) ==");
+    for entries in [2, 4, 16, 64] {
+        eprintln!(
+            "  dbb {entries:>2}: speedup {:>6.2}%",
+            speedup_with(&input, TransformOptions::default(), entries)
+        );
+    }
+    c.bench_function("ablation/dbb_16", |b| {
+        b.iter(|| black_box(speedup_with(&input, TransformOptions::default(), 16)))
+    });
+}
+
+/// Figure 1's quadrants: decomposition wins on predictable-unbiased
+/// branches; predication (if-conversion) is for the unpredictable ones.
+fn versus_if_conversion(c: &mut Criterion) {
+    let mk = |name: &str, model: OutcomeModel| BenchmarkSpec {
+        name: name.into(),
+        suite: vanguard_workloads::Suite::Int2006,
+        sites: vec![SiteSpec { model }],
+        loads_per_block: 2,
+        chase_loads: 0,
+        hoistable_alu: 2,
+        tail_alu: 1,
+        fp_ops: 0,
+        data_footprint: 16 * 1024,
+        cond_depends_on_data: true,
+        succ_depends_on_cond: false,
+        iterations: 800,
+        train_iterations: 500,
+        ref_inputs: 1,
+        bias_jitter: 0.0,
+        use_calls: false,
+        seed: 500,
+    };
+    eprintln!("\n== ablation: decomposition across Figure 1's quadrants ==");
+    for (label, model) in [
+        ("predictable-unbiased (ours)", OutcomeModel::markov(0.58, 0.95)),
+        ("unpredictable-unbiased (predication's)", OutcomeModel::Random { taken_prob: 0.5 }),
+        ("highly-biased (superblocks')", OutcomeModel::markov(0.96, 0.99)),
+    ] {
+        let input = to_experiment_input(mk("quadrant", model).build());
+        let opts = TransformOptions {
+            select: SelectOptions {
+                threshold: -1.0, // force conversion to expose the contrast
+                ..SelectOptions::default()
+            },
+            ..TransformOptions::default()
+        };
+        eprintln!("  {label:<40} speedup {:>6.2}%", speedup_with(&input, opts, 16));
+    }
+    let input = to_experiment_input(mk("quadrant", OutcomeModel::markov(0.58, 0.95)).build());
+    c.bench_function("ablation/quadrant_predictable_unbiased", |b| {
+        b.iter(|| black_box(speedup_with(&input, TransformOptions::default(), 16)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = threshold_sweep, hoist_ablation, dbb_capacity, versus_if_conversion
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end regeneration benches: one representative row of each paper
+//! artefact, timed (the `figures` binary regenerates the full set).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vanguard_bench::{
+    fig2_fig3_series, quick_spec, suite_speedups, table2_rows, to_experiment_input, BenchScale,
+};
+use vanguard_core::Experiment;
+use vanguard_sim::MachineConfig;
+use vanguard_workloads::suite;
+
+fn paper_tables(c: &mut Criterion) {
+    let h264 = vec![suite::spec2006_int().remove(0)];
+
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.bench_function("fig8_row_h264ref", |b| {
+        b.iter(|| black_box(suite_speedups(&h264, BenchScale::Quick)))
+    });
+    group.bench_function("table2_row_h264ref", |b| {
+        b.iter(|| black_box(table2_rows(&h264, BenchScale::Quick)))
+    });
+    group.bench_function("fig2_two_benchmarks", |b| {
+        let specs: Vec<_> = suite::spec2006_int().into_iter().take(2).collect();
+        b.iter(|| black_box(fig2_fig3_series(&specs, 16, BenchScale::Quick)))
+    });
+    group.bench_function("experiment_4wide_h264ref", |b| {
+        let input = to_experiment_input(quick_spec(h264[0].clone(), BenchScale::Quick).build());
+        b.iter(|| {
+            black_box(
+                Experiment::new(MachineConfig::four_wide())
+                    .run(&input)
+                    .unwrap()
+                    .geomean_speedup_pct(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, paper_tables);
+criterion_main!(benches);

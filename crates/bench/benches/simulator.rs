@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the cycle simulator itself: simulated
+//! instructions per second of wall-clock on a representative kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vanguard_bench::{quick_spec, BenchScale};
+use vanguard_bpred::Combined;
+use vanguard_isa::{Interpreter, TakenOracle};
+use vanguard_sim::{MachineConfig, Simulator};
+use vanguard_workloads::suite;
+
+fn workload() -> vanguard_workloads::BuiltWorkload {
+    let spec = suite::spec2006_int()
+        .into_iter()
+        .find(|s| s.name == "perlbench")
+        .expect("perlbench");
+    quick_spec(spec, BenchScale::Quick).build()
+}
+
+fn simulator(c: &mut Criterion) {
+    let w = workload();
+    // Establish the dynamic instruction count once.
+    let committed = {
+        let sim = Simulator::new(
+            &w.program,
+            w.refs[0].memory.clone(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        let mut sim = sim;
+        for &(r, v) in &w.refs[0].init_regs {
+            sim.set_reg(r, v);
+        }
+        sim.run().unwrap().stats.committed()
+    };
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(committed));
+    for machine in MachineConfig::all_widths() {
+        group.bench_function(format!("in_order_{}wide", machine.width), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    &w.program,
+                    w.refs[0].memory.clone(),
+                    machine,
+                    Box::new(Combined::ptlsim_default()),
+                );
+                for &(r, v) in &w.refs[0].init_regs {
+                    sim.set_reg(r, v);
+                }
+                black_box(sim.run().unwrap().stats.cycles)
+            })
+        });
+    }
+    group.throughput(Throughput::Elements(committed));
+    group.bench_function("functional_interpreter", |b| {
+        b.iter(|| {
+            let mut i = Interpreter::new(&w.program, w.refs[0].memory.clone());
+            for &(r, v) in &w.refs[0].init_regs {
+                i.set_reg(r, v);
+            }
+            black_box(i.run(&mut TakenOracle::AlwaysTaken).unwrap().steps)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the compiler passes: the Decomposed Branch
+//! Transformation, profiling, scheduling, and layout.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vanguard_bench::{quick_spec, BenchScale};
+use vanguard_bpred::Combined;
+use vanguard_compiler::{layout_program, profile_program, schedule_program, SchedConfig};
+use vanguard_core::{decompose_branches, TransformOptions};
+use vanguard_workloads::suite;
+
+fn transform(c: &mut Criterion) {
+    let spec = suite::spec2006_int()
+        .into_iter()
+        .find(|s| s.name == "h264ref")
+        .expect("h264ref");
+    let w = quick_spec(spec, BenchScale::Quick).build();
+    let profile = profile_program(
+        &w.program,
+        w.train.memory.clone(),
+        &w.train.init_regs,
+        Combined::ptlsim_default(),
+        50_000_000,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(30);
+    group.bench_function("decompose_branches", |b| {
+        b.iter(|| {
+            let mut p = w.program.clone();
+            black_box(decompose_branches(&mut p, &profile, &TransformOptions::default()))
+        })
+    });
+    group.bench_function("schedule_program", |b| {
+        b.iter(|| {
+            let mut p = w.program.clone();
+            black_box(schedule_program(&mut p, &SchedConfig::for_width(4)))
+        })
+    });
+    group.bench_function("layout_program", |b| {
+        b.iter(|| {
+            let mut p = w.program.clone();
+            layout_program(&mut p, &profile);
+            black_box(p.num_blocks())
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("profile_program", |b| {
+        b.iter(|| {
+            black_box(
+                profile_program(
+                    &w.program,
+                    w.train.memory.clone(),
+                    &w.train.init_regs,
+                    Combined::ptlsim_default(),
+                    50_000_000,
+                )
+                .unwrap()
+                .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, transform);
+criterion_main!(benches);

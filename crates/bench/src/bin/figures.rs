@@ -1,0 +1,137 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p vanguard-bench --bin figures -- all
+//! cargo run --release -p vanguard-bench --bin figures -- table2 --quick
+//! cargo run --release -p vanguard-bench --bin figures -- fig8 fig9 sensitivity
+//! ```
+
+use vanguard_bench::{
+    fig14_rows, fig2_fig3_series, format_speedups, format_table2, geomean_pct, icache_ablation,
+    sensitivity_rows, suite_speedups, table1_text, table2_rows, BenchScale,
+};
+use vanguard_workloads::suite;
+
+fn main() {
+    let mut bad_item = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { BenchScale::Quick } else { BenchScale::Full };
+    let mut what: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    if what.is_empty() || what.contains(&"all") {
+        what = vec![
+            "table1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "table2", "fig14", "sensitivity", "icache",
+        ];
+    }
+
+    for item in what {
+        match item {
+            "table1" => {
+                println!("== Table 1: Machine Configuration Parameters ==");
+                println!("{}", table1_text());
+            }
+            "fig2" | "fig3" => {
+                let (label, specs) = if item == "fig2" {
+                    ("Figure 2: SPEC 2006 INT predictability vs bias (top 75 fwd branches)",
+                     suite::spec2006_int())
+                } else {
+                    ("Figure 3: SPEC 2006 FP predictability vs bias (top 75 fwd branches)",
+                     suite::spec2006_fp())
+                };
+                println!("== {label} ==");
+                println!("{:>4} {:>8} {:>14} {:>10}", "rank", "bias", "predictability", "execs");
+                for p in fig2_fig3_series(&specs, 75, scale) {
+                    println!(
+                        "{:>4} {:>8.3} {:>14.3} {:>10}",
+                        p.rank, p.bias, p.predictability, p.executed
+                    );
+                }
+                println!();
+            }
+            "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" => {
+                let (label, specs, best) = match item {
+                    "fig8" => ("Figure 8: SPEC06 INT speedup, all REF inputs", suite::spec2006_int(), false),
+                    "fig9" => ("Figure 9: SPEC06 INT speedup, best REF input", suite::spec2006_int(), true),
+                    "fig10" => ("Figure 10: SPEC00 INT speedup, all REF inputs", suite::spec2000_int(), false),
+                    "fig11" => ("Figure 11: SPEC00 INT speedup, best REF input", suite::spec2000_int(), true),
+                    "fig12" => ("Figure 12: SPEC06 FP speedup, all REF inputs", suite::spec2006_fp(), false),
+                    _ => ("Figure 13: SPEC00 FP speedup, all REF inputs", suite::spec2000_fp(), false),
+                };
+                println!("== {label} ==");
+                let rows = suite_speedups(&specs, scale);
+                println!("{}", format_speedups(&rows, best));
+            }
+            "table2" => {
+                println!("== Table 2: SPEC 2006 INT+FP metrics, 4-wide (sorted by SPD) ==");
+                let mut specs = suite::spec2006_int();
+                specs.extend(suite::spec2006_fp());
+                let mut rows = table2_rows(&specs, scale);
+                rows.sort_by(|a, b| b.spd.partial_cmp(&a.spd).unwrap());
+                println!("{}", format_table2(&rows));
+            }
+            "fig14" => {
+                println!("== Figure 14: % increase in instructions issued (4-wide) ==");
+                let mut specs = suite::spec2006_int();
+                specs.extend(suite::spec2006_fp());
+                let rows = fig14_rows(&specs, scale);
+                for r in &rows {
+                    println!("{:<12} {:>6.2}%", r.name, r.increase_pct);
+                }
+                let avg: f64 =
+                    rows.iter().map(|r| r.increase_pct).sum::<f64>() / rows.len() as f64;
+                println!("{:<12} {avg:>6.2}%\n", "AVERAGE");
+            }
+            "sensitivity" => {
+                println!("== Section 5.3: branch-predictor sensitivity (astar/sjeng/gobmk/mcf) ==");
+                let specs: Vec<_> = suite::spec2006_int()
+                    .into_iter()
+                    .filter(|s| ["astar", "sjeng", "gobmk", "mcf"].contains(&s.name.as_str()))
+                    .collect();
+                println!(
+                    "{:<8} {:<30} {:>10} {:>9}",
+                    "bench", "predictor", "missrate", "speedup"
+                );
+                for r in sensitivity_rows(&specs, scale) {
+                    println!(
+                        "{:<8} {:<30} {:>9.2}% {:>8.2}%",
+                        r.name,
+                        r.predictor,
+                        r.mispredict_rate * 100.0,
+                        r.speedup_pct
+                    );
+                }
+                println!();
+            }
+            "icache" => {
+                println!("== Section 6.1: I$ 32KB -> 24KB ablation (transformed code) ==");
+                let specs = suite::spec2006_int();
+                let rows = icache_ablation(&specs, scale);
+                println!(
+                    "{:<12} {:>12} {:>12} {:>10} {:>22}",
+                    "bench", "cyc(32K)", "cyc(24K)", "slowdown", "I$miss-under-mispred"
+                );
+                let mut slows = Vec::new();
+                for r in &rows {
+                    println!(
+                        "{:<12} {:>12} {:>12} {:>9.2}% {:>21.1}%",
+                        r.name,
+                        r.cycles_32k,
+                        r.cycles_24k,
+                        r.slowdown_pct(),
+                        r.miss_under_mispredict * 100.0
+                    );
+                    slows.push(r.slowdown_pct());
+                }
+                println!("geomean slowdown: {:.2}%\n", geomean_pct(&slows));
+            }
+            other => {
+                eprintln!("unknown item: {other}");
+                bad_item = true;
+            }
+        }
+    }
+    if bad_item {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Developer inspection tool: dumps baseline-vs-experimental statistics
+//! for one benchmark (used to diagnose where cycles go).
+
+use vanguard_bench::{quick_spec, to_experiment_input, BenchScale};
+use vanguard_core::Experiment;
+use vanguard_sim::MachineConfig;
+use vanguard_workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".into());
+    let Some(spec) = suite::all_benchmarks().into_iter().find(|s| s.name == name) else {
+        let names: Vec<String> = suite::all_benchmarks().into_iter().map(|s| s.name).collect();
+        eprintln!("unknown benchmark `{name}`; choose one of: {}", names.join(", "));
+        std::process::exit(1);
+    };
+    let input = to_experiment_input(quick_spec(spec, BenchScale::Quick).build());
+    let exp = Experiment::new(MachineConfig::four_wide());
+    let out = exp.run(&input).unwrap();
+    let r = &out.runs[0];
+    println!("== {name} ==");
+    println!("speedup: {:.2}%   PBC {:.1}  PISCS {:.1}", out.geomean_speedup_pct(), out.report.pbc(), out.report.piscs());
+    println!("skipped sites: {:?}", out.report.skipped);
+    for (label, s) in [("base", &r.base), ("exp ", &r.exp)] {
+        println!(
+            "{label}: cyc={} ipc={:.2} issued={} wp={} fetched={} br={} brmiss={} res={} resmiss={} \
+             brstall={} resstall={} festall={} opstall={} fustall={} icstall={} l1d(h={},m={}) l2m={} l3m={} mem={}",
+            s.cycles, s.ipc(), s.issued, s.issued_wrong_path, s.fetched,
+            s.branches, s.branch_mispredicts, s.resolves, s.resolve_mispredicts,
+            s.branch_stall_cycles, s.resolve_stall_cycles, s.frontend_stall_cycles,
+            s.operand_stall_cycles, s.fu_stall_cycles, s.icache_stall_cycles,
+            s.mem.l1d.hits, s.mem.l1d.misses, s.mem.l2.misses, s.mem.l3.misses, s.mem.memory_accesses,
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Conversions between workload bundles and experiment inputs.
+
+use vanguard_core::{ExperimentInput, RunInput};
+use vanguard_workloads::{BenchmarkSpec, BuiltWorkload};
+
+/// Converts a built workload to an experiment input.
+pub fn to_experiment_input(w: BuiltWorkload) -> ExperimentInput {
+    ExperimentInput {
+        name: w.name,
+        program: w.program,
+        train: RunInput {
+            memory: w.train.memory,
+            init_regs: w.train.init_regs,
+        },
+        refs: w
+            .refs
+            .into_iter()
+            .map(|r| RunInput {
+                memory: r.memory,
+                init_regs: r.init_regs,
+            })
+            .collect(),
+    }
+}
+
+/// Scale knob for harness runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Shrunken iteration counts and one REF input (CI-sized).
+    Quick,
+    /// The specs as defined (paper-shaped runs).
+    Full,
+}
+
+/// Applies the scale knob to a spec.
+pub fn quick_spec(mut spec: BenchmarkSpec, scale: BenchScale) -> BenchmarkSpec {
+    if scale == BenchScale::Quick {
+        spec.iterations = spec.iterations.min(600);
+        spec.train_iterations = spec.train_iterations.min(400);
+        spec.ref_inputs = 1;
+    }
+    spec
+}
+
+/// Geometric mean of percentage speedups (composed as ratios).
+pub fn geomean_pct(pcts: &[f64]) -> f64 {
+    if pcts.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = pcts.iter().map(|p| (1.0 + p / 100.0).ln()).sum();
+    ((log_sum / pcts.len() as f64).exp() - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_that_value() {
+        assert!((geomean_pct(&[10.0, 10.0, 10.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_is_below_arithmetic_mean() {
+        let g = geomean_pct(&[0.0, 21.0]);
+        assert!(g > 9.0 && g < 10.5, "{g}");
+    }
+
+    #[test]
+    fn empty_geomean_is_zero() {
+        assert_eq!(geomean_pct(&[]), 0.0);
+    }
+
+    #[test]
+    fn quick_scale_shrinks() {
+        let spec = vanguard_workloads::suite::spec2006_int().remove(0);
+        let q = quick_spec(spec.clone(), BenchScale::Quick);
+        assert!(q.iterations <= 600);
+        assert_eq!(q.ref_inputs, 1);
+        let f = quick_spec(spec.clone(), BenchScale::Full);
+        assert_eq!(f.iterations, spec.iterations);
+    }
+
+    #[test]
+    fn conversion_preserves_refs() {
+        let spec = quick_spec(
+            vanguard_workloads::suite::spec2006_int().remove(0),
+            BenchScale::Quick,
+        );
+        let input = to_experiment_input(spec.build());
+        assert_eq!(input.refs.len(), 1);
+        assert!(!input.train.init_regs.is_empty());
+    }
+}

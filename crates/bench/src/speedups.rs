@@ -1,0 +1,228 @@
+//! Speedup sweeps (Figures 8–13) and the Table 2 metric rows.
+
+use crate::glue::{quick_spec, to_experiment_input, BenchScale};
+use vanguard_core::{Experiment, ExperimentOutcome};
+use vanguard_sim::MachineConfig;
+use vanguard_workloads::BenchmarkSpec;
+
+/// One benchmark's speedups across machine widths.
+#[derive(Clone, Debug)]
+pub struct SpeedupRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Geomean speedup % over all REF inputs on 2/4/8-wide.
+    pub all_inputs: [f64; 3],
+    /// Best-REF-input speedup % on 2/4/8-wide.
+    pub best_input: [f64; 3],
+}
+
+/// Runs one suite over the three widths (Figures 8–13).
+///
+/// # Panics
+///
+/// Panics if a workload faults in simulation (generated kernels never do).
+pub fn suite_speedups(specs: &[BenchmarkSpec], scale: BenchScale) -> Vec<SpeedupRow> {
+    specs
+        .iter()
+        .map(|spec| {
+            let input = to_experiment_input(quick_spec(spec.clone(), scale).build());
+            let mut all = [0.0; 3];
+            let mut best = [0.0; 3];
+            for (i, machine) in MachineConfig::all_widths().into_iter().enumerate() {
+                let out = Experiment::new(machine)
+                    .run(&input)
+                    .expect("workload simulates cleanly");
+                all[i] = out.geomean_speedup_pct();
+                best[i] = out.best_speedup_pct();
+            }
+            SpeedupRow {
+                name: spec.name.clone(),
+                all_inputs: all,
+                best_input: best,
+            }
+        })
+        .collect()
+}
+
+/// One Table 2 row (4-wide configuration, the paper's primary point).
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// SPD: % geomean speedup over all REF inputs (4-wide).
+    pub spd: f64,
+    /// PBC: % of static forward branches converted.
+    pub pbc: f64,
+    /// PDIH: avg % of dynamic instructions hoisted above converted
+    /// branches.
+    pub pdih: f64,
+    /// ALPBB: average loads per basic block (static, over the kernel).
+    pub alpbb: f64,
+    /// ASPCB: average stall cycles per converted branch.
+    pub aspcb: f64,
+    /// PHI: avg % of successor-block instructions that were hoistable.
+    pub phi: f64,
+    /// MPPKI: branch mispredictions per thousand instructions (baseline).
+    pub mppki: f64,
+    /// PISCS: % increase in static code size.
+    pub piscs: f64,
+}
+
+/// Computes the full Table 2 for a set of benchmarks on the 4-wide.
+///
+/// # Panics
+///
+/// Panics if a workload faults in simulation.
+pub fn table2_rows(specs: &[BenchmarkSpec], scale: BenchScale) -> Vec<Table2Row> {
+    specs
+        .iter()
+        .map(|spec| {
+            let spec = quick_spec(spec.clone(), scale);
+            let built = spec.build();
+            let alpbb = static_alpbb(&built.program);
+            let input = to_experiment_input(built);
+            let out = Experiment::new(MachineConfig::four_wide())
+                .run(&input)
+                .expect("workload simulates cleanly");
+            table2_row_from(&spec, &out, alpbb)
+        })
+        .collect()
+}
+
+fn table2_row_from(spec: &BenchmarkSpec, out: &ExperimentOutcome, alpbb: f64) -> Table2Row {
+    // PHI: hoisted instructions relative to the successor-block work the
+    // converted sites exposed.
+    let hoisted: usize = out
+        .report
+        .converted
+        .iter()
+        .map(|s| s.hoisted_taken + s.hoisted_fallthrough)
+        .sum();
+    let per_side =
+        spec.loads_per_block + 3 * spec.chase_loads + spec.hoistable_alu + 1 + spec.tail_alu;
+    let exposed = out.report.converted.len() * 2 * per_side;
+    let phi = if exposed == 0 {
+        0.0
+    } else {
+        hoisted as f64 * 100.0 / exposed as f64
+    };
+    Table2Row {
+        name: spec.name.clone(),
+        spd: out.geomean_speedup_pct(),
+        pbc: out.report.pbc(),
+        pdih: out.pdih(),
+        alpbb,
+        aspcb: out.aspcb(),
+        phi,
+        mppki: out.mppki(),
+        piscs: out.report.piscs(),
+    }
+}
+
+/// Static average loads per basic block.
+fn static_alpbb(program: &vanguard_isa::Program) -> f64 {
+    let mut loads = 0usize;
+    let mut blocks = 0usize;
+    for (_, b) in program.iter() {
+        if b.insts().is_empty() {
+            continue;
+        }
+        blocks += 1;
+        loads += b
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, vanguard_isa::Inst::Load { .. }))
+            .count();
+    }
+    if blocks == 0 {
+        0.0
+    } else {
+        loads as f64 / blocks as f64
+    }
+}
+
+/// Renders Table 2 rows as an aligned text table.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6} {:>7} {:>6}",
+        "Name", "SPD", "PBC", "PDIH", "ALPBB", "ASPCB", "PHI", "MPPKI", "PISCS"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<12} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>7.1} {:>6.1} {:>7.1} {:>6.1}",
+            r.name, r.spd, r.pbc, r.pdih, r.alpbb, r.aspcb, r.phi, r.mppki, r.piscs
+        );
+    }
+    s
+}
+
+/// Renders speedup rows (one figure's data) as an aligned text table.
+pub fn format_speedups(rows: &[SpeedupRow], best: bool) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:>8} {:>8} {:>8}",
+        "Name", "2-wide", "4-wide", "8-wide"
+    );
+    for r in rows {
+        let v = if best { r.best_input } else { r.all_inputs };
+        let _ = writeln!(
+            s,
+            "{:<12} {:>7.1}% {:>7.1}% {:>7.1}%",
+            r.name, v[0], v[1], v[2]
+        );
+    }
+    let g: Vec<f64> = (0..3)
+        .map(|i| {
+            crate::glue::geomean_pct(
+                &rows
+                    .iter()
+                    .map(|r| if best { r.best_input[i] } else { r.all_inputs[i] })
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let _ = writeln!(s, "{:<12} {:>7.1}% {:>7.1}% {:>7.1}%", "GEOMEAN", g[0], g[1], g[2]);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_workloads::suite;
+
+    #[test]
+    fn one_int_benchmark_produces_a_speedup_row() {
+        let specs = vec![suite::spec2006_int().remove(0)]; // h264ref
+        let rows = suite_speedups(&specs, BenchScale::Quick);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.name, "h264ref");
+        // The flagship benchmark must show a clear 4-wide win.
+        assert!(
+            r.all_inputs[1] > 2.0,
+            "h264ref 4-wide speedup {:.2}%",
+            r.all_inputs[1]
+        );
+        assert!(r.best_input[1] >= r.all_inputs[1] - 1e-9);
+    }
+
+    #[test]
+    fn table2_row_metrics_are_sane() {
+        let specs = vec![suite::spec2006_int().remove(0)];
+        let rows = table2_rows(&specs, BenchScale::Quick);
+        let r = &rows[0];
+        assert!(r.pbc > 30.0 && r.pbc <= 100.0, "PBC {}", r.pbc);
+        assert!(r.piscs > 0.0 && r.piscs < 60.0, "PISCS {}", r.piscs);
+        assert!(r.phi > 0.0 && r.phi <= 100.0, "PHI {}", r.phi);
+        assert!(r.mppki > 0.0, "MPPKI {}", r.mppki);
+        assert!(r.alpbb > 0.5, "ALPBB {}", r.alpbb);
+        let text = format_table2(&rows);
+        assert!(text.contains("h264ref"));
+    }
+}

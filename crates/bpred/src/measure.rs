@@ -1,0 +1,105 @@
+//! Predictor accuracy measurement over outcome streams.
+
+use crate::meta::DirectionPredictor;
+
+/// Result of [`measure_accuracy`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AccuracyReport {
+    /// Total predictions measured.
+    pub total: u64,
+    /// Correct predictions.
+    pub correct: u64,
+    /// Taken outcomes (for bias computation).
+    pub taken: u64,
+}
+
+impl AccuracyReport {
+    /// Prediction accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.total as f64
+    }
+
+    /// Branch bias: the frequency of the *more common* direction, in
+    /// `[0.5, 1]` (the paper's notion of bias — a 60/40 branch has 0.6).
+    pub fn bias(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let t = self.taken as f64 / self.total as f64;
+        t.max(1.0 - t)
+    }
+
+    /// Mispredictions per thousand predictions.
+    pub fn mpki_like(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.total - self.correct) as f64 * 1000.0 / self.total as f64
+    }
+}
+
+/// Feeds `(pc, outcome)` pairs through a predictor and measures accuracy,
+/// skipping the first `warmup` events.
+pub fn measure_accuracy<P, I>(predictor: &mut P, stream: I, warmup: u64) -> AccuracyReport
+where
+    P: DirectionPredictor + ?Sized,
+    I: IntoIterator<Item = (u64, bool)>,
+{
+    let mut report = AccuracyReport::default();
+    for (i, (pc, taken)) in stream.into_iter().enumerate() {
+        let meta = predictor.predict(pc);
+        predictor.update(pc, &meta, taken);
+        if (i as u64) >= warmup {
+            report.total += 1;
+            report.taken += taken as u64;
+            report.correct += (meta.taken == taken) as u64;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gshare::Gshare;
+
+    #[test]
+    fn perfect_pattern_measures_near_one() {
+        let mut p = Gshare::new(4096, 12);
+        let stream = (0..4000u64).map(|i| (0x100u64, i % 3 == 0));
+        let r = measure_accuracy(&mut p, stream, 1000);
+        assert!(r.accuracy() > 0.95, "{}", r.accuracy());
+        assert_eq!(r.total, 3000);
+    }
+
+    #[test]
+    fn bias_is_majority_direction() {
+        let r = AccuracyReport {
+            total: 100,
+            correct: 0,
+            taken: 40,
+        };
+        assert!((r.bias() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_is_safe() {
+        let r = AccuracyReport::default();
+        assert_eq!(r.accuracy(), 0.0);
+        assert_eq!(r.bias(), 0.0);
+        assert_eq!(r.mpki_like(), 0.0);
+    }
+
+    #[test]
+    fn mpki_like_counts_misses() {
+        let r = AccuracyReport {
+            total: 1000,
+            correct: 950,
+            taken: 500,
+        };
+        assert!((r.mpki_like() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,402 @@
+//! Cmov-style if-conversion (predication baseline).
+
+use std::collections::HashMap;
+use vanguard_isa::{AluOp, BlockId, CmpKind, CondKind, Inst, Operand, Program, Reg};
+use vanguard_ir::{Cfg, RegSet};
+
+/// Outcome of [`if_convert`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IfConvertStats {
+    /// Hammocks converted to straight-line select code.
+    pub converted: usize,
+    /// Instructions added (mask computation + blends − removed branch).
+    pub added_insts: isize,
+}
+
+/// If-converts small, side-effect-free hammocks into straight-line
+/// mask-and-blend code — the paper's Figure 1 bottom-right quadrant
+/// (predication: the right tool for *unpredictable* unbiased branches,
+/// the wrong tool for predictable ones, which is exactly the contrast the
+/// decomposed-branch benches measure).
+///
+/// Pattern: `A: br c, T` / fall-through `F`, where `T` and `F` are pure
+/// ALU blocks (or the join itself) converging on a common join `J`.
+/// Rewrite: compute an all-ones/all-zeroes mask from `c`, execute both
+/// sides into temporaries, and blend `r = (t & mask) | (f & !mask)`.
+///
+/// Only hammocks whose sides have at most `max_side_insts` instructions
+/// are converted (the classic profitability guard).
+pub fn if_convert(program: &mut Program, max_side_insts: usize) -> IfConvertStats {
+    let mut stats = IfConvertStats::default();
+    while let Some(site) = find_candidate(program, max_side_insts) {
+        let added = convert_site(program, site);
+        stats.converted += 1;
+        stats.added_insts += added;
+    }
+    debug_assert!(program.validate().is_ok());
+    stats
+}
+
+struct Candidate {
+    block: BlockId,
+    taken_side: Option<BlockId>,
+    fall_side: Option<BlockId>,
+    join: BlockId,
+}
+
+/// A side block qualifies when it is pure ALU/Cmp work ending in a jump or
+/// fall-through.
+fn side_ok(program: &Program, b: BlockId, max: usize) -> Option<BlockId> {
+    let block = program.block(b);
+    let insts = block.insts();
+    let body_len = match block.terminator() {
+        Some(Inst::Jump { .. }) => insts.len() - 1,
+        Some(t) if t.is_control() => return None,
+        _ => insts.len(),
+    };
+    if body_len > max {
+        return None;
+    }
+    for inst in &insts[..body_len] {
+        if !matches!(inst, Inst::Alu { .. } | Inst::Cmp { .. } | Inst::Nop) {
+            return None;
+        }
+    }
+    match block.terminator() {
+        Some(Inst::Jump { target }) => Some(*target),
+        _ => block.fallthrough(),
+    }
+}
+
+fn find_candidate(program: &Program, max: usize) -> Option<Candidate> {
+    let cfg = Cfg::build(program);
+    for (bid, block) in program.iter() {
+        if !cfg.is_reachable(bid) {
+            continue;
+        }
+        let Some(Inst::Branch { target, .. }) = block.terminator() else {
+            continue;
+        };
+        let t = *target;
+        let f = block.fallthrough()?;
+        if t == f {
+            continue;
+        }
+        // Two-sided: T→J, F→J. One-sided: T→F (join = F) or F is join of T.
+        let t_exit = side_ok(program, t, max);
+        let f_exit = side_ok(program, f, max);
+        // Sides must be exclusively entered from this branch.
+        let single_pred = |x: BlockId| cfg.preds(x) == [bid];
+        if let (Some(tj), Some(fj)) = (t_exit, f_exit) {
+            if tj == fj && single_pred(t) && single_pred(f) && tj != bid && tj != t && tj != f {
+                return Some(Candidate {
+                    block: bid,
+                    taken_side: Some(t),
+                    fall_side: Some(f),
+                    join: tj,
+                });
+            }
+        }
+        // One-sided hammock: taken side flows into the fall-through block.
+        if let Some(tj) = t_exit {
+            if tj == f && single_pred(t) {
+                return Some(Candidate {
+                    block: bid,
+                    taken_side: Some(t),
+                    fall_side: None,
+                    join: f,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Registers referenced anywhere in the program (complement = safe temps).
+fn used_regs(program: &Program) -> RegSet {
+    let mut used = RegSet::new();
+    for (_, b) in program.iter() {
+        for inst in b.insts() {
+            if let Some(d) = inst.dst() {
+                used.insert(d);
+            }
+            used.extend(inst.srcs());
+        }
+    }
+    used
+}
+
+/// Renames a side's writes into fresh temporaries; returns the instruction
+/// sequence and the `original → temp` map.
+fn rename_side(
+    program: &Program,
+    side: Option<BlockId>,
+    temps: &mut impl Iterator<Item = Reg>,
+) -> (Vec<Inst>, HashMap<Reg, Reg>) {
+    let mut out = Vec::new();
+    let mut map: HashMap<Reg, Reg> = HashMap::new();
+    let Some(side) = side else {
+        return (out, map);
+    };
+    let block = program.block(side);
+    let body_len = match block.terminator() {
+        Some(Inst::Jump { .. }) => block.insts().len() - 1,
+        _ => block.insts().len(),
+    };
+    for inst in &block.insts()[..body_len] {
+        let mut inst = inst.clone();
+        // Rename reads of previously renamed registers.
+        let remap = |r: Reg, map: &HashMap<Reg, Reg>| *map.get(&r).unwrap_or(&r);
+        match &mut inst {
+            Inst::Alu { a, b, .. } => {
+                if let Operand::Reg(r) = a {
+                    *r = remap(*r, &map);
+                }
+                if let Operand::Reg(r) = b {
+                    *r = remap(*r, &map);
+                }
+            }
+            Inst::Cmp { a, b, .. } => {
+                *a = remap(*a, &map);
+                if let Operand::Reg(r) = b {
+                    *r = remap(*r, &map);
+                }
+            }
+            Inst::Nop => {}
+            other => unreachable!("side_ok admitted {other:?}"),
+        }
+        // Rename the write to a temp.
+        if let Some(d) = inst.dst() {
+            let t = *map
+                .entry(d)
+                .or_insert_with(|| temps.next().expect("temporary registers exhausted"));
+            match &mut inst {
+                Inst::Alu { dst, .. } | Inst::Cmp { dst, .. } => *dst = t,
+                _ => {}
+            }
+        }
+        out.push(inst);
+    }
+    (out, map)
+}
+
+fn convert_site(program: &mut Program, c: Candidate) -> isize {
+    let used = used_regs(program);
+    let free = RegSet::all().difference(&used);
+    let mut temps = free.iter().collect::<Vec<_>>().into_iter();
+
+    let (cond, src) = match program.block(c.block).terminator() {
+        Some(Inst::Branch { cond, src, .. }) => (*cond, *src),
+        _ => unreachable!("candidate has a branch terminator"),
+    };
+
+    let (t_code, t_map) = rename_side(program, c.taken_side, &mut temps);
+    let (f_code, f_map) = rename_side(program, c.fall_side, &mut temps);
+
+    let mask = temps.next().expect("temp for mask");
+    let notmask = temps.next().expect("temp for notmask");
+    let scratch_a = temps.next().expect("temp for blend");
+    let scratch_b = temps.next().expect("temp for blend");
+
+    let before = program.num_insts();
+
+    let block = program.block_mut(c.block);
+    let insts = block.insts_mut();
+    insts.pop(); // the branch
+
+    // mask = all-ones iff the branch would have been taken.
+    let flag_kind = match cond {
+        CondKind::Nz => CmpKind::Ne,
+        CondKind::Z => CmpKind::Eq,
+    };
+    insts.push(Inst::Cmp {
+        kind: flag_kind,
+        dst: mask,
+        a: src,
+        b: Operand::Imm(0),
+    });
+    insts.push(Inst::alu(AluOp::Sub, mask, Operand::Imm(0), Operand::Reg(mask)));
+    insts.push(Inst::alu(
+        AluOp::Xor,
+        notmask,
+        Operand::Reg(mask),
+        Operand::Imm(-1),
+    ));
+    insts.extend(t_code);
+    insts.extend(f_code);
+
+    // Blend every register either side writes.
+    let mut written: Vec<Reg> = t_map.keys().chain(f_map.keys()).copied().collect();
+    written.sort_unstable();
+    written.dedup();
+    for r in written {
+        let val_taken = t_map.get(&r).copied().unwrap_or(r);
+        let val_fall = f_map.get(&r).copied().unwrap_or(r);
+        insts.push(Inst::alu(
+            AluOp::And,
+            scratch_a,
+            Operand::Reg(val_taken),
+            Operand::Reg(mask),
+        ));
+        insts.push(Inst::alu(
+            AluOp::And,
+            scratch_b,
+            Operand::Reg(val_fall),
+            Operand::Reg(notmask),
+        ));
+        insts.push(Inst::alu(
+            AluOp::Or,
+            r,
+            Operand::Reg(scratch_a),
+            Operand::Reg(scratch_b),
+        ));
+    }
+    block.set_fallthrough(Some(c.join));
+
+    program.num_insts() as isize - before as isize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::{Interpreter, Memory, ProgramBuilder, TakenOracle};
+
+    /// if (r1 != 0) { r2 = r3 + 7 } else { r2 = r3 - 7; r4 = 1 }; join.
+    fn diamond() -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.block("a");
+        let t = b.block("t");
+        let f = b.block("f");
+        let j = b.block("join");
+        b.push(
+            a,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: t,
+            },
+        );
+        b.fallthrough(a, f);
+        b.push(
+            t,
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(3)), Operand::Imm(7)),
+        );
+        b.push(t, Inst::Jump { target: j });
+        b.push(
+            f,
+            Inst::alu(AluOp::Sub, Reg(2), Operand::Reg(Reg(3)), Operand::Imm(7)),
+        );
+        b.push(f, Inst::mov(Reg(4), Operand::Imm(1)));
+        b.fallthrough(f, j);
+        b.push(j, Inst::store(Reg(2), Reg(5), 0));
+        b.push(j, Inst::Halt);
+        b.set_entry(a);
+        b.finish().unwrap()
+    }
+
+    fn final_state(p: &Program, r1: u64) -> (u64, u64, Option<u64>) {
+        let mut mem = Memory::new();
+        mem.map_region(0x7000, 64);
+        let mut i = Interpreter::new(p, mem);
+        i.set_reg(Reg(1), r1);
+        i.set_reg(Reg(3), 100);
+        i.set_reg(Reg(5), 0x7000);
+        i.run(&mut TakenOracle::random(3)).unwrap();
+        (i.reg(Reg(2)), i.reg(Reg(4)), i.memory().read(0x7000))
+    }
+
+    #[test]
+    fn two_sided_diamond_is_converted() {
+        let mut p = diamond();
+        let stats = if_convert(&mut p, 4);
+        assert_eq!(stats.converted, 1);
+        // No conditional branch remains.
+        let branches = p
+            .iter()
+            .flat_map(|(_, b)| b.insts())
+            .filter(|i| matches!(i, Inst::Branch { .. }))
+            .count();
+        assert_eq!(branches, 0);
+    }
+
+    #[test]
+    fn conversion_preserves_semantics_both_ways() {
+        let p0 = diamond();
+        let mut p1 = p0.clone();
+        if_convert(&mut p1, 4);
+        for r1 in [0u64, 1, 42] {
+            assert_eq!(final_state(&p0, r1), final_state(&p1, r1), "r1={r1}");
+        }
+    }
+
+    #[test]
+    fn memory_sides_are_not_converted() {
+        // A side containing a store must be left alone.
+        let mut b = ProgramBuilder::new();
+        let a = b.block("a");
+        let t = b.block("t");
+        let j = b.block("join");
+        b.push(
+            a,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: t,
+            },
+        );
+        b.fallthrough(a, j);
+        b.push(t, Inst::store(Reg(2), Reg(3), 0));
+        b.push(t, Inst::Jump { target: j });
+        b.push(j, Inst::Halt);
+        b.set_entry(a);
+        let mut p = b.finish().unwrap();
+        let stats = if_convert(&mut p, 4);
+        assert_eq!(stats.converted, 0);
+    }
+
+    #[test]
+    fn one_sided_hammock_is_converted() {
+        // if (r1 != 0) { r2 = r2 + 5 }; join.
+        let mut b = ProgramBuilder::new();
+        let a = b.block("a");
+        let t = b.block("t");
+        let j = b.block("join");
+        b.push(
+            a,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: t,
+            },
+        );
+        b.fallthrough(a, j);
+        b.push(
+            t,
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(2)), Operand::Imm(5)),
+        );
+        b.fallthrough(t, j);
+        b.push(j, Inst::Halt);
+        b.set_entry(a);
+        let p0 = b.finish().unwrap();
+        let mut p1 = p0.clone();
+        let stats = if_convert(&mut p1, 4);
+        assert_eq!(stats.converted, 1);
+        for r1 in [0u64, 9] {
+            let run = |p: &Program| {
+                let mut i = Interpreter::new(p, Memory::new());
+                i.set_reg(Reg(1), r1);
+                i.set_reg(Reg(2), 10);
+                i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+                i.reg(Reg(2))
+            };
+            assert_eq!(run(&p0), run(&p1), "r1={r1}");
+        }
+    }
+
+    #[test]
+    fn size_guard_rejects_big_sides() {
+        let mut p = diamond();
+        let stats = if_convert(&mut p, 0);
+        assert_eq!(stats.converted, 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Profile-guided code layout.
+
+use vanguard_isa::{BlockId, Inst, Program};
+use vanguard_ir::{Cfg, Profile};
+
+/// Lays out `program` for the profile:
+///
+/// 1. **Branch inversion** — biased conditional branches are re-pointed so
+///    the likely successor is the fall-through (taken branches end fetch
+///    groups, so hot fall-through paths fetch at full width).
+/// 2. **Chain placement** — blocks are placed in likely-path chains from
+///    the entry, improving I$ locality; cold blocks sink to the end.
+///
+/// This is the classic baseline codegen the paper's LLVM -O3 + PGO setup
+/// performs; both the baseline and the transformed program receive it.
+pub fn layout_program(program: &mut Program, profile: &Profile) {
+    invert_unlikely_branches(program, profile);
+    chain_layout(program, profile);
+    debug_assert!(program.validate().is_ok());
+}
+
+fn invert_unlikely_branches(program: &mut Program, profile: &Profile) {
+    let ids: Vec<_> = program.iter().map(|(b, _)| b).collect();
+    for bid in ids {
+        let Some(stats) = profile.site(bid) else { continue };
+        if !stats.majority_taken() || stats.executed == 0 {
+            continue;
+        }
+        // Likely taken: invert so the hot path falls through.
+        let ft = program.block(bid).fallthrough();
+        let block = program.block_mut(bid);
+        let Some(Inst::Branch { cond, src, target }) = block.insts_mut().last_mut() else {
+            continue;
+        };
+        let old_target = *target;
+        let Some(ft) = ft else { continue };
+        *cond = cond.negate();
+        *target = ft;
+        let _ = src;
+        block.set_fallthrough(Some(old_target));
+    }
+}
+
+fn chain_layout(program: &mut Program, profile: &Profile) {
+    let cfg = Cfg::build(program);
+    let n = program.num_blocks();
+    let mut placed = vec![false; n];
+    let mut order: Vec<BlockId> = Vec::with_capacity(n);
+
+    // Seeds: entry first, then remaining blocks in reverse postorder, then
+    // unreachable blocks in id order.
+    let mut seeds: Vec<BlockId> = cfg.reverse_postorder().to_vec();
+    for (bid, _) in program.iter() {
+        if !seeds.contains(&bid) {
+            seeds.push(bid);
+        }
+    }
+
+    for seed in seeds {
+        let mut cur = seed;
+        while !placed[cur.index()] {
+            placed[cur.index()] = true;
+            order.push(cur);
+            // Follow the likely successor: prefer the fall-through, which
+            // branch inversion has already made the hot edge.
+            let next = likely_successor(program, profile, cur)
+                .filter(|s| !placed[s.index()]);
+            match next {
+                Some(s) => cur = s,
+                None => break,
+            }
+        }
+    }
+    program.set_layout_order(order);
+}
+
+fn likely_successor(program: &Program, profile: &Profile, b: BlockId) -> Option<BlockId> {
+    let block = program.block(b);
+    match block.terminator() {
+        Some(Inst::Jump { target }) => Some(*target),
+        Some(Inst::Halt) | Some(Inst::Ret) => None,
+        Some(Inst::Call { callee, .. }) => Some(*callee),
+        Some(Inst::Branch { target, .. }) => {
+            // Inversion has already made the fall-through the likely edge
+            // for every profiled branch (and fall-through is the neutral
+            // default for unprofiled ones).
+            let _ = profile;
+            block.fallthrough().or(Some(*target))
+        }
+        _ => block.fallthrough(),
+    }
+}
+
+/// Merges straight-line chains: a block ending in an unconditional
+/// transfer (jump or pure fall-through) to a single-predecessor block is
+/// fused with it, enlarging the list scheduler's scope. Returns the number
+/// of merges performed.
+pub fn merge_straightline(program: &mut Program) -> usize {
+    let mut merges = 0;
+    loop {
+        let cfg = Cfg::build(program);
+        let mut candidate: Option<(BlockId, BlockId)> = None;
+        for (bid, block) in program.iter() {
+            if !cfg.is_reachable(bid) {
+                continue;
+            }
+            let succ = match block.terminator() {
+                Some(Inst::Jump { target }) => Some(*target),
+                Some(t) if t.is_control() => None,
+                _ => block.fallthrough(),
+            };
+            let Some(succ) = succ else { continue };
+            if succ == bid || cfg.preds(succ) != [bid] {
+                continue;
+            }
+            candidate = Some((bid, succ));
+            break;
+        }
+        let Some((a, b)) = candidate else { break };
+        let b_block = program.block(b).clone();
+        let a_block = program.block_mut(a);
+        if matches!(a_block.insts().last(), Some(Inst::Jump { .. })) {
+            a_block.insts_mut().pop();
+        }
+        a_block.insts_mut().extend(b_block.insts().iter().cloned());
+        a_block.set_fallthrough(b_block.fallthrough());
+        // b is now unreachable; compact() removes it.
+        program.block_mut(b).insts_mut().clear();
+        program.block_mut(b).set_fallthrough(Some(a)); // keep valid; dead
+        merges += 1;
+    }
+    debug_assert!(program.validate().is_ok());
+    merges
+}
+
+/// Removes unreachable blocks, remapping block ids. Keeps layout order of
+/// the survivors. Essential for honest static-code-size (PISCS) and I$
+/// accounting after merging or duplication passes.
+pub fn compact_program(program: &Program) -> Program {
+    let cfg = Cfg::build(program);
+    let mut remap = vec![None; program.num_blocks()];
+    let mut builder = vanguard_isa::ProgramBuilder::new();
+    // Preserve the existing layout order among reachable blocks.
+    let survivors: Vec<BlockId> = program
+        .layout_order()
+        .iter()
+        .copied()
+        .filter(|&b| cfg.is_reachable(b))
+        .collect();
+    for &old in &survivors {
+        let new = builder.block(program.block(old).name().to_string());
+        remap[old.index()] = Some(new);
+    }
+    for &old in &survivors {
+        let new = remap[old.index()].expect("mapped");
+        let block = program.block(old);
+        for inst in block.insts() {
+            let mut inst = inst.clone();
+            if let Some(t) = inst.target() {
+                inst.set_target(remap[t.index()].expect("reachable target"));
+            }
+            if let Inst::Call { ret_to, .. } = &mut inst {
+                *ret_to = remap[ret_to.index()].expect("reachable ret");
+            }
+            builder.push(new, inst);
+        }
+        if let Some(ft) = block.fallthrough() {
+            builder.fallthrough(new, remap[ft.index()].expect("reachable ft"));
+        }
+    }
+    builder.set_entry(remap[program.entry().index()].expect("entry reachable"));
+    builder.finish().expect("compaction preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::{AluOp, CondKind, Interpreter, Memory, Operand, ProgramBuilder,
+                       Reg, TakenOracle};
+
+    /// entry branches to `hot` 90% of the time; `cold` otherwise.
+    fn biased_program() -> (Program, BlockId, BlockId, BlockId) {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let cold = b.block("cold");
+        let hot = b.block("hot");
+        let x = b.block("exit");
+        b.push(
+            e,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: hot,
+            },
+        );
+        b.fallthrough(e, cold);
+        b.push(cold, Inst::Jump { target: x });
+        b.push(hot, Inst::Jump { target: x });
+        b.push(x, Inst::Halt);
+        b.set_entry(e);
+        (b.finish().unwrap(), e, hot, cold)
+    }
+
+    fn profile_taken(site: BlockId, taken_of_10: u64) -> Profile {
+        let mut p = Profile::new();
+        for i in 0..10 {
+            p.record(site, i < taken_of_10, true);
+        }
+        p
+    }
+
+    #[test]
+    fn likely_taken_branch_is_inverted_to_fallthrough() {
+        let (mut p, e, hot, _cold) = biased_program();
+        let profile = profile_taken(e, 9);
+        layout_program(&mut p, &profile);
+        // After inversion the fall-through of entry is the hot block.
+        assert_eq!(p.block(e).fallthrough(), Some(hot));
+        let Some(Inst::Branch { cond, .. }) = p.block(e).terminator() else {
+            panic!("branch expected")
+        };
+        assert_eq!(*cond, CondKind::Z);
+        // And the hot block is laid out immediately after the entry.
+        let lo = p.layout_order();
+        let epos = lo.iter().position(|&b| b == e).unwrap();
+        assert_eq!(lo[epos + 1], hot);
+    }
+
+    #[test]
+    fn unlikely_branch_is_left_alone() {
+        let (mut p, e, hot, cold) = biased_program();
+        let profile = profile_taken(e, 2); // mostly not-taken → cold path hot
+        let before_term = p.block(e).terminator().cloned();
+        layout_program(&mut p, &profile);
+        assert_eq!(p.block(e).terminator().cloned(), before_term);
+        assert_eq!(p.block(e).fallthrough(), Some(cold));
+        let _ = hot;
+    }
+
+    #[test]
+    fn inversion_preserves_semantics() {
+        let (p0, e, _, _) = biased_program();
+        let mut p1 = p0.clone();
+        layout_program(&mut p1, &profile_taken(e, 10));
+        for r1 in [0u64, 1] {
+            let run = |p: &Program| {
+                let mut i = Interpreter::new(p, Memory::new());
+                i.set_reg(Reg(1), r1);
+                i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+                *i.regs()
+            };
+            assert_eq!(run(&p0), run(&p1), "r1={r1}");
+        }
+    }
+
+    #[test]
+    fn merge_fuses_single_pred_chains() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let m = b.block("middle");
+        let x = b.block("exit");
+        b.push(
+            e,
+            Inst::alu(AluOp::Add, Reg(1), Operand::Imm(1), Operand::Imm(2)),
+        );
+        b.fallthrough(e, m);
+        b.push(
+            m,
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(1)), Operand::Imm(3)),
+        );
+        b.push(m, Inst::Jump { target: x });
+        b.push(x, Inst::Halt);
+        b.set_entry(e);
+        let mut p = b.finish().unwrap();
+        let merges = merge_straightline(&mut p);
+        assert!(merges >= 2, "merged {merges}");
+        let p = compact_program(&p);
+        assert_eq!(p.num_blocks(), 1);
+        let mut i = Interpreter::new(&p, Memory::new());
+        i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        assert_eq!(i.reg(Reg(2)), 6);
+    }
+
+    #[test]
+    fn merge_respects_joins() {
+        // A join block with two predecessors must not be merged into one.
+        let (mut p, _, _, _) = biased_program();
+        let blocks_before = {
+            let q = compact_program(&p);
+            q.num_blocks()
+        };
+        merge_straightline(&mut p);
+        let q = compact_program(&p);
+        // The exit join has 2 preds, so only zero or trivial merges happen.
+        assert_eq!(q.num_blocks(), blocks_before);
+    }
+
+    #[test]
+    fn compact_drops_unreachable_blocks_and_remaps() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let dead = b.block("dead");
+        let live = b.block("live");
+        b.push(e, Inst::Jump { target: live });
+        b.push(dead, Inst::Halt);
+        b.push(live, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let q = compact_program(&p);
+        assert_eq!(q.num_blocks(), 2);
+        assert!(q.code_bytes() < p.code_bytes());
+        let mut i = Interpreter::new(&q, Memory::new());
+        let out = i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        assert_eq!(out.stop, vanguard_isa::StopReason::Halted);
+        let _ = dead;
+    }
+}

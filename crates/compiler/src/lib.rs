@@ -1,0 +1,37 @@
+//! # vanguard-compiler
+//!
+//! The compiler passes surrounding the Decomposed Branch Transformation:
+//!
+//! * [`PredictorOracle`] — adapts any [`vanguard_bpred::DirectionPredictor`]
+//!   to the interpreter's prediction interface, so profiling measures the
+//!   *same* predictor the hardware will use (the paper profiles TRAIN
+//!   inputs in PTLSim with its gshare).
+//! * [`profile_program`] — the profile-collection pass producing per-site
+//!   bias and predictability ([`vanguard_ir::Profile`]).
+//! * [`schedule_program`] — an in-order-aware list scheduler (critical-path
+//!   priority, FU-port and width limits), applied to baseline and
+//!   transformed code alike, standing in for LLVM's -O3 scheduling.
+//! * [`layout_program`] — profile-guided code layout: biased branches are
+//!   re-pointed so the likely successor falls through (the classic
+//!   superblock-era baseline optimisation).
+//! * [`form_superblocks`] — tail duplication for *highly-biased* forward
+//!   branches (Figure 1's top-left quadrant).
+//! * [`if_convert`] — cmov-style predication of small unbiased hammocks
+//!   (Figure 1's bottom-right quadrant), used as an ablation baseline.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ifconvert;
+mod layout;
+mod oracle;
+mod profiler;
+mod scheduler;
+mod superblock;
+
+pub use ifconvert::{if_convert, IfConvertStats};
+pub use layout::{compact_program, layout_program, merge_straightline};
+pub use oracle::PredictorOracle;
+pub use profiler::{profile_program, ProfileError};
+pub use scheduler::{schedule_order, schedule_program, SchedConfig};
+pub use superblock::{form_superblocks, SuperblockStats};

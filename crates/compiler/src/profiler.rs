@@ -1,0 +1,207 @@
+//! The profile-collection pass.
+
+use crate::oracle::PredictorOracle;
+use std::fmt;
+use vanguard_bpred::DirectionPredictor;
+use vanguard_isa::{ExecError, ExecEvent, InterpConfig, Interpreter, Memory, Program, Reg};
+use vanguard_ir::Profile;
+
+/// Errors from the profiling run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProfileError {
+    /// The profiled program faulted.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Exec(e) => write!(f, "profiling run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<ExecError> for ProfileError {
+    fn from(e: ExecError) -> Self {
+        ProfileError::Exec(e)
+    }
+}
+
+/// Runs `program` to completion under `predictor` and collects per-site
+/// bias and predictability — the paper's TRAIN-input profiling step.
+///
+/// `init_regs` seeds initial register values; `max_steps` bounds the run.
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] if the program faults.
+pub fn profile_program<P: DirectionPredictor>(
+    program: &Program,
+    memory: Memory,
+    init_regs: &[(Reg, u64)],
+    predictor: P,
+    max_steps: u64,
+) -> Result<Profile, ProfileError> {
+    let mut interp =
+        Interpreter::new(program, memory).with_config(InterpConfig { max_steps });
+    for &(r, v) in init_regs {
+        interp.set_reg(r, v);
+    }
+    let mut oracle = PredictorOracle::new(predictor);
+    let mut profile = Profile::new();
+    let outcome = interp.run_with(&mut oracle, |ev| {
+        if let ExecEvent::Branch {
+            block,
+            taken,
+            predicted,
+            ..
+        } = *ev
+        {
+            profile.record(block, taken, predicted == taken);
+        }
+    })?;
+    profile.dynamic_insts = outcome.steps;
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_bpred::Combined;
+    use vanguard_isa::{AluOp, CmpKind, CondKind, Inst, Operand, ProgramBuilder};
+
+    /// A loop over a condition array: branch taken iff mem[r3] != 0.
+    fn data_driven_branch(n: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let head = b.block("head");
+        let taken = b.block("taken");
+        let latch = b.block("latch");
+        let exit = b.block("exit");
+        b.push(e, Inst::mov(Reg(1), Operand::Imm(n)));
+        b.push(e, Inst::mov(Reg(3), Operand::Imm(0x10000)));
+        b.fallthrough(e, head);
+        b.push(head, Inst::load(Reg(4), Reg(3), 0));
+        b.push(
+            head,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(4),
+                target: taken,
+            },
+        );
+        b.fallthrough(head, latch);
+        b.push(
+            taken,
+            Inst::alu(AluOp::Add, Reg(5), Operand::Reg(Reg(5)), Operand::Imm(1)),
+        );
+        b.fallthrough(taken, latch);
+        b.push(
+            latch,
+            Inst::alu(AluOp::Add, Reg(3), Operand::Reg(Reg(3)), Operand::Imm(8)),
+        );
+        b.push(
+            latch,
+            Inst::alu(AluOp::Sub, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+        );
+        b.push(
+            latch,
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            latch,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: head,
+            },
+        );
+        b.fallthrough(latch, exit);
+        b.push(exit, Inst::Halt);
+        b.set_entry(e);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn profiles_bias_and_predictability_of_a_patterned_branch() {
+        // Period-3 pattern T T N: bias = 2/3, predictability ≈ 1 for gshare.
+        let n = 3000;
+        let p = data_driven_branch(n);
+        let pattern: Vec<u64> = (0..n as usize).map(|i| u64::from(i % 3 != 2)).collect();
+        let mut mem = Memory::new();
+        mem.load_words(0x10000, &pattern);
+        let profile =
+            profile_program(&p, mem, &[], Combined::ptlsim_default(), 10_000_000).unwrap();
+        // Site = the block whose terminator is the data-driven branch.
+        let head_site = profile
+            .iter()
+            .find(|(_, s)| (s.bias() - 2.0 / 3.0).abs() < 0.01)
+            .expect("head branch profiled");
+        assert!(
+            head_site.1.predictability() > 0.9,
+            "predictability {}",
+            head_site.1.predictability()
+        );
+        assert!(head_site.1.exceeds_bias_by(0.05));
+    }
+
+    #[test]
+    fn profiles_an_unpredictable_branch_as_near_bias() {
+        // Pseudo-random 50/50 outcomes: predictability ≈ bias ≈ 0.5.
+        let n = 4000;
+        let p = data_driven_branch(n);
+        let mut x = 0x123456789abcdefu64;
+        let pattern: Vec<u64> = (0..n as usize)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1
+            })
+            .collect();
+        let mut mem = Memory::new();
+        mem.load_words(0x10000, &pattern);
+        let profile =
+            profile_program(&p, mem, &[], Combined::ptlsim_default(), 10_000_000).unwrap();
+        let site = profile
+            .iter()
+            .find(|(_, s)| s.bias() < 0.6)
+            .expect("random branch profiled");
+        assert!(
+            !site.1.exceeds_bias_by(0.05),
+            "unpredictable branch must not qualify: pred {} bias {}",
+            site.1.predictability(),
+            site.1.bias()
+        );
+    }
+
+    #[test]
+    fn profile_counts_dynamic_instructions() {
+        let p = data_driven_branch(10);
+        let mut mem = Memory::new();
+        mem.load_words(0x10000, &[1u64; 10]);
+        let profile =
+            profile_program(&p, mem, &[], Combined::ptlsim_default(), 10_000_000).unwrap();
+        assert!(profile.dynamic_insts > 50);
+        assert_eq!(profile.len(), 2); // head branch + loop latch
+    }
+
+    #[test]
+    fn faulting_program_reports_error() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(e, Inst::load(Reg(1), Reg(0), 0x99999));
+        b.push(e, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let r = profile_program(&p, Memory::new(), &[], Combined::ptlsim_default(), 1000);
+        assert!(matches!(r, Err(ProfileError::Exec(_))));
+    }
+}

@@ -1,0 +1,251 @@
+//! In-order-aware list scheduling.
+
+use vanguard_isa::{FuClass, Inst, Program};
+use vanguard_ir::{DepDag, DepKind};
+
+/// Resource model the scheduler targets (mirrors the machine's issue
+/// constraints so the static schedule and the dynamic pipeline agree).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Issue width.
+    pub width: usize,
+    /// INT ports per cycle.
+    pub fu_int: usize,
+    /// LD/ST ports per cycle.
+    pub fu_ldst: usize,
+    /// FP ports per cycle.
+    pub fu_fp: usize,
+}
+
+impl SchedConfig {
+    /// Matches the simulator machine configuration's port mix for a width.
+    pub fn for_width(width: usize) -> Self {
+        SchedConfig {
+            width,
+            fu_int: 2,
+            fu_ldst: 2,
+            fu_fp: 4,
+        }
+    }
+}
+
+/// Reorders every block of `program` with a latency-aware greedy list
+/// scheduler (critical-path priority), respecting dependences and the
+/// machine's FU ports. Returns the number of instructions that moved.
+///
+/// On an in-order machine this is where most of the "compiler quality"
+/// lives: long-latency loads are started as early as dependences allow,
+/// and the consumers (including branch-condition compares) sink toward
+/// their uses.
+pub fn schedule_program(program: &mut Program, config: &SchedConfig) -> usize {
+    let mut moved = 0;
+    let ids: Vec<_> = program.iter().map(|(b, _)| b).collect();
+    for bid in ids {
+        let block = program.block(bid);
+        let order = schedule_order(block.insts(), config);
+        let changed = order.iter().enumerate().filter(|&(i, &o)| i != o).count();
+        if changed > 0 {
+            moved += changed;
+            let insts = block.insts().to_vec();
+            let reordered: Vec<Inst> = order.into_iter().map(|i| insts[i].clone()).collect();
+            *program.block_mut(bid).insts_mut() = reordered;
+        }
+    }
+    debug_assert!(program.validate().is_ok());
+    moved
+}
+
+/// Computes the scheduled order of a block's instructions (indices into
+/// the original sequence).
+pub fn schedule_order(insts: &[Inst], config: &SchedConfig) -> Vec<usize> {
+    let n = insts.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let mut block = vanguard_isa::BasicBlock::new("sched");
+    block.insts_mut().extend(insts.iter().cloned());
+    let dag = DepDag::build(&block);
+    let lat: Vec<u32> = insts.iter().map(Inst::base_latency).collect();
+    let priority = dag.critical_path_from(&lat);
+
+    let mut in_degree: Vec<usize> = (0..n).map(|i| dag.in_degree(i)).collect();
+    let mut earliest = vec![0u64; n];
+    let mut scheduled = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cycle = 0u64;
+
+    while order.len() < n {
+        let mut int_slots = config.fu_int.min(config.width);
+        let mut ldst_slots = config.fu_ldst.min(config.width);
+        let mut fp_slots = config.fu_fp.min(config.width);
+        let mut width = config.width;
+        let mut progressed = false;
+        loop {
+            // Pick the highest-priority ready instruction that fits.
+            let mut best: Option<usize> = None;
+            for i in 0..n {
+                if scheduled[i] || in_degree[i] != 0 || earliest[i] > cycle {
+                    continue;
+                }
+                let fits = match insts[i].fu_class() {
+                    FuClass::Int => int_slots > 0,
+                    FuClass::LdSt => ldst_slots > 0,
+                    FuClass::Fp => fp_slots > 0,
+                    FuClass::None => true,
+                };
+                if !fits {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(b) if priority[i] > priority[b] => Some(i),
+                    other => other,
+                };
+            }
+            let Some(i) = best else { break };
+            if width == 0 {
+                break;
+            }
+            width -= 1;
+            match insts[i].fu_class() {
+                FuClass::Int => int_slots -= 1,
+                FuClass::LdSt => ldst_slots -= 1,
+                FuClass::Fp => fp_slots -= 1,
+                FuClass::None => {}
+            }
+            scheduled[i] = true;
+            order.push(i);
+            progressed = true;
+            for e in dag.succs(i) {
+                in_degree[e.to] -= 1;
+                let delay = match e.kind {
+                    DepKind::Raw => u64::from(lat[i]),
+                    // Anti/output/memory/control order is satisfied by
+                    // same-or-later-cycle in-order issue.
+                    _ => 0,
+                };
+                earliest[e.to] = earliest[e.to].max(cycle + delay);
+            }
+            if order.len() == n {
+                break;
+            }
+        }
+        if !progressed || order.len() < n {
+            cycle += 1;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::{AluOp, BlockId, CmpKind, CondKind, Operand, ProgramBuilder, Reg};
+
+    fn cfg() -> SchedConfig {
+        SchedConfig::for_width(4)
+    }
+
+    #[test]
+    fn loads_are_hoisted_above_independent_alu_work() {
+        // alu; alu; load; use-of-load — the load should schedule first.
+        let insts = vec![
+            Inst::alu(AluOp::Add, Reg(1), Operand::Imm(1), Operand::Imm(2)),
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(1)), Operand::Imm(3)),
+            Inst::load(Reg(3), Reg(10), 0),
+            Inst::alu(AluOp::Add, Reg(4), Operand::Reg(Reg(3)), Operand::Imm(0)),
+        ];
+        let order = schedule_order(&insts, &cfg());
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(2) == 0, "load first, got order {order:?}");
+        assert!(pos(3) > pos(2));
+    }
+
+    #[test]
+    fn dependences_are_never_violated() {
+        let insts = vec![
+            Inst::alu(AluOp::Add, Reg(1), Operand::Imm(1), Operand::Imm(1)),
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(1)), Operand::Imm(1)),
+            Inst::store(Reg(2), Reg(3), 0),
+            Inst::load(Reg(4), Reg(3), 0),
+        ];
+        let order = schedule_order(&insts, &cfg());
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3), "load may not pass the may-alias store");
+    }
+
+    #[test]
+    fn terminator_stays_last() {
+        let insts = vec![
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(1),
+                a: Reg(2),
+                b: Operand::Imm(0),
+            },
+            Inst::load(Reg(3), Reg(4), 0),
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: BlockId(0),
+            },
+        ];
+        let order = schedule_order(&insts, &cfg());
+        assert_eq!(*order.last().unwrap(), 2, "branch last, got {order:?}");
+    }
+
+    #[test]
+    fn schedule_program_preserves_semantics() {
+        use vanguard_isa::{Interpreter, Memory, TakenOracle};
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(e, Inst::mov(Reg(9), Operand::Imm(0x9000)));
+        b.push(e, Inst::store(Reg(9), Reg(9), 0));
+        b.push(
+            e,
+            Inst::alu(AluOp::Add, Reg(1), Operand::Imm(5), Operand::Imm(6)),
+        );
+        b.push(e, Inst::load(Reg(2), Reg(9), 0));
+        b.push(
+            e,
+            Inst::alu(AluOp::Mul, Reg(3), Operand::Reg(Reg(1)), Operand::Reg(Reg(2))),
+        );
+        b.push(e, Inst::Halt);
+        b.set_entry(e);
+        let p0 = b.finish().unwrap();
+        let mut p1 = p0.clone();
+        schedule_program(&mut p1, &cfg());
+        assert!(p1.validate().is_ok());
+
+        let run = |p: &Program| {
+            let mut i = Interpreter::new(p, Memory::new());
+            i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+            *i.regs()
+        };
+        assert_eq!(run(&p0), run(&p1));
+    }
+
+    #[test]
+    fn empty_and_singleton_blocks_are_untouched() {
+        assert!(schedule_order(&[], &cfg()).is_empty());
+        assert_eq!(schedule_order(&[Inst::Halt], &cfg()), vec![0]);
+    }
+
+    #[test]
+    fn port_limits_shape_the_schedule() {
+        // Three independent loads with 2 LD/ST ports: the third load must
+        // wait a cycle, letting an independent ALU op slot in earlier.
+        let insts = vec![
+            Inst::load(Reg(1), Reg(10), 0),
+            Inst::load(Reg(2), Reg(10), 8),
+            Inst::load(Reg(3), Reg(10), 16),
+            Inst::alu(AluOp::Add, Reg(4), Operand::Imm(1), Operand::Imm(1)),
+        ];
+        let order = schedule_order(&insts, &cfg());
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        // The ALU op beats the third load into the first issue group.
+        assert!(pos(3) < 3.max(pos(2)), "order {order:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Transformation reports and code-size accounting.
+
+use vanguard_isa::BlockId;
+
+/// Per-site outcome of the Decomposed Branch Transformation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteOutcome {
+    /// The converted branch's block.
+    pub block: BlockId,
+    /// Instructions hoisted into the predicted-taken resolution block.
+    pub hoisted_taken: usize,
+    /// Instructions hoisted into the predicted-not-taken resolution block.
+    pub hoisted_fallthrough: usize,
+    /// Condition-slice instructions pushed down into both resolution
+    /// blocks.
+    pub slice_insts: usize,
+    /// Slice instructions removed from the original block (dead after the
+    /// push-down).
+    pub removed_from_block: usize,
+    /// Shadow-temporary commit moves placed in the resolve shadows (§3's
+    /// alternative to correction-code duplication).
+    pub commit_moves: usize,
+    /// Profiled executions of this site (for dynamic-weight metrics).
+    pub executed: u64,
+}
+
+/// Summary of one [`crate::decompose_branches`] run.
+#[derive(Clone, Debug, Default)]
+pub struct TransformReport {
+    /// Sites successfully converted.
+    pub converted: Vec<SiteOutcome>,
+    /// Sites that qualified but were structurally untransformable,
+    /// with the reason.
+    pub skipped: Vec<(BlockId, String)>,
+    /// Static forward conditional branches before transformation (PBC
+    /// denominator).
+    pub forward_branches: usize,
+    /// Static code bytes before.
+    pub code_bytes_before: u64,
+    /// Static code bytes after.
+    pub code_bytes_after: u64,
+}
+
+impl TransformReport {
+    /// PBC: percentage of static forward branches converted (Table 2).
+    pub fn pbc(&self) -> f64 {
+        if self.forward_branches == 0 {
+            return 0.0;
+        }
+        self.converted.len() as f64 * 100.0 / self.forward_branches as f64
+    }
+
+    /// PISCS: percentage increase in static code size (Table 2).
+    pub fn piscs(&self) -> f64 {
+        if self.code_bytes_before == 0 {
+            return 0.0;
+        }
+        (self.code_bytes_after as f64 - self.code_bytes_before as f64) * 100.0
+            / self.code_bytes_before as f64
+    }
+
+    /// Total hoisted instructions weighted by site execution counts —
+    /// the numerator of the PDIH metric.
+    pub fn dynamic_hoisted(&self) -> u64 {
+        self.converted
+            .iter()
+            .map(|s| (s.hoisted_taken + s.hoisted_fallthrough) as u64 / 2 * s.executed)
+            .sum()
+    }
+}
+
+/// Before/after code-size comparison for §6.1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodeSizeReport {
+    /// Baseline static bytes.
+    pub baseline_bytes: u64,
+    /// Transformed static bytes.
+    pub transformed_bytes: u64,
+    /// Baseline static instruction count.
+    pub baseline_insts: usize,
+    /// Transformed static instruction count.
+    pub transformed_insts: usize,
+}
+
+impl CodeSizeReport {
+    /// Percentage increase in static code size.
+    pub fn piscs(&self) -> f64 {
+        if self.baseline_bytes == 0 {
+            return 0.0;
+        }
+        (self.transformed_bytes as f64 - self.baseline_bytes as f64) * 100.0
+            / self.baseline_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pbc_and_piscs_math() {
+        let r = TransformReport {
+            converted: vec![SiteOutcome {
+                block: BlockId(0),
+                hoisted_taken: 3,
+                hoisted_fallthrough: 1,
+                slice_insts: 2,
+                removed_from_block: 2,
+                commit_moves: 1,
+                executed: 100,
+            }],
+            skipped: vec![],
+            forward_branches: 4,
+            code_bytes_before: 1000,
+            code_bytes_after: 1090,
+        };
+        assert!((r.pbc() - 25.0).abs() < 1e-12);
+        assert!((r.piscs() - 9.0).abs() < 1e-12);
+        assert_eq!(r.dynamic_hoisted(), 200);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = TransformReport::default();
+        assert_eq!(r.pbc(), 0.0);
+        assert_eq!(r.piscs(), 0.0);
+        assert_eq!(r.dynamic_hoisted(), 0);
+    }
+
+    #[test]
+    fn code_size_report() {
+        let c = CodeSizeReport {
+            baseline_bytes: 200,
+            transformed_bytes: 220,
+            baseline_insts: 50,
+            transformed_insts: 55,
+        };
+        assert!((c.piscs() - 10.0).abs() < 1e-12);
+    }
+}

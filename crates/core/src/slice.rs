@@ -1,0 +1,301 @@
+//! Backward condition slices within a block.
+
+use vanguard_isa::{BasicBlock, Inst, Reg};
+use vanguard_ir::RegSet;
+
+/// Why a condition slice cannot be pushed down into resolution blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SliceError {
+    /// The slice contains an instruction that cannot be re-executed
+    /// (store, control, or FP with side channels — conservatively anything
+    /// but ALU/Cmp/Load).
+    NonDuplicable {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A store after a slice load could change the loaded value when the
+    /// slice re-executes at the end of the block.
+    StoreAfterSliceLoad {
+        /// Index of the store.
+        store_index: usize,
+    },
+    /// A non-slice instruction overwrites a register a slice instruction
+    /// reads (the re-executed slice would see the new value).
+    InputClobbered {
+        /// Index of the clobbering instruction.
+        index: usize,
+        /// The clobbered register.
+        reg: Reg,
+    },
+    /// A non-slice instruction overwrites a slice output (the re-executed
+    /// slice would undo the newer value).
+    OutputClobbered {
+        /// Index of the clobbering instruction.
+        index: usize,
+        /// The clobbered register.
+        reg: Reg,
+    },
+    /// The block has no conditional terminator.
+    NoBranch,
+}
+
+/// The backward slice of a block's branch condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConditionSlice {
+    /// Indices (ascending) of the slice instructions, excluding the branch
+    /// itself.
+    pub indices: Vec<usize>,
+    /// Registers the slice reads from outside itself (live-ins).
+    pub inputs: RegSet,
+    /// Registers the slice writes.
+    pub outputs: RegSet,
+}
+
+/// Computes the backward slice of the branch condition of `block` and
+/// verifies that it can be *pushed down* past the rest of the block (i.e.
+/// duplicated at the block's end — the §3 "push the branch resolution
+/// slice down both paths" step).
+///
+/// # Errors
+///
+/// Returns a [`SliceError`] describing the first legality violation.
+pub fn condition_slice(block: &BasicBlock) -> Result<ConditionSlice, SliceError> {
+    let insts = block.insts();
+    let Some(Inst::Branch { src, .. }) = block.terminator() else {
+        return Err(SliceError::NoBranch);
+    };
+    let branch_idx = insts.len() - 1;
+
+    // Walk backwards, collecting the defining instructions of needed regs.
+    let mut needed = RegSet::new();
+    needed.insert(*src);
+    let mut in_slice = vec![false; insts.len()];
+    for i in (0..branch_idx).rev() {
+        let inst = &insts[i];
+        let Some(d) = inst.dst() else { continue };
+        if needed.contains(d) {
+            in_slice[i] = true;
+            needed.remove(d);
+            needed.extend(inst.srcs());
+        }
+    }
+
+    let indices: Vec<usize> = (0..branch_idx).filter(|&i| in_slice[i]).collect();
+    let mut inputs = RegSet::new();
+    let mut outputs = RegSet::new();
+    let mut slice_has_load = false;
+    for &i in &indices {
+        let inst = &insts[i];
+        if !matches!(
+            inst,
+            Inst::Alu { .. } | Inst::Cmp { .. } | Inst::Load { .. }
+        ) {
+            return Err(SliceError::NonDuplicable { index: i });
+        }
+        slice_has_load |= matches!(inst, Inst::Load { .. });
+        for s in inst.srcs() {
+            if !outputs.contains(s) {
+                inputs.insert(s);
+            }
+        }
+        if let Some(d) = inst.dst() {
+            outputs.insert(d);
+        }
+    }
+
+    // Interference checks: the slice will re-execute after the whole block.
+    let first_slice = indices.first().copied().unwrap_or(branch_idx);
+    let mut reads_so_far = RegSet::new();
+    for (&idx, inst) in indices.iter().zip(indices.iter().map(|&i| &insts[i])) {
+        let _ = idx;
+        reads_so_far.extend(inst.srcs());
+    }
+    for (i, inst) in insts.iter().enumerate().take(branch_idx) {
+        if in_slice[i] {
+            continue;
+        }
+        if i < first_slice {
+            continue; // executes before the slice either way
+        }
+        if matches!(inst, Inst::Store { .. }) && slice_has_load {
+            return Err(SliceError::StoreAfterSliceLoad { store_index: i });
+        }
+        if let Some(d) = inst.dst() {
+            // Clobbers an input the re-executed slice will read?
+            if reads_so_far.contains(d) && !outputs.contains(d) {
+                return Err(SliceError::InputClobbered { index: i, reg: d });
+            }
+            // Overwrites a slice output the re-execution would undo?
+            if outputs.contains(d) {
+                return Err(SliceError::OutputClobbered { index: i, reg: d });
+            }
+        }
+    }
+
+    Ok(ConditionSlice {
+        indices,
+        inputs,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::{AluOp, BlockId, CmpKind, CondKind, Operand};
+
+    fn block(insts: Vec<Inst>) -> BasicBlock {
+        let mut b = BasicBlock::new("t");
+        *b.insts_mut() = insts;
+        b
+    }
+
+    fn branch(src: Reg) -> Inst {
+        Inst::Branch {
+            cond: CondKind::Nz,
+            src,
+            target: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn simple_load_cmp_slice() {
+        // Exactly the Figure 6 shape: ld; cmp; br.
+        let b = block(vec![
+            Inst::load(Reg(1), Reg(10), 0),
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+            branch(Reg(2)),
+        ]);
+        let s = condition_slice(&b).unwrap();
+        assert_eq!(s.indices, vec![0, 1]);
+        assert!(s.inputs.contains(Reg(10)));
+        assert!(s.outputs.contains(Reg(1)) && s.outputs.contains(Reg(2)));
+    }
+
+    #[test]
+    fn unrelated_instructions_are_excluded() {
+        let b = block(vec![
+            Inst::alu(AluOp::Add, Reg(5), Operand::Imm(1), Operand::Imm(2)),
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+            Inst::alu(AluOp::Add, Reg(6), Operand::Imm(3), Operand::Imm(4)),
+            branch(Reg(2)),
+        ]);
+        let s = condition_slice(&b).unwrap();
+        assert_eq!(s.indices, vec![1]);
+    }
+
+    #[test]
+    fn only_last_definition_matters() {
+        let b = block(vec![
+            Inst::mov(Reg(2), Operand::Imm(0)), // dead def of r2
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+            branch(Reg(2)),
+        ]);
+        let s = condition_slice(&b).unwrap();
+        assert_eq!(s.indices, vec![1]);
+    }
+
+    #[test]
+    fn store_after_slice_load_is_illegal() {
+        let b = block(vec![
+            Inst::load(Reg(1), Reg(10), 0),
+            Inst::store(Reg(5), Reg(11), 0), // may alias; slice re-executes late
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+            branch(Reg(2)),
+        ]);
+        assert_eq!(
+            condition_slice(&b).unwrap_err(),
+            SliceError::StoreAfterSliceLoad { store_index: 1 }
+        );
+    }
+
+    #[test]
+    fn store_before_slice_is_fine() {
+        let b = block(vec![
+            Inst::store(Reg(5), Reg(11), 0),
+            Inst::load(Reg(1), Reg(10), 0),
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+            branch(Reg(2)),
+        ]);
+        assert!(condition_slice(&b).is_ok());
+    }
+
+    #[test]
+    fn input_clobber_detected() {
+        let b = block(vec![
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+            Inst::mov(Reg(1), Operand::Imm(9)), // clobbers slice input r1
+            branch(Reg(2)),
+        ]);
+        assert_eq!(
+            condition_slice(&b).unwrap_err(),
+            SliceError::InputClobbered {
+                index: 1,
+                reg: Reg(1)
+            }
+        );
+    }
+
+    #[test]
+    fn output_clobber_detected() {
+        let b = block(vec![
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+            Inst::alu(AluOp::Or, Reg(2), Operand::Reg(Reg(2)), Operand::Imm(1)),
+            branch(Reg(2)),
+        ]);
+        // r2 is redefined from the slice output: the later def IS the slice
+        // (backward walk finds the `or`), which reads r2 from the cmp — so
+        // both are in the slice and this is legal.
+        let s = condition_slice(&b).unwrap();
+        assert_eq!(s.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn live_in_condition_has_empty_slice() {
+        let b = block(vec![Inst::Nop, branch(Reg(7))]);
+        let s = condition_slice(&b).unwrap();
+        assert!(s.indices.is_empty());
+        assert!(s.inputs.is_empty());
+    }
+
+    #[test]
+    fn non_branch_terminator_is_an_error() {
+        let b = block(vec![Inst::Halt]);
+        assert_eq!(condition_slice(&b).unwrap_err(), SliceError::NoBranch);
+    }
+}

@@ -1,0 +1,334 @@
+//! Equivalence verification for transformed programs.
+//!
+//! The Decomposed Branch Transformation makes the *predicted* path
+//! architecturally executed, so a correct transformation must reach the
+//! same observable state as the original under **every** prediction
+//! sequence. This module packages the adversarial-oracle check the test
+//! suite uses as a public API, so downstream users applying
+//! [`crate::decompose_branches`] to their own programs can validate the
+//! result against their own inputs.
+
+use std::fmt;
+use vanguard_isa::{
+    ExecError, InterpConfig, Interpreter, Memory, Program, Reg, StopReason, TakenOracle,
+};
+
+/// What state to compare after the two programs run.
+#[derive(Clone, Debug)]
+pub struct Observables {
+    /// Registers that must match (live-outs; omit dead temporaries).
+    pub regs: Vec<Reg>,
+    /// Memory words that must match: half-open byte ranges.
+    pub memory_ranges: Vec<(u64, u64)>,
+}
+
+impl Observables {
+    /// Observables covering a memory range only.
+    pub fn memory(start: u64, end: u64) -> Self {
+        Observables {
+            regs: Vec::new(),
+            memory_ranges: vec![(start, end)],
+        }
+    }
+}
+
+/// A detected divergence between the original and transformed programs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Divergence {
+    /// A register differs.
+    Register {
+        /// The oracle that exposed it.
+        oracle: String,
+        /// The diverging register.
+        reg: Reg,
+        /// Original program's value.
+        original: u64,
+        /// Transformed program's value.
+        transformed: u64,
+    },
+    /// A memory word differs.
+    Memory {
+        /// The oracle that exposed it.
+        oracle: String,
+        /// Word-aligned address.
+        addr: u64,
+        /// Original program's value (None = unmapped).
+        original: Option<u64>,
+        /// Transformed program's value.
+        transformed: Option<u64>,
+    },
+    /// One of the runs faulted or failed to halt.
+    Execution {
+        /// The oracle that exposed it.
+        oracle: String,
+        /// Description.
+        message: String,
+    },
+}
+
+/// Observable snapshot: register values + (addr, word) pairs.
+type Snapshot = (Vec<u64>, Vec<(u64, Option<u64>)>);
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Register {
+                oracle,
+                reg,
+                original,
+                transformed,
+            } => write!(
+                f,
+                "[{oracle}] {reg}: original {original:#x} vs transformed {transformed:#x}"
+            ),
+            Divergence::Memory {
+                oracle,
+                addr,
+                original,
+                transformed,
+            } => write!(
+                f,
+                "[{oracle}] mem {addr:#x}: original {original:?} vs transformed {transformed:?}"
+            ),
+            Divergence::Execution { oracle, message } => write!(f, "[{oracle}] {message}"),
+        }
+    }
+}
+
+/// Runs `original` once (reference) and `transformed` under a battery of
+/// adversarial oracles (always-taken, always-not-taken, alternating, and
+/// `random_oracles` seeded pseudo-random ones), comparing the observables
+/// after each run.
+///
+/// Returns all divergences found (empty = equivalent on this input).
+///
+/// # Errors
+///
+/// Returns the [`ExecError`] if the *original* program faults — a
+/// reference run that faults means the input is bad, not the
+/// transformation.
+pub fn verify_equivalence(
+    original: &Program,
+    transformed: &Program,
+    memory: &Memory,
+    init_regs: &[(Reg, u64)],
+    observables: &Observables,
+    random_oracles: u32,
+    max_steps: u64,
+) -> Result<Vec<Divergence>, ExecError> {
+    let run = |p: &Program, oracle: &mut TakenOracle| -> Result<Snapshot, String> {
+        let mut interp =
+            Interpreter::new(p, memory.clone()).with_config(InterpConfig { max_steps });
+        for &(r, v) in init_regs {
+            interp.set_reg(r, v);
+        }
+        let out = interp.run(oracle).map_err(|e| e.to_string())?;
+        if out.stop != StopReason::Halted {
+            return Err(format!("did not halt within {max_steps} steps"));
+        }
+        let regs = observables.regs.iter().map(|&r| interp.reg(r)).collect();
+        let mut words = Vec::new();
+        for &(start, end) in &observables.memory_ranges {
+            let mut a = start & !7;
+            while a < end {
+                words.push((a, interp.memory().read(a)));
+                a += 8;
+            }
+        }
+        Ok((regs, words))
+    };
+
+    // Reference: the original program (its oracle cannot change the
+    // observable result). A fault here is an input problem, surfaced as
+    // the typed error.
+    {
+        let mut interp =
+            Interpreter::new(original, memory.clone()).with_config(InterpConfig { max_steps });
+        for &(r, v) in init_regs {
+            interp.set_reg(r, v);
+        }
+        interp.run(&mut TakenOracle::AlwaysTaken)?;
+    }
+    let reference = run(original, &mut TakenOracle::AlwaysTaken)
+        .expect("reference re-run matches the probe run");
+
+    let mut oracles: Vec<(String, TakenOracle)> = vec![
+        ("always-taken".into(), TakenOracle::AlwaysTaken),
+        ("always-not-taken".into(), TakenOracle::AlwaysNotTaken),
+        ("alternating".into(), TakenOracle::Alternate { next: true }),
+    ];
+    for i in 0..random_oracles {
+        oracles.push((
+            format!("random-{i}"),
+            TakenOracle::random(0x9e3779b97f4a7c15u64.wrapping_mul(u64::from(i) + 1)),
+        ));
+    }
+
+    let mut divergences = Vec::new();
+    for (name, mut oracle) in oracles {
+        match run(transformed, &mut oracle) {
+            Err(message) => divergences.push(Divergence::Execution {
+                oracle: name,
+                message,
+            }),
+            Ok((regs, words)) => {
+                for (i, &r) in observables.regs.iter().enumerate() {
+                    if regs[i] != reference.0[i] {
+                        divergences.push(Divergence::Register {
+                            oracle: name.clone(),
+                            reg: r,
+                            original: reference.0[i],
+                            transformed: regs[i],
+                        });
+                    }
+                }
+                for (j, &(addr, got)) in words.iter().enumerate() {
+                    if got != reference.1[j].1 {
+                        divergences.push(Divergence::Memory {
+                            oracle: name.clone(),
+                            addr,
+                            original: reference.1[j].1,
+                            transformed: got,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(divergences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{decompose_branches, TransformOptions};
+    use crate::SelectOptions;
+    use vanguard_isa::parse_program;
+    use vanguard_ir::Profile;
+
+    const KERNEL: &str = r"
+.entry bb0
+bb0 <entry>:
+    mov r1, #100
+    mov r3, #65536
+    ; fallthrough -> bb1
+bb1 <head>:
+    ld r4, [r3+0]
+    cmp.ne r5, r4, #0
+    br.nz r5, bb3
+    ; fallthrough -> bb2
+bb2 <fall>:
+    add r6, r6, #1
+    jmp bb4
+bb3 <taken>:
+    add r7, r7, #3
+    ; fallthrough -> bb4
+bb4 <latch>:
+    st [r3+32768], r6
+    st [r3+32776], r7
+    add r3, r3, #8
+    sub r1, r1, #1
+    cmp.ne r2, r1, #0
+    br.nz r2, bb1
+    ; fallthrough -> bb5
+bb5 <exit>:
+    halt
+";
+
+    fn setup() -> (vanguard_isa::Program, vanguard_isa::Program, Memory) {
+        let p = parse_program(KERNEL).unwrap();
+        let mut profile = Profile::new();
+        for i in 0..200 {
+            profile.record(vanguard_isa::BlockId(1), i % 3 != 0, i % 10 != 0);
+        }
+        let mut t = p.clone();
+        decompose_branches(
+            &mut t,
+            &profile,
+            &TransformOptions {
+                select: SelectOptions {
+                    min_executions: 1,
+                    ..SelectOptions::default()
+                },
+                ..TransformOptions::default()
+            },
+        );
+        let mut mem = Memory::new();
+        let conds: Vec<u64> = (0..100).map(|i| u64::from(i % 3 != 0)).collect();
+        mem.load_words(0x10000, &conds);
+        mem.map_region(0x10000 + 32768, 2048);
+        (p, t, mem)
+    }
+
+    #[test]
+    fn correct_transformation_verifies_clean() {
+        let (p, t, mem) = setup();
+        let obs = Observables {
+            regs: vec![Reg(6), Reg(7)],
+            memory_ranges: vec![(0x10000 + 32768, 0x10000 + 32768 + 1024)],
+        };
+        let div = verify_equivalence(&p, &t, &mem, &[], &obs, 3, 1_000_000).unwrap();
+        assert!(div.is_empty(), "{div:?}");
+    }
+
+    #[test]
+    fn a_broken_transformation_is_caught() {
+        let (p, mut t, mem) = setup();
+        // Sabotage: flip a resolve condition (classic off-by-one in the
+        // negation logic) — the adversarial oracles must expose it.
+        let mut sabotaged = false;
+        for i in 0..t.num_blocks() {
+            let b = t.block_mut(vanguard_isa::BlockId(i as u32));
+            for inst in b.insts_mut() {
+                if let vanguard_isa::Inst::Resolve { cond, .. } = inst {
+                    *cond = cond.negate();
+                    sabotaged = true;
+                    break;
+                }
+            }
+            if sabotaged {
+                break;
+            }
+        }
+        assert!(sabotaged, "no resolve found to sabotage");
+        let obs = Observables {
+            regs: vec![Reg(6), Reg(7)],
+            memory_ranges: vec![],
+        };
+        let div = verify_equivalence(&p, &t, &mem, &[], &obs, 2, 1_000_000).unwrap();
+        assert!(!div.is_empty(), "sabotage must be detected");
+    }
+
+    #[test]
+    fn non_halting_transformed_program_is_reported() {
+        let (p, _, mem) = setup();
+        // "Transformed" program that spins forever.
+        let spin = parse_program("bb0 <spin>:\n    jmp bb0\n").unwrap();
+        let obs = Observables::memory(0x10000, 0x10010);
+        let div = verify_equivalence(&p, &spin, &mem, &[], &obs, 0, 10_000).unwrap();
+        assert!(div
+            .iter()
+            .all(|d| matches!(d, Divergence::Execution { .. })));
+        assert_eq!(div.len(), 3); // one per deterministic oracle
+    }
+
+    #[test]
+    fn faulting_reference_is_an_input_error() {
+        let bad = parse_program("bb0 <e>:\n    ld r1, [r0+99999]\n    halt\n").unwrap();
+        let obs = Observables::memory(0, 8);
+        let r = verify_equivalence(&bad, &bad, &Memory::new(), &[], &obs, 0, 1000);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn divergence_display_is_informative() {
+        let d = Divergence::Register {
+            oracle: "random-1".into(),
+            reg: Reg(6),
+            original: 10,
+            transformed: 11,
+        };
+        let s = d.to_string();
+        assert!(s.contains("random-1") && s.contains("r6"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Control-flow graph over an ISA program.
+
+use vanguard_isa::{BlockId, Inst, Program};
+
+/// Static direction of a conditional branch, judged from the code layout
+/// (the paper transforms forward branches only; backward branches are loop
+/// branches, "ably handled by well-known loop transformations").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchDirection {
+    /// Target is laid out after the branch.
+    Forward,
+    /// Target is laid out at or before the branch.
+    Backward,
+}
+
+/// Predecessor/successor maps and traversal orders for a program.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    /// Position of each block in the layout order.
+    layout_pos: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Self {
+        let n = program.num_blocks();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (bid, block) in program.iter() {
+            let s = block.successors();
+            for &t in &s {
+                preds[t.index()].push(bid);
+            }
+            succs[bid.index()] = s;
+        }
+        // Reverse postorder from the entry.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(program.entry(), 0)];
+        visited[program.entry().index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let next = succs[b.index()][*i];
+                *i += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut layout_pos = vec![usize::MAX; n];
+        for (pos, &b) in program.layout_order().iter().enumerate() {
+            layout_pos[b.index()] = pos;
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo: post,
+            layout_pos,
+        }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Reverse postorder over reachable blocks.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+
+    /// Classifies the conditional terminator of `b` (branch or predict) as
+    /// forward or backward by layout position. Returns `None` when `b`'s
+    /// terminator is not a conditional transfer with a target.
+    pub fn branch_direction(&self, program: &Program, b: BlockId) -> Option<BranchDirection> {
+        let term = program.block(b).terminator()?;
+        let target = match term {
+            Inst::Branch { target, .. } | Inst::Predict { target } => *target,
+            _ => return None,
+        };
+        let here = self.layout_pos[b.index()];
+        let there = self.layout_pos[target.index()];
+        Some(if there > here {
+            BranchDirection::Forward
+        } else {
+            BranchDirection::Backward
+        })
+    }
+
+    /// Conditional-branch sites: blocks whose terminator is `Branch`.
+    pub fn branch_blocks<'a>(&'a self, program: &'a Program) -> impl Iterator<Item = BlockId> + 'a {
+        program.iter().filter_map(|(bid, b)| {
+            matches!(b.terminator(), Some(Inst::Branch { .. })).then_some(bid)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::{CmpKind, CondKind, Operand, ProgramBuilder, Reg};
+
+    /// entry → {then, else} → join → (loop back to entry | exit)
+    fn diamond_with_loop() -> (Program, [BlockId; 5]) {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block("entry");
+        let then_b = b.block("then");
+        let else_b = b.block("else");
+        let join = b.block("join");
+        let exit = b.block("exit");
+        b.push(
+            entry,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: then_b,
+            },
+        );
+        b.fallthrough(entry, else_b);
+        b.push(then_b, Inst::Jump { target: join });
+        b.push(else_b, Inst::Nop);
+        b.fallthrough(else_b, join);
+        b.push(
+            join,
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(3),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            join,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: entry,
+            },
+        );
+        b.fallthrough(join, exit);
+        b.push(exit, Inst::Halt);
+        b.set_entry(entry);
+        let p = b.finish().unwrap();
+        (p, [entry, then_b, else_b, join, exit])
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let (p, [entry, then_b, else_b, join, exit]) = diamond_with_loop();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.succs(entry), &[then_b, else_b]);
+        assert_eq!(cfg.succs(join), &[entry, exit]);
+        let mut jp = cfg.preds(join).to_vec();
+        jp.sort();
+        assert_eq!(jp, vec![then_b, else_b]);
+        assert_eq!(cfg.preds(entry), &[join]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let (p, [entry, _, _, _, exit]) = diamond_with_loop();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.reverse_postorder()[0], entry);
+        assert_eq!(cfg.reverse_postorder().len(), 5);
+        assert!(cfg.is_reachable(exit));
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let dead = b.block("dead");
+        b.push(e, Inst::Halt);
+        b.push(dead, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(!cfg.is_reachable(dead));
+    }
+
+    #[test]
+    fn forward_and_backward_classification() {
+        let (p, [entry, _, _, join, _]) = diamond_with_loop();
+        let cfg = Cfg::build(&p);
+        assert_eq!(
+            cfg.branch_direction(&p, entry),
+            Some(BranchDirection::Forward)
+        );
+        assert_eq!(
+            cfg.branch_direction(&p, join),
+            Some(BranchDirection::Backward)
+        );
+    }
+
+    #[test]
+    fn branch_blocks_enumerates_conditionals() {
+        let (p, [entry, _, _, join, _]) = diamond_with_loop();
+        let cfg = Cfg::build(&p);
+        let sites: Vec<_> = cfg.branch_blocks(&p).collect();
+        assert_eq!(sites, vec![entry, join]);
+    }
+
+    #[test]
+    fn predict_terminator_is_classified() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let t = b.block("t");
+        let f = b.block("f");
+        b.push(e, Inst::Predict { target: t });
+        b.fallthrough(e, f);
+        b.push(t, Inst::Halt);
+        b.push(f, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.branch_direction(&p, e), Some(BranchDirection::Forward));
+    }
+}

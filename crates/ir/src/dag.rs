@@ -1,0 +1,251 @@
+//! Intra-block dependence DAGs for list scheduling.
+
+use vanguard_isa::{BasicBlock, Inst};
+
+/// Kind of a dependence edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// Read-after-write (true dependence).
+    Raw,
+    /// Write-after-read (anti dependence).
+    War,
+    /// Write-after-write (output dependence).
+    Waw,
+    /// Memory ordering (store↔store, load↔store; loads may reorder with
+    /// loads).
+    Mem,
+    /// Ordering against a control-transfer instruction (everything stays
+    /// on its side of the terminator).
+    Control,
+}
+
+/// One dependence edge `from → to` (instruction indices within the block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producer index.
+    pub from: usize,
+    /// Consumer index.
+    pub to: usize,
+    /// Edge kind.
+    pub kind: DepKind,
+}
+
+/// The dependence DAG of one basic block.
+#[derive(Clone, Debug)]
+pub struct DepDag {
+    n: usize,
+    /// Outgoing edges per instruction.
+    succs: Vec<Vec<DepEdge>>,
+    /// Number of incoming edges per instruction.
+    in_degree: Vec<usize>,
+}
+
+impl DepDag {
+    /// Builds the dependence DAG of `block`.
+    ///
+    /// Conservative memory model: stores order against all other memory
+    /// operations; loads only order against stores. Control instructions
+    /// order against everything before them.
+    pub fn build(block: &BasicBlock) -> Self {
+        let insts = block.insts();
+        let n = insts.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut in_degree = vec![0usize; n];
+        let add = |succs: &mut Vec<Vec<DepEdge>>, in_degree: &mut Vec<usize>, e: DepEdge| {
+            if succs[e.from].iter().any(|x| x.to == e.to) {
+                return; // keep one edge per pair (first kind wins)
+            }
+            succs[e.from].push(e);
+            in_degree[e.to] += 1;
+        };
+        for j in 0..n {
+            let b = &insts[j];
+            for (i, a) in insts.iter().enumerate().take(j) {
+                if let Some(kind) = dependence(a, b) {
+                    add(&mut succs, &mut in_degree, DepEdge { from: i, to: j, kind });
+                }
+            }
+        }
+        DepDag {
+            n,
+            succs,
+            in_degree,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Outgoing edges of instruction `i`.
+    pub fn succs(&self, i: usize) -> &[DepEdge] {
+        &self.succs[i]
+    }
+
+    /// Incoming-edge count of instruction `i`.
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.in_degree[i]
+    }
+
+    /// A topological order (instruction indices); always exists since
+    /// edges point forward in program order.
+    pub fn topo_order(&self) -> Vec<usize> {
+        (0..self.n).collect()
+    }
+
+    /// Critical-path length (in latency) ending at each instruction, used
+    /// as the list-scheduling priority.
+    pub fn critical_path_from(&self, latencies: &[u32]) -> Vec<u32> {
+        assert_eq!(latencies.len(), self.n);
+        // Height = longest latency path from this instruction to any leaf.
+        let mut height = vec![0u32; self.n];
+        for i in (0..self.n).rev() {
+            let mut h = 0;
+            for e in &self.succs[i] {
+                h = h.max(latencies[i] + height[e.to]);
+            }
+            height[i] = h.max(latencies[i]);
+        }
+        height
+    }
+}
+
+/// Classifies the dependence of later instruction `b` on earlier `a`.
+fn dependence(a: &Inst, b: &Inst) -> Option<DepKind> {
+    // Control ordering: nothing moves across a terminator (they are last
+    // anyway) and terminators depend on everything for scheduling purposes
+    // only through their register inputs; we pin them with Control edges.
+    if a.is_control() || b.is_control() {
+        // Terminators are pinned: every earlier instruction must stay
+        // before the block's control transfer (schedulers may not move
+        // work past the exit), with a true-dependence label when the
+        // terminator reads the value.
+        if b.is_control() {
+            if let Some(d) = a.dst() {
+                if b.srcs().contains(&d) {
+                    return Some(DepKind::Raw);
+                }
+            }
+            return Some(DepKind::Control);
+        }
+        // a is control but not last — cannot happen in a validated block.
+        return Some(DepKind::Control);
+    }
+    // Register dependences.
+    if let Some(d) = a.dst() {
+        if b.srcs().contains(&d) {
+            return Some(DepKind::Raw);
+        }
+        if b.dst() == Some(d) {
+            return Some(DepKind::Waw);
+        }
+    }
+    if let Some(d) = b.dst() {
+        if a.srcs().contains(&d) {
+            return Some(DepKind::War);
+        }
+    }
+    // Memory ordering.
+    let a_store = matches!(a, Inst::Store { .. });
+    let b_store = matches!(b, Inst::Store { .. });
+    if (a.is_mem() && b_store) || (a_store && b.is_mem()) {
+        return Some(DepKind::Mem);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::{AluOp, BasicBlock, CondKind, Operand, Reg};
+
+    fn block(insts: Vec<Inst>) -> BasicBlock {
+        let mut b = BasicBlock::new("t");
+        *b.insts_mut() = insts;
+        b
+    }
+
+    #[test]
+    fn raw_dependence() {
+        let b = block(vec![
+            Inst::alu(AluOp::Add, Reg(1), Operand::Imm(1), Operand::Imm(2)),
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(1)), Operand::Imm(3)),
+        ]);
+        let dag = DepDag::build(&b);
+        assert_eq!(dag.succs(0), &[DepEdge { from: 0, to: 1, kind: DepKind::Raw }]);
+        assert_eq!(dag.in_degree(1), 1);
+    }
+
+    #[test]
+    fn war_and_waw() {
+        let b = block(vec![
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(1)), Operand::Imm(0)),
+            Inst::alu(AluOp::Add, Reg(1), Operand::Imm(0), Operand::Imm(0)), // WAR on r1
+            Inst::alu(AluOp::Add, Reg(1), Operand::Imm(1), Operand::Imm(1)), // WAW on r1
+        ]);
+        let dag = DepDag::build(&b);
+        assert_eq!(dag.succs(0)[0].kind, DepKind::War);
+        assert_eq!(dag.succs(1)[0].kind, DepKind::Waw);
+    }
+
+    #[test]
+    fn loads_reorder_but_stores_do_not() {
+        let b = block(vec![
+            Inst::load(Reg(1), Reg(10), 0),
+            Inst::load(Reg(2), Reg(10), 8),
+            Inst::store(Reg(3), Reg(10), 16),
+        ]);
+        let dag = DepDag::build(&b);
+        // load↔load: no edge.
+        assert!(dag.succs(0).iter().all(|e| e.to != 1));
+        // load→store and load→store: Mem edges.
+        assert!(dag.succs(0).iter().any(|e| e.to == 2 && e.kind == DepKind::Mem));
+        assert!(dag.succs(1).iter().any(|e| e.to == 2 && e.kind == DepKind::Mem));
+    }
+
+    #[test]
+    fn terminator_pins_memory_and_condition() {
+        let b = block(vec![
+            Inst::store(Reg(1), Reg(2), 0),
+            Inst::alu(AluOp::Add, Reg(3), Operand::Imm(0), Operand::Imm(0)),
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(3),
+                target: vanguard_isa::BlockId(0),
+            },
+        ]);
+        let dag = DepDag::build(&b);
+        assert!(dag.succs(0).iter().any(|e| e.to == 2 && e.kind == DepKind::Control));
+        assert!(dag.succs(1).iter().any(|e| e.to == 2 && e.kind == DepKind::Raw));
+    }
+
+    #[test]
+    fn critical_path_prefers_long_chains() {
+        // i0 -> i1 -> i2 (chain) and i3 independent.
+        let b = block(vec![
+            Inst::load(Reg(1), Reg(10), 0),
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(1)), Operand::Imm(1)),
+            Inst::alu(AluOp::Add, Reg(3), Operand::Reg(Reg(2)), Operand::Imm(1)),
+            Inst::alu(AluOp::Add, Reg(4), Operand::Imm(0), Operand::Imm(0)),
+        ]);
+        let dag = DepDag::build(&b);
+        let lat: Vec<u32> = b.insts().iter().map(|i| i.base_latency()).collect();
+        let h = dag.critical_path_from(&lat);
+        assert_eq!(h[0], 4 + 1 + 1);
+        assert_eq!(h[3], 1);
+        assert!(h[0] > h[1] && h[1] > h[2]);
+    }
+
+    #[test]
+    fn empty_block_is_empty_dag() {
+        let dag = DepDag::build(&block(vec![]));
+        assert!(dag.is_empty());
+        assert!(dag.topo_order().is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+use vanguard_isa::{BlockId, Program};
+
+/// Immediate-dominator tree over the reachable blocks of a program.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` — immediate dominator; entry maps to itself; unreachable
+    /// blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes dominators for `program` using its [`Cfg`].
+    pub fn build(program: &Program, cfg: &Cfg) -> Self {
+        let n = program.num_blocks();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_num[b.index()] = i;
+        }
+        let entry = program.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_num[a.index()] > rpo_num[b.index()] {
+                    a = idom[a.index()].expect("processed");
+                }
+                while rpo_num[b.index()] > rpo_num[a.index()] {
+                    b = idom[b.index()].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom != idom[b.index()] && new_idom.is_some() {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, entry }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[cur.index()].expect("reachable chain");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::{CondKind, Inst, ProgramBuilder, Reg};
+
+    /// entry → {a, b} → join → exit, with a nested branch inside `a`.
+    fn nested() -> (vanguard_isa::Program, [BlockId; 7]) {
+        let mut pb = ProgramBuilder::new();
+        let entry = pb.block("entry");
+        let a = pb.block("a");
+        let a1 = pb.block("a1");
+        let a2 = pb.block("a2");
+        let b = pb.block("b");
+        let join = pb.block("join");
+        let exit = pb.block("exit");
+        pb.push(
+            entry,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: a,
+            },
+        );
+        pb.fallthrough(entry, b);
+        pb.push(
+            a,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: a1,
+            },
+        );
+        pb.fallthrough(a, a2);
+        pb.push(a1, Inst::Jump { target: join });
+        pb.push(a2, Inst::Jump { target: join });
+        pb.push(b, Inst::Jump { target: join });
+        pb.push(join, Inst::Nop);
+        pb.fallthrough(join, exit);
+        pb.push(exit, Inst::Halt);
+        pb.set_entry(entry);
+        let p = pb.finish().unwrap();
+        (p, [entry, a, a1, a2, b, join, exit])
+    }
+
+    #[test]
+    fn idoms_of_nested_diamonds() {
+        let (p, [entry, a, a1, a2, b, join, exit]) = nested();
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::build(&p, &cfg);
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(a), Some(entry));
+        assert_eq!(dom.idom(a1), Some(a));
+        assert_eq!(dom.idom(a2), Some(a));
+        assert_eq!(dom.idom(b), Some(entry));
+        assert_eq!(dom.idom(join), Some(entry));
+        assert_eq!(dom.idom(exit), Some(join));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (p, [entry, a, a1, _, _, join, exit]) = nested();
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::build(&p, &cfg);
+        assert!(dom.dominates(entry, exit));
+        assert!(dom.dominates(a, a1));
+        assert!(!dom.dominates(a, join));
+        assert!(dom.dominates(join, join));
+        assert!(!dom.dominates(a1, a));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_dominated_by_nothing() {
+        let mut pb = ProgramBuilder::new();
+        let e = pb.block("entry");
+        let dead = pb.block("dead");
+        pb.push(e, Inst::Halt);
+        pb.push(dead, Inst::Halt);
+        pb.set_entry(e);
+        let p = pb.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::build(&p, &cfg);
+        assert!(!dom.dominates(e, dead));
+        assert_eq!(dom.idom(dead), None);
+    }
+
+    #[test]
+    fn loop_back_edges_converge() {
+        // entry → body → body (self loop) → exit: idom(exit) = body.
+        let mut pb = ProgramBuilder::new();
+        let e = pb.block("entry");
+        let body = pb.block("body");
+        let exit = pb.block("exit");
+        pb.push(e, Inst::Nop);
+        pb.fallthrough(e, body);
+        pb.push(
+            body,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: body,
+            },
+        );
+        pb.fallthrough(body, exit);
+        pb.push(exit, Inst::Halt);
+        pb.set_entry(e);
+        let p = pb.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::build(&p, &cfg);
+        assert_eq!(dom.idom(body), Some(e));
+        assert_eq!(dom.idom(exit), Some(body));
+    }
+}

@@ -1,0 +1,44 @@
+//! # vanguard-ir
+//!
+//! Compiler analyses over [`vanguard_isa::Program`]s: the infrastructure
+//! the Decomposed Branch Transformation and the in-order list scheduler
+//! are built on.
+//!
+//! The hidden ISA doubles as the compiler's machine-level IR (exactly the
+//! situation in a DBT translator, where the "compiler" is the translation
+//! layer emitting the hidden ISA directly), so the analyses here operate on
+//! ISA programs:
+//!
+//! * [`Cfg`] — predecessor/successor maps, reverse postorder, and
+//!   forward/backward branch classification (the paper transforms only
+//!   *forward* branches; backward/loop branches are left to classic loop
+//!   scheduling).
+//! * [`DomTree`] — dominators, for hoisting legality.
+//! * [`Liveness`] — per-block live-in/live-out sets, for clobber-free
+//!   speculative code motion and temporary-register allocation.
+//! * [`DepDag`] — intra-block dependence DAGs (RAW/WAR/WAW/memory/control)
+//!   consumed by the list scheduler.
+//! * [`Profile`] — per-branch-site execution statistics (bias and
+//!   predictability), the input to the paper's candidate-selection
+//!   heuristic.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cfg;
+mod dag;
+mod dom;
+mod liveness;
+mod loops;
+mod postdom;
+mod profile;
+mod regset;
+
+pub use cfg::{BranchDirection, Cfg};
+pub use dag::{DepDag, DepKind};
+pub use dom::DomTree;
+pub use liveness::Liveness;
+pub use loops::{LoopForest, NaturalLoop};
+pub use postdom::PostDomTree;
+pub use profile::{BranchSiteStats, Profile};
+pub use regset::RegSet;

@@ -1,0 +1,215 @@
+//! Backward live-register dataflow.
+
+use crate::cfg::Cfg;
+use crate::regset::RegSet;
+use vanguard_isa::{BlockId, Program};
+
+/// Per-block live-in/live-out register sets.
+///
+/// Drives two legality questions in the Decomposed Branch Transformation:
+///
+/// * an instruction hoisted from a successor must not clobber a register
+///   that is **live-in on the alternate path** (or a temporary must be
+///   introduced, §3);
+/// * temporaries are drawn from registers dead across the region.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+    /// Per-block (use, def) summary.
+    use_def: Vec<(RegSet, RegSet)>,
+}
+
+impl Liveness {
+    /// Computes liveness for `program` using its [`Cfg`].
+    pub fn build(program: &Program, cfg: &Cfg) -> Self {
+        let n = program.num_blocks();
+        let mut use_def = Vec::with_capacity(n);
+        for (_, block) in program.iter() {
+            let mut uses = RegSet::new();
+            let mut defs = RegSet::new();
+            for inst in block.insts() {
+                for s in inst.srcs() {
+                    if !defs.contains(s) {
+                        uses.insert(s);
+                    }
+                }
+                if let Some(d) = inst.dst() {
+                    defs.insert(d);
+                }
+            }
+            use_def.push((uses, defs));
+        }
+        let mut live_in = vec![RegSet::new(); n];
+        let mut live_out = vec![RegSet::new(); n];
+        // Iterate to fixpoint, visiting blocks in postorder (reverse RPO)
+        // for fast convergence.
+        let order: Vec<BlockId> = cfg.reverse_postorder().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out = RegSet::new();
+                for &s in cfg.succs(b) {
+                    out.union_in_place(&live_in[s.index()]);
+                }
+                let (uses, defs) = &use_def[b.index()];
+                let inn = uses.union(&out.difference(defs));
+                if out != live_out[b.index()] {
+                    live_out[b.index()] = out;
+                    changed = true;
+                }
+                if inn != live_in[b.index()] {
+                    live_in[b.index()] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness {
+            live_in,
+            live_out,
+            use_def,
+        }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &RegSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &RegSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Registers read before any write in `b`.
+    pub fn uses(&self, b: BlockId) -> &RegSet {
+        &self.use_def[b.index()].0
+    }
+
+    /// Registers written anywhere in `b`.
+    pub fn defs(&self, b: BlockId) -> &RegSet {
+        &self.use_def[b.index()].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::{AluOp, CondKind, Inst, Operand, ProgramBuilder, Reg};
+
+    #[test]
+    fn straightline_liveness() {
+        // entry: r1 = r2 + 1; exit: r3 = r1 + r4; halt
+        let mut pb = ProgramBuilder::new();
+        let e = pb.block("entry");
+        let x = pb.block("exit");
+        pb.push(
+            e,
+            Inst::alu(AluOp::Add, Reg(1), Operand::Reg(Reg(2)), Operand::Imm(1)),
+        );
+        pb.fallthrough(e, x);
+        pb.push(
+            x,
+            Inst::alu(AluOp::Add, Reg(3), Operand::Reg(Reg(1)), Operand::Reg(Reg(4))),
+        );
+        pb.push(x, Inst::Halt);
+        pb.set_entry(e);
+        let p = pb.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let lv = Liveness::build(&p, &cfg);
+        assert!(lv.live_in(e).contains(Reg(2)));
+        assert!(lv.live_in(e).contains(Reg(4)));
+        assert!(!lv.live_in(e).contains(Reg(1)), "r1 defined before use");
+        assert!(lv.live_out(e).contains(Reg(1)));
+        assert!(!lv.live_out(x).contains(Reg(3)), "dead after final use");
+    }
+
+    #[test]
+    fn diamond_merges_alternate_path_liveness() {
+        // entry: br r1 ? then : else; then uses r5; else uses r6.
+        let mut pb = ProgramBuilder::new();
+        let e = pb.block("entry");
+        let t = pb.block("then");
+        let f = pb.block("else");
+        pb.push(
+            e,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: t,
+            },
+        );
+        pb.fallthrough(e, f);
+        pb.push(
+            t,
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(5)), Operand::Imm(0)),
+        );
+        pb.push(t, Inst::Halt);
+        pb.push(
+            f,
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(6)), Operand::Imm(0)),
+        );
+        pb.push(f, Inst::Halt);
+        pb.set_entry(e);
+        let p = pb.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let lv = Liveness::build(&p, &cfg);
+        assert!(lv.live_out(e).contains(Reg(5)));
+        assert!(lv.live_out(e).contains(Reg(6)));
+        assert!(lv.live_in(e).contains(Reg(1)));
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        // body: r1 = r1 + 1; br r2 -> body. r1 is live around the loop.
+        let mut pb = ProgramBuilder::new();
+        let e = pb.block("entry");
+        let body = pb.block("body");
+        let x = pb.block("exit");
+        pb.push(e, Inst::Nop);
+        pb.fallthrough(e, body);
+        pb.push(
+            body,
+            Inst::alu(AluOp::Add, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+        );
+        pb.push(
+            body,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: body,
+            },
+        );
+        pb.fallthrough(body, x);
+        pb.push(x, Inst::store(Reg(1), Reg(3), 0));
+        pb.push(x, Inst::Halt);
+        pb.set_entry(e);
+        let p = pb.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let lv = Liveness::build(&p, &cfg);
+        assert!(lv.live_in(body).contains(Reg(1)));
+        assert!(lv.live_out(body).contains(Reg(1)));
+        assert!(lv.live_in(e).contains(Reg(1)), "upward-exposed through loop");
+    }
+
+    #[test]
+    fn use_def_summaries() {
+        let mut pb = ProgramBuilder::new();
+        let e = pb.block("entry");
+        pb.push(
+            e,
+            Inst::alu(AluOp::Add, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+        );
+        pb.push(e, Inst::store(Reg(1), Reg(2), 0));
+        pb.push(e, Inst::Halt);
+        pb.set_entry(e);
+        let p = pb.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let lv = Liveness::build(&p, &cfg);
+        assert!(lv.uses(e).contains(Reg(1)), "r1 read before written");
+        assert!(lv.uses(e).contains(Reg(2)));
+        assert!(lv.defs(e).contains(Reg(1)));
+        assert!(!lv.defs(e).contains(Reg(2)));
+    }
+}

@@ -1,0 +1,239 @@
+//! Natural-loop detection.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use std::collections::VecDeque;
+use vanguard_isa::{BlockId, Program};
+
+/// A natural loop: a back edge `latch → header` where the header
+/// dominates the latch, plus every block that can reach the latch without
+/// passing through the header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (the back edge's target).
+    pub header: BlockId,
+    /// The latch (the back edge's source).
+    pub latch: BlockId,
+    /// All blocks in the loop body, including header and latch, sorted.
+    pub body: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Membership test.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+}
+
+/// All natural loops of a program plus per-block nesting depth.
+///
+/// The paper leaves backward (loop) branches to "well-known loop
+/// transformations" (footnote 1); this analysis gives the semantic
+/// definition of *loop branch* — a branch whose taken edge is a back edge —
+/// complementing the layout-based [`Cfg::branch_direction`] test, and
+/// provides nesting depth for profile-independent hotness heuristics.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+    depth: Vec<u32>,
+}
+
+impl LoopForest {
+    /// Finds the natural loops of `program`.
+    pub fn build(program: &Program, cfg: &Cfg, dom: &DomTree) -> Self {
+        let n = program.num_blocks();
+        let mut loops = Vec::new();
+        for (bid, _) in program.iter() {
+            if !cfg.is_reachable(bid) {
+                continue;
+            }
+            for &succ in cfg.succs(bid) {
+                // Back edge: target dominates source.
+                if dom.dominates(succ, bid) {
+                    loops.push(find_body(cfg, succ, bid));
+                }
+            }
+        }
+        let mut depth = vec![0u32; n];
+        for l in &loops {
+            for &b in &l.body {
+                depth[b.index()] += 1;
+            }
+        }
+        // Merge loops sharing a header? Keep them distinct (one per back
+        // edge) but sort deterministically for stable output.
+        loops.sort_by_key(|l| (l.header, l.latch));
+        LoopForest { loops, depth }
+    }
+
+    /// The detected loops, sorted by (header, latch).
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Loop-nesting depth of a block (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// Whether the edge `from → to` is a back edge of some loop.
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.loops
+            .iter()
+            .any(|l| l.latch == from && l.header == to)
+    }
+}
+
+fn find_body(cfg: &Cfg, header: BlockId, latch: BlockId) -> NaturalLoop {
+    // Standard worklist: walk predecessors from the latch, stopping at the
+    // header.
+    let mut body = vec![header];
+    let mut work = VecDeque::new();
+    if latch != header {
+        body.push(latch);
+        work.push_back(latch);
+    }
+    while let Some(b) = work.pop_front() {
+        for &p in cfg.preds(b) {
+            if !body.contains(&p) {
+                body.push(p);
+                work.push_back(p);
+            }
+        }
+    }
+    body.sort();
+    body.dedup();
+    NaturalLoop {
+        header,
+        latch,
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::parse_program;
+
+    fn analyse(text: &str) -> (vanguard_isa::Program, Cfg, DomTree) {
+        let p = parse_program(text).expect("parses");
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::build(&p, &cfg);
+        (p, cfg, dom)
+    }
+
+    #[test]
+    fn simple_loop_detected() {
+        let (p, cfg, dom) = analyse(
+            r"
+bb0 <entry>:
+    nop
+    ; fallthrough -> bb1
+bb1 <body>:
+    sub r1, r1, #1
+    cmp.ne r2, r1, #0
+    br.nz r2, bb1
+    ; fallthrough -> bb2
+bb2 <exit>:
+    halt
+",
+        );
+        let forest = LoopForest::build(&p, &cfg, &dom);
+        assert_eq!(forest.loops().len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latch, BlockId(1));
+        assert_eq!(l.body, vec![BlockId(1)]);
+        assert!(forest.is_back_edge(BlockId(1), BlockId(1)));
+        assert_eq!(forest.depth(BlockId(1)), 1);
+        assert_eq!(forest.depth(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn loop_with_internal_hammock() {
+        let (p, cfg, dom) = analyse(
+            r"
+bb0 <entry>:
+    nop
+    ; fallthrough -> bb1
+bb1 <head>:
+    cmp.ne r5, r4, #0
+    br.nz r5, bb3
+    ; fallthrough -> bb2
+bb2 <fall>:
+    jmp bb4
+bb3 <taken>:
+    ; fallthrough -> bb4
+bb4 <latch>:
+    sub r1, r1, #1
+    cmp.ne r2, r1, #0
+    br.nz r2, bb1
+    ; fallthrough -> bb5
+bb5 <exit>:
+    halt
+",
+        );
+        let forest = LoopForest::build(&p, &cfg, &dom);
+        assert_eq!(forest.loops().len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latch, BlockId(4));
+        assert_eq!(
+            l.body,
+            vec![BlockId(1), BlockId(2), BlockId(3), BlockId(4)]
+        );
+        assert!(!l.contains(BlockId(0)));
+        assert!(!l.contains(BlockId(5)));
+    }
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        let (p, cfg, dom) = analyse(
+            r"
+bb0 <entry>:
+    nop
+    ; fallthrough -> bb1
+bb1 <outer>:
+    nop
+    ; fallthrough -> bb2
+bb2 <inner>:
+    sub r1, r1, #1
+    cmp.ne r3, r1, #0
+    br.nz r3, bb2
+    ; fallthrough -> bb3
+bb3 <outer_latch>:
+    sub r2, r2, #1
+    cmp.ne r4, r2, #0
+    br.nz r4, bb1
+    ; fallthrough -> bb4
+bb4 <exit>:
+    halt
+",
+        );
+        let forest = LoopForest::build(&p, &cfg, &dom);
+        assert_eq!(forest.loops().len(), 2);
+        assert_eq!(forest.depth(BlockId(2)), 2, "inner body nests twice");
+        assert_eq!(forest.depth(BlockId(1)), 1);
+        assert_eq!(forest.depth(BlockId(3)), 1);
+        assert_eq!(forest.depth(BlockId(4)), 0);
+    }
+
+    #[test]
+    fn acyclic_program_has_no_loops() {
+        let (p, cfg, dom) = analyse(
+            r"
+bb0 <a>:
+    cmp.ne r2, r1, #0
+    br.nz r2, bb2
+    ; fallthrough -> bb1
+bb1 <b>:
+    halt
+bb2 <c>:
+    halt
+",
+        );
+        let forest = LoopForest::build(&p, &cfg, &dom);
+        assert!(forest.loops().is_empty());
+        assert!(!forest.is_back_edge(BlockId(0), BlockId(2)));
+    }
+}

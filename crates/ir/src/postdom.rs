@@ -1,0 +1,258 @@
+//! Post-dominator tree (over the reverse CFG).
+
+use crate::cfg::Cfg;
+use vanguard_isa::{BlockId, Inst, Program};
+
+/// Post-dominators: `a` post-dominates `b` when every path from `b` to a
+/// program exit passes through `a`.
+///
+/// Used for control-equivalence queries: the join of a hammock
+/// post-dominates the branch, which is what makes correction-free
+/// re-convergence (and if-conversion legality) checkable structurally.
+///
+/// Programs may have several exits (`halt`/`ret` blocks); they are joined
+/// through a virtual exit node.
+#[derive(Clone, Debug)]
+pub struct PostDomTree {
+    /// Immediate post-dominator; `None` = the virtual exit (or
+    /// unreachable-from-exit).
+    ipdom: Vec<Option<BlockId>>,
+    exits: Vec<BlockId>,
+}
+
+impl PostDomTree {
+    /// Computes post-dominators of `program`.
+    pub fn build(program: &Program, cfg: &Cfg) -> Self {
+        let n = program.num_blocks();
+        let exits: Vec<BlockId> = program
+            .iter()
+            .filter(|(bid, b)| {
+                cfg.is_reachable(*bid)
+                    && matches!(b.terminator(), Some(Inst::Halt) | Some(Inst::Ret))
+            })
+            .map(|(bid, _)| bid)
+            .collect();
+
+        // Reverse postorder of the *reverse* CFG from the virtual exit.
+        let mut visited = vec![false; n];
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        for &e in &exits {
+            if visited[e.index()] {
+                continue;
+            }
+            visited[e.index()] = true;
+            stack.push((e, 0));
+            while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                let preds = cfg.preds(b);
+                if *i < preds.len() {
+                    let next = preds[*i];
+                    *i += 1;
+                    if !visited[next.index()] {
+                        visited[next.index()] = true;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        post.reverse();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &b) in post.iter().enumerate() {
+            rpo_num[b.index()] = i;
+        }
+
+        // Cooper–Harvey–Kennedy on the reverse graph; exits' ipdom is the
+        // virtual exit (represented as self-mapping internally).
+        let mut ipdom: Vec<Option<BlockId>> = vec![None; n];
+        for &e in &exits {
+            ipdom[e.index()] = Some(e);
+        }
+        let intersect = |ipdom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_num[a.index()] > rpo_num[b.index()] {
+                    a = ipdom[a.index()].expect("processed");
+                }
+                while rpo_num[b.index()] > rpo_num[a.index()] {
+                    b = ipdom[b.index()].expect("processed");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &post {
+                if exits.contains(&b) {
+                    continue;
+                }
+                let mut new: Option<BlockId> = None;
+                for &s in cfg.succs(b) {
+                    if ipdom[s.index()].is_none() {
+                        continue;
+                    }
+                    new = Some(match new {
+                        None => s,
+                        Some(cur) => {
+                            // Chains rooted under different exits only meet
+                            // at the virtual node: self-map as a sentinel.
+                            if chains_diverge(&ipdom, cur, s) {
+                                b
+                            } else {
+                                intersect(&ipdom, cur, s)
+                            }
+                        }
+                    });
+                }
+                if new.is_some() && new != ipdom[b.index()] {
+                    ipdom[b.index()] = new;
+                    changed = true;
+                }
+            }
+        }
+        // Self-mapped nodes (exits and virtual-exit-pinned joins) expose
+        // as None.
+        for (i, slot) in ipdom.iter_mut().enumerate() {
+            if *slot == Some(BlockId(i as u32)) {
+                *slot = None;
+            }
+        }
+        PostDomTree { ipdom, exits }
+    }
+
+    /// Immediate post-dominator (`None` for exits and blocks that cannot
+    /// reach an exit).
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive; false when `b` cannot
+    /// reach an exit).
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom[cur.index()] {
+                Some(next) => cur = next,
+                None => return self.exits.contains(&cur) && cur == a,
+            }
+        }
+    }
+
+    /// The exit blocks found.
+    pub fn exits(&self) -> &[BlockId] {
+        &self.exits
+    }
+}
+
+/// With multiple exits the intersection walk can cycle; detect the case
+/// where `a` and `b` sit under different self-mapped roots (exit trees or
+/// virtual-exit-pinned nodes) and would never meet.
+fn chains_diverge(ipdom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let root = |mut x: BlockId| -> BlockId {
+        let mut guard = 0;
+        while let Some(n) = ipdom[x.index()] {
+            if n == x || guard > ipdom.len() {
+                break;
+            }
+            x = n;
+            guard += 1;
+        }
+        x
+    };
+    root(a) != root(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::parse_program;
+
+    fn analyse(text: &str) -> (vanguard_isa::Program, Cfg) {
+        let p = parse_program(text).expect("parses");
+        let cfg = Cfg::build(&p);
+        (p, cfg)
+    }
+
+    #[test]
+    fn hammock_join_postdominates_the_branch() {
+        let (p, cfg) = analyse(
+            r"
+bb0 <a>:
+    cmp.ne r2, r1, #0
+    br.nz r2, bb2
+    ; fallthrough -> bb1
+bb1 <f>:
+    jmp bb3
+bb2 <t>:
+    ; fallthrough -> bb3
+bb3 <join>:
+    ; fallthrough -> bb4
+bb4 <exit>:
+    halt
+",
+        );
+        let pd = PostDomTree::build(&p, &cfg);
+        assert!(pd.post_dominates(BlockId(3), BlockId(0)));
+        assert!(pd.post_dominates(BlockId(4), BlockId(0)));
+        assert!(!pd.post_dominates(BlockId(1), BlockId(0)), "one arm only");
+        assert!(!pd.post_dominates(BlockId(2), BlockId(0)));
+        assert_eq!(pd.ipdom(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(pd.ipdom(BlockId(4)), None);
+        assert_eq!(pd.exits(), &[BlockId(4)]);
+    }
+
+    #[test]
+    fn post_dominance_is_reflexive() {
+        let (p, cfg) = analyse("bb0 <a>:\n    halt\n");
+        let pd = PostDomTree::build(&p, &cfg);
+        assert!(pd.post_dominates(BlockId(0), BlockId(0)));
+    }
+
+    #[test]
+    fn loop_exit_postdominates_the_body() {
+        let (p, cfg) = analyse(
+            r"
+bb0 <entry>:
+    nop
+    ; fallthrough -> bb1
+bb1 <body>:
+    sub r1, r1, #1
+    cmp.ne r2, r1, #0
+    br.nz r2, bb1
+    ; fallthrough -> bb2
+bb2 <exit>:
+    halt
+",
+        );
+        let pd = PostDomTree::build(&p, &cfg);
+        assert!(pd.post_dominates(BlockId(2), BlockId(1)));
+        assert!(pd.post_dominates(BlockId(2), BlockId(0)));
+        assert!(!pd.post_dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn multiple_exits_share_no_postdominator() {
+        let (p, cfg) = analyse(
+            r"
+bb0 <a>:
+    cmp.ne r2, r1, #0
+    br.nz r2, bb2
+    ; fallthrough -> bb1
+bb1 <f>:
+    halt
+bb2 <t>:
+    halt
+",
+        );
+        let pd = PostDomTree::build(&p, &cfg);
+        // Neither exit post-dominates the branch.
+        assert!(!pd.post_dominates(BlockId(1), BlockId(0)));
+        assert!(!pd.post_dominates(BlockId(2), BlockId(0)));
+        assert_eq!(pd.exits().len(), 2);
+    }
+}

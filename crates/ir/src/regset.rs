@@ -1,0 +1,170 @@
+//! Compact register sets.
+
+use std::fmt;
+use vanguard_isa::{Reg, NUM_ARCH_REGS};
+
+/// A set of architected registers, backed by a 64-bit mask.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct RegSet(u64);
+
+impl RegSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The set of all architected registers.
+    pub fn all() -> Self {
+        RegSet(u64::MAX >> (64 - NUM_ARCH_REGS))
+    }
+
+    /// Inserts a register.
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[must_use]
+    pub fn difference(&self, other: &RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: &RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// In-place union; returns `true` if the set changed (dataflow
+    /// convergence test).
+    pub fn union_in_place(&mut self, other: &RegSet) -> bool {
+        let before = self.0;
+        self.0 |= other.0;
+        self.0 != before
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Emptiness test.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        let bits = self.0;
+        (0..NUM_ARCH_REGS as u8).filter(move |i| bits & (1 << i) != 0).map(Reg)
+    }
+
+    /// The lowest-numbered register *not* in the set, if any (temporary
+    /// allocation helper).
+    pub fn first_free(&self) -> Option<Reg> {
+        let free = !self.0 & (u64::MAX >> (64 - NUM_ARCH_REGS));
+        if free == 0 {
+            None
+        } else {
+            Some(Reg(free.trailing_zeros() as u8))
+        }
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> Self {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<I: IntoIterator<Item = Reg>>(&mut self, iter: I) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RegSet::new();
+        assert!(s.is_empty());
+        s.insert(Reg(3));
+        s.insert(Reg(63));
+        assert!(s.contains(Reg(3)));
+        assert!(s.contains(Reg(63)));
+        assert!(!s.contains(Reg(4)));
+        s.remove(Reg(3));
+        assert!(!s.contains(Reg(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: RegSet = [Reg(1), Reg(2), Reg(3)].into_iter().collect();
+        let b: RegSet = [Reg(2), Reg(3), Reg(4)].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).len(), 2);
+        let d = a.difference(&b);
+        assert!(d.contains(Reg(1)) && d.len() == 1);
+    }
+
+    #[test]
+    fn union_in_place_reports_change() {
+        let mut a: RegSet = [Reg(1)].into_iter().collect();
+        let b: RegSet = [Reg(2)].into_iter().collect();
+        assert!(a.union_in_place(&b));
+        assert!(!a.union_in_place(&b));
+    }
+
+    #[test]
+    fn first_free_skips_members() {
+        let mut s = RegSet::new();
+        s.insert(Reg(0));
+        s.insert(Reg(1));
+        assert_eq!(s.first_free(), Some(Reg(2)));
+        assert_eq!(RegSet::all().first_free(), None);
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let s: RegSet = [Reg(9), Reg(1), Reg(30)].into_iter().collect();
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![Reg(1), Reg(9), Reg(30)]);
+    }
+
+    #[test]
+    fn all_covers_the_file() {
+        assert_eq!(RegSet::all().len(), NUM_ARCH_REGS);
+    }
+}

@@ -1,0 +1,548 @@
+//! A text assembler for the hidden ISA.
+//!
+//! Parses the same syntax [`Program::disassemble`] emits, so programs can
+//! be written, diffed, and round-tripped as text:
+//!
+//! ```text
+//! .entry bb0
+//! bb0 <entry>:
+//!     mov r1, #10
+//!     ld r4, [r3+0]
+//!     cmp.ne r5, r4, #0
+//!     br.nz r5, bb2
+//!     ; fallthrough -> bb1
+//! bb1 <exit>:
+//!     halt
+//! bb2 <taken>:
+//!     halt
+//! ```
+//!
+//! Block ids (`bbN`) are honoured verbatim; blocks may appear in any
+//! order, and the textual order becomes the code layout order. The
+//! `.entry` directive is optional (defaults to the first block).
+
+use crate::inst::{AluOp, CmpKind, CondKind, FpOp, Inst, Operand};
+use crate::program::{BasicBlock, BlockId, Program, ProgramBuilder};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Assembly parsing errors, with 1-based line numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let Some(num) = tok.strip_prefix('r') else {
+        return Err(err(line, format!("expected register, got `{tok}`")));
+    };
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    let r = Reg(n);
+    if !r.is_valid() {
+        return Err(err(line, format!("register out of range `{tok}`")));
+    }
+    Ok(r)
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let Some(num) = tok.strip_prefix('#') else {
+        return Err(err(line, format!("expected immediate, got `{tok}`")));
+    };
+    num.parse()
+        .map_err(|_| err(line, format!("bad immediate `{tok}`")))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    if t.starts_with('#') {
+        Ok(Operand::Imm(parse_imm(t, line)?))
+    } else {
+        Ok(Operand::Reg(parse_reg(t, line)?))
+    }
+}
+
+fn parse_block_ref(tok: &str, line: usize) -> Result<BlockId, ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    let Some(num) = t.strip_prefix("bb") else {
+        return Err(err(line, format!("expected block ref, got `{t}`")));
+    };
+    let n: u32 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad block ref `{t}`")))?;
+    Ok(BlockId(n))
+}
+
+/// Parses `[rB+OFF]` into `(base, offset)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected memory operand, got `{t}`")))?;
+    // Split at the sign of the offset: `r3+8` or `r3+-8`.
+    let plus = inner
+        .find('+')
+        .ok_or_else(|| err(line, format!("expected base+offset in `{t}`")))?;
+    let base = parse_reg(&inner[..plus], line)?;
+    let off: i64 = inner[plus + 1..]
+        .parse()
+        .map_err(|_| err(line, format!("bad offset in `{t}`")))?;
+    Ok((base, off))
+}
+
+fn split_operands(rest: &str) -> Vec<&str> {
+    // Memory operands contain no commas, so a plain comma split works.
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_inst(mnemonic: &str, rest: &str, line: usize) -> Result<Inst, ParseError> {
+    let ops = split_operands(rest);
+    let need = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()),
+            ))
+        }
+    };
+    let alu = |op: AluOp, ops: &[&str]| -> Result<Inst, ParseError> {
+        Ok(Inst::Alu {
+            op,
+            dst: parse_reg(ops[0], line)?,
+            a: parse_operand(ops[1], line)?,
+            b: parse_operand(ops[2], line)?,
+        })
+    };
+    let fp = |op: FpOp, ops: &[&str]| -> Result<Inst, ParseError> {
+        Ok(Inst::Fp {
+            op,
+            dst: parse_reg(ops[0], line)?,
+            a: parse_reg(ops[1], line)?,
+            b: parse_reg(ops[2], line)?,
+        })
+    };
+    let cmp = |kind: CmpKind, ops: &[&str]| -> Result<Inst, ParseError> {
+        Ok(Inst::Cmp {
+            kind,
+            dst: parse_reg(ops[0], line)?,
+            a: parse_reg(ops[1], line)?,
+            b: parse_operand(ops[2], line)?,
+        })
+    };
+    match mnemonic {
+        "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "mul" | "div" => {
+            need(3)?;
+            let op = match mnemonic {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "and" => AluOp::And,
+                "or" => AluOp::Or,
+                "xor" => AluOp::Xor,
+                "shl" => AluOp::Shl,
+                "shr" => AluOp::Shr,
+                "mul" => AluOp::Mul,
+                _ => AluOp::Div,
+            };
+            alu(op, &ops)
+        }
+        "mov" => {
+            need(2)?;
+            Ok(Inst::mov(parse_reg(ops[0], line)?, parse_operand(ops[1], line)?))
+        }
+        "fadd" | "fsub" | "fmul" | "fdiv" => {
+            need(3)?;
+            let op = match mnemonic {
+                "fadd" => FpOp::Add,
+                "fsub" => FpOp::Sub,
+                "fmul" => FpOp::Mul,
+                _ => FpOp::Div,
+            };
+            fp(op, &ops)
+        }
+        "ld" | "ld.s" => {
+            need(2)?;
+            let dst = parse_reg(ops[0], line)?;
+            let (base, offset) = parse_mem(ops[1], line)?;
+            Ok(Inst::Load {
+                dst,
+                base,
+                offset,
+                speculative: mnemonic == "ld.s",
+            })
+        }
+        "st" => {
+            need(2)?;
+            let (base, offset) = parse_mem(ops[0], line)?;
+            let src = parse_reg(ops[1], line)?;
+            Ok(Inst::Store { src, base, offset })
+        }
+        m if m.starts_with("cmp.") => {
+            need(3)?;
+            let kind = match &m[4..] {
+                "eq" => CmpKind::Eq,
+                "ne" => CmpKind::Ne,
+                "lt" => CmpKind::Lt,
+                "le" => CmpKind::Le,
+                "gt" => CmpKind::Gt,
+                "ge" => CmpKind::Ge,
+                "ult" => CmpKind::Ult,
+                "uge" => CmpKind::Uge,
+                other => return Err(err(line, format!("unknown compare `{other}`"))),
+            };
+            cmp(kind, &ops)
+        }
+        "br.nz" | "br.z" | "resolve.nz" | "resolve.z" => {
+            need(2)?;
+            let cond = if mnemonic.ends_with(".nz") {
+                CondKind::Nz
+            } else {
+                CondKind::Z
+            };
+            let src = parse_reg(ops[0], line)?;
+            let target = parse_block_ref(ops[1], line)?;
+            if mnemonic.starts_with("br") {
+                Ok(Inst::Branch { cond, src, target })
+            } else {
+                Ok(Inst::Resolve { cond, src, target })
+            }
+        }
+        "jmp" => {
+            need(1)?;
+            Ok(Inst::Jump {
+                target: parse_block_ref(ops[0], line)?,
+            })
+        }
+        "predict" => {
+            need(1)?;
+            Ok(Inst::Predict {
+                target: parse_block_ref(ops[0], line)?,
+            })
+        }
+        "call" => {
+            // `call bbN ret=bbM`
+            need(1)?;
+            let mut parts = ops[0].split_whitespace();
+            let callee = parse_block_ref(
+                parts.next().ok_or_else(|| err(line, "call needs a callee"))?,
+                line,
+            )?;
+            let ret = parts
+                .next()
+                .and_then(|p| p.strip_prefix("ret="))
+                .ok_or_else(|| err(line, "call needs `ret=bbN`"))?;
+            Ok(Inst::Call {
+                callee,
+                ret_to: parse_block_ref(ret, line)?,
+            })
+        }
+        "ret" => {
+            need(0)?;
+            Ok(Inst::Ret)
+        }
+        "nop" => {
+            need(0)?;
+            Ok(Inst::Nop)
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Inst::Halt)
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+/// Parses assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number for syntax errors, and a
+/// `ParseError` wrapping the validation message when the parsed program
+/// violates structural invariants.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    struct PendingBlock {
+        name: String,
+        insts: Vec<Inst>,
+        fallthrough: Option<BlockId>,
+        declared_line: usize,
+    }
+    let mut blocks: Vec<Option<PendingBlock>> = Vec::new();
+    let mut order: Vec<BlockId> = Vec::new();
+    let mut entry: Option<BlockId> = None;
+    let mut current: Option<usize> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".entry") {
+            entry = Some(parse_block_ref(rest.trim(), lineno)?);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("; fallthrough ->") {
+            let cur = current.ok_or_else(|| err(lineno, "fallthrough outside a block"))?;
+            let target = parse_block_ref(rest.trim(), lineno)?;
+            blocks[cur].as_mut().expect("current exists").fallthrough = Some(target);
+            continue;
+        }
+        if line.starts_with(';') {
+            continue; // comment
+        }
+        if let Some(header) = line.strip_suffix(':') {
+            // `bbN <name>` or `bbN`
+            let mut parts = header.split_whitespace();
+            let id = parse_block_ref(
+                parts.next().ok_or_else(|| err(lineno, "empty block header"))?,
+                lineno,
+            )?;
+            let name = parts
+                .next()
+                .map(|n| n.trim_start_matches('<').trim_end_matches('>').to_string())
+                .unwrap_or_else(|| format!("bb{}", id.0));
+            if blocks.len() <= id.index() {
+                blocks.resize_with(id.index() + 1, || None);
+            }
+            if blocks[id.index()].is_some() {
+                return Err(err(lineno, format!("duplicate block {id}")));
+            }
+            blocks[id.index()] = Some(PendingBlock {
+                name,
+                insts: Vec::new(),
+                fallthrough: None,
+                declared_line: lineno,
+            });
+            order.push(id);
+            current = Some(id.index());
+            continue;
+        }
+        // An instruction line.
+        let cur = current.ok_or_else(|| err(lineno, "instruction outside a block"))?;
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(sp) => (&line[..sp], &line[sp..]),
+            None => (line, ""),
+        };
+        let inst = parse_inst(mnemonic, rest, lineno)?;
+        blocks[cur].as_mut().expect("current exists").insts.push(inst);
+    }
+
+    // Materialise: every declared id becomes a block; holes are errors.
+    let mut builder = ProgramBuilder::new();
+    let mut pendings = Vec::with_capacity(blocks.len());
+    for (i, b) in blocks.iter().enumerate() {
+        let Some(pb) = b else {
+            return Err(err(0, format!("bb{i} referenced by numbering but never defined")));
+        };
+        let id = builder.block(pb.name.clone());
+        debug_assert_eq!(id.index(), i);
+        pendings.push((id, pb));
+    }
+    for (id, pb) in &pendings {
+        for inst in &pb.insts {
+            builder.push(*id, inst.clone());
+        }
+        if let Some(ft) = pb.fallthrough {
+            if ft.index() >= pendings.len() {
+                return Err(err(
+                    pb.declared_line,
+                    format!("fallthrough to undefined {ft}"),
+                ));
+            }
+            builder.fallthrough(*id, ft);
+        }
+    }
+    let entry = entry.unwrap_or(BlockId(0));
+    builder.set_entry(entry);
+    let mut program = builder
+        .finish()
+        .map_err(|e| err(0, format!("invalid program: {e}")))?;
+    program.set_layout_order(order);
+    Ok(program)
+}
+
+/// Renders a single block as assembly (the same format
+/// [`Program::disassemble`] uses).
+pub fn format_block(id: BlockId, block: &BasicBlock) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{id} <{}>:", block.name());
+    for inst in block.insts() {
+        let _ = writeln!(s, "    {inst}");
+    }
+    if let Some(ft) = block.fallthrough() {
+        let _ = writeln!(s, "    ; fallthrough -> {ft}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, TakenOracle};
+    use crate::memory::Memory;
+
+    const KERNEL: &str = r"
+.entry bb0
+bb0 <entry>:
+    mov r1, #5
+    mov r3, #4096
+    ; fallthrough -> bb1
+bb1 <head>:
+    ld r4, [r3+0]
+    cmp.ne r5, r4, #0
+    br.nz r5, bb3
+    ; fallthrough -> bb2
+bb2 <fall>:
+    add r6, r6, #1
+    jmp bb4
+bb3 <taken>:
+    add r7, r7, #1
+    ; fallthrough -> bb4
+bb4 <latch>:
+    add r3, r3, #8
+    sub r1, r1, #1
+    cmp.ne r2, r1, #0
+    br.nz r2, bb1
+    ; fallthrough -> bb5
+bb5 <exit>:
+    st [r3+0], r6
+    halt
+";
+
+    #[test]
+    fn parses_and_executes_a_kernel() {
+        let p = parse_program(KERNEL).expect("parses");
+        assert_eq!(p.num_blocks(), 6);
+        let mut mem = Memory::new();
+        mem.load_words(4096, &[1, 0, 1, 1, 0]);
+        let mut i = Interpreter::new(&p, mem);
+        i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        assert_eq!(i.reg(Reg(7)), 3); // taken count
+        assert_eq!(i.reg(Reg(6)), 2); // fall count
+    }
+
+    #[test]
+    fn disassemble_parse_is_a_textual_fixpoint() {
+        let p = parse_program(KERNEL).expect("parses");
+        let text1 = p.disassemble();
+        let p2 = parse_program(&text1).expect("reparses");
+        assert_eq!(text1, p2.disassemble());
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn parses_decomposed_branch_mnemonics() {
+        let text = r"
+bb0 <a>:
+    predict bb2
+    ; fallthrough -> bb1
+bb1 <nt>:
+    cmp.eq r2, r1, #0
+    resolve.z r2, bb3
+    ; fallthrough -> bb3
+bb2 <t>:
+    halt
+bb3 <x>:
+    halt
+";
+        let p = parse_program(text).expect("parses");
+        let s = p.static_summary();
+        assert_eq!(s.mnemonics["predict"], 1);
+        assert_eq!(s.mnemonics["resolve.z"], 1);
+    }
+
+    #[test]
+    fn parses_loads_stores_and_speculative_form() {
+        let text = r"
+bb0 <e>:
+    ld.s r1, [r2+-16]
+    st [r2+8], r1
+    halt
+";
+        let p = parse_program(text).expect("parses");
+        assert!(matches!(
+            p.block(BlockId(0)).insts()[0],
+            Inst::Load {
+                speculative: true,
+                offset: -16,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_call_ret() {
+        let text = r"
+bb0 <e>:
+    call bb1 ret=bb2
+bb1 <f>:
+    mov r1, #9
+    ret
+bb2 <x>:
+    halt
+";
+        let p = parse_program(text).expect("parses");
+        let mut i = Interpreter::new(&p, Memory::new());
+        i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        assert_eq!(i.reg(Reg(1)), 9);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_program("bb0 <x>:\n    frobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn instruction_outside_block_is_an_error() {
+        let e = parse_program("    nop\n").unwrap_err();
+        assert!(e.message.contains("outside a block"));
+    }
+
+    #[test]
+    fn duplicate_block_is_an_error() {
+        let e = parse_program("bb0 <a>:\n    halt\nbb0 <b>:\n    halt\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_block_hole_is_an_error() {
+        let e = parse_program("bb1 <a>:\n    halt\n").unwrap_err();
+        assert!(e.message.contains("never defined"));
+    }
+
+    #[test]
+    fn invalid_structure_is_reported() {
+        // Block with no terminator and no fall-through.
+        let e = parse_program("bb0 <a>:\n    nop\n").unwrap_err();
+        assert!(e.message.contains("invalid program"), "{e}");
+    }
+}

@@ -1,0 +1,726 @@
+//! Instruction definitions for the hidden ISA.
+
+use crate::program::BlockId;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Integer ALU operations (1-cycle unless noted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr,
+    /// 64-bit multiply (3-cycle).
+    Mul,
+    /// 64-bit unsigned divide (12-cycle); divide by zero yields all-ones,
+    /// matching a non-trapping DBT substrate.
+    Div,
+    /// Register/immediate move: `dst = b` (operand `a` is ignored).
+    Mov,
+}
+
+/// Floating-point operations; register values are interpreted as `f64` bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// FP addition (4-cycle).
+    Add,
+    /// FP subtraction (4-cycle).
+    Sub,
+    /// FP multiplication (4-cycle).
+    Mul,
+    /// FP division (12-cycle).
+    Div,
+}
+
+/// Comparison kinds for [`Inst::Cmp`] (all on signed 64-bit values except
+/// the explicitly unsigned variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned greater-or-equal.
+    Uge,
+}
+
+impl CmpKind {
+    /// Evaluates the comparison on two 64-bit words.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (sa, sb) = (a as i64, b as i64);
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => sa < sb,
+            CmpKind::Le => sa <= sb,
+            CmpKind::Gt => sa > sb,
+            CmpKind::Ge => sa >= sb,
+            CmpKind::Ult => a < b,
+            CmpKind::Uge => a >= b,
+        }
+    }
+
+    /// Returns the comparison with operands swapped-sense inverted
+    /// (`a < b` becomes `a >= b`), i.e. the logical negation.
+    pub fn negate(self) -> CmpKind {
+        match self {
+            CmpKind::Eq => CmpKind::Ne,
+            CmpKind::Ne => CmpKind::Eq,
+            CmpKind::Lt => CmpKind::Ge,
+            CmpKind::Le => CmpKind::Gt,
+            CmpKind::Gt => CmpKind::Le,
+            CmpKind::Ge => CmpKind::Lt,
+            CmpKind::Ult => CmpKind::Uge,
+            CmpKind::Uge => CmpKind::Ult,
+        }
+    }
+}
+
+/// Branch condition applied to a condition register by [`Inst::Branch`] and
+/// [`Inst::Resolve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CondKind {
+    /// Taken when the register is non-zero.
+    Nz,
+    /// Taken when the register is zero.
+    Z,
+}
+
+impl CondKind {
+    /// Evaluates the condition on a register value.
+    pub fn eval(self, v: u64) -> bool {
+        match self {
+            CondKind::Nz => v != 0,
+            CondKind::Z => v == 0,
+        }
+    }
+
+    /// The opposite condition.
+    pub fn negate(self) -> CondKind {
+        match self {
+            CondKind::Nz => CondKind::Z,
+            CondKind::Z => CondKind::Nz,
+        }
+    }
+}
+
+/// A source operand: a register or a sign-extended immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Returns `true` for immediates that do not fit in a 16-bit field and
+    /// therefore require a long encoding (8 bytes instead of 4).
+    pub fn needs_long_encoding(self) -> bool {
+        match self {
+            Operand::Reg(_) => false,
+            Operand::Imm(v) => !(-32768..=32767).contains(&v),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Functional-unit class an instruction issues to (Table 1: up to
+/// 2×LD/ST, 2×INT, 4×FP per cycle on the widest configuration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Integer ALU / branch-resolution units.
+    Int,
+    /// Load/store units.
+    LdSt,
+    /// SIMD/FP units.
+    Fp,
+    /// Handled entirely in the front end (dropped at decode): `Predict`,
+    /// direct `Jump`, `Nop`, `Halt`.
+    None,
+}
+
+/// A single hidden-ISA instruction.
+///
+/// Control-transfer instructions (`Branch`, `Jump`, `Predict`, `Resolve`,
+/// `Call`, `Ret`, `Halt`) may only appear as the final instruction of a
+/// basic block; this is enforced by [`crate::ProgramBuilder::finish`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Integer ALU operation: `dst = op(a, b)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Floating-point operation: `dst = op(a, b)` on `f64` bit patterns.
+    Fp {
+        /// Operation.
+        op: FpOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source.
+        a: Reg,
+        /// Second source.
+        b: Reg,
+    },
+    /// Load: `dst = mem[base + offset]`.
+    ///
+    /// When `speculative` is set this is the non-faulting `ld.s` form the
+    /// paper's §2.2 requires for hoisting loads above a branch resolution:
+    /// an access outside the mapped image yields zero instead of faulting.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+        /// Non-faulting (`ld.s`) form.
+        speculative: bool,
+    },
+    /// Store: `mem[base + offset] = src`.
+    Store {
+        /// Value register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Comparison producing 0/1 in `dst`.
+    Cmp {
+        /// Comparison kind.
+        kind: CmpKind,
+        /// Destination register (receives 0 or 1).
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Conventional conditional branch on a condition register;
+    /// falls through when not taken.
+    Branch {
+        /// Taken-condition applied to `src`.
+        cond: CondKind,
+        /// Condition register.
+        src: Reg,
+        /// Taken target.
+        target: BlockId,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Target block.
+        target: BlockId,
+    },
+    /// The paper's **predict** instruction: opcode + target only.
+    ///
+    /// At fetch, the branch predictor is consulted; if it predicts *taken*,
+    /// fetch continues at `target`, otherwise at the fall-through. The
+    /// instruction is dropped after decode and never reaches the back end.
+    Predict {
+        /// Predicted-taken target.
+        target: BlockId,
+    },
+    /// The paper's **resolve** instruction.
+    ///
+    /// Encodes the original branch's condition, re-expressed so that *taken*
+    /// means "the earlier prediction was wrong": it is always predicted
+    /// not-taken by the front end, and when taken it redirects to the
+    /// correction code at `target` and trains the predictor entry of the
+    /// associated `Predict` (via the Decomposed Branch Buffer).
+    Resolve {
+        /// Misprediction condition applied to `src`.
+        cond: CondKind,
+        /// Condition register.
+        src: Reg,
+        /// Correction-code target taken on misprediction.
+        target: BlockId,
+    },
+    /// Direct call; pushes the return block on the return-address stack.
+    Call {
+        /// Callee entry block.
+        callee: BlockId,
+        /// Block control returns to after the matching `Ret`.
+        ret_to: BlockId,
+    },
+    /// Return to the most recent unmatched `Call`'s `ret_to` block.
+    Ret,
+    /// No operation (occupies an issue slot; used as a scheduling filler).
+    Nop,
+    /// Stops execution.
+    Halt,
+}
+
+impl Inst {
+    /// Convenience constructor for ALU operations.
+    pub fn alu(op: AluOp, dst: Reg, a: Operand, b: Operand) -> Inst {
+        Inst::Alu { op, dst, a, b }
+    }
+
+    /// Convenience constructor for a register move.
+    pub fn mov(dst: Reg, src: Operand) -> Inst {
+        Inst::Alu {
+            op: AluOp::Mov,
+            dst,
+            a: Operand::Imm(0),
+            b: src,
+        }
+    }
+
+    /// Convenience constructor for loads.
+    pub fn load(dst: Reg, base: Reg, offset: i64) -> Inst {
+        Inst::Load {
+            dst,
+            base,
+            offset,
+            speculative: false,
+        }
+    }
+
+    /// Convenience constructor for the non-faulting `ld.s` form.
+    pub fn load_spec(dst: Reg, base: Reg, offset: i64) -> Inst {
+        Inst::Load {
+            dst,
+            base,
+            offset,
+            speculative: true,
+        }
+    }
+
+    /// Convenience constructor for stores.
+    pub fn store(src: Reg, base: Reg, offset: i64) -> Inst {
+        Inst::Store { src, base, offset }
+    }
+
+    /// The destination register written by this instruction, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            Inst::Alu { dst, .. } | Inst::Fp { dst, .. } | Inst::Load { dst, .. } => Some(dst),
+            Inst::Cmp { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Visits the registers read by this instruction without allocating
+    /// (the cycle simulator calls this every stalled cycle).
+    pub fn visit_srcs(&self, mut f: impl FnMut(Reg)) {
+        match *self {
+            Inst::Alu { a, b, .. } => {
+                if let Some(r) = a.reg() {
+                    f(r);
+                }
+                if let Some(r) = b.reg() {
+                    f(r);
+                }
+            }
+            Inst::Fp { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Inst::Load { base, .. } => f(base),
+            Inst::Store { src, base, .. } => {
+                f(src);
+                f(base);
+            }
+            Inst::Cmp { a, b, .. } => {
+                f(a);
+                if let Some(r) = b.reg() {
+                    f(r);
+                }
+            }
+            Inst::Branch { src, .. } | Inst::Resolve { src, .. } => f(src),
+            _ => {}
+        }
+    }
+
+    /// The registers read by this instruction.
+    pub fn srcs(&self) -> Vec<Reg> {
+        let mut v = Vec::with_capacity(2);
+        match *self {
+            Inst::Alu { a, b, .. } => {
+                if let Some(r) = a.reg() {
+                    v.push(r);
+                }
+                if let Some(r) = b.reg() {
+                    v.push(r);
+                }
+            }
+            Inst::Fp { a, b, .. } => {
+                v.push(a);
+                v.push(b);
+            }
+            Inst::Load { base, .. } => v.push(base),
+            Inst::Store { src, base, .. } => {
+                v.push(src);
+                v.push(base);
+            }
+            Inst::Cmp { a, b, .. } => {
+                v.push(a);
+                if let Some(r) = b.reg() {
+                    v.push(r);
+                }
+            }
+            Inst::Branch { src, .. } | Inst::Resolve { src, .. } => v.push(src),
+            _ => {}
+        }
+        v
+    }
+
+    /// Returns `true` for instructions that may transfer control and must
+    /// therefore terminate a basic block.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. }
+                | Inst::Jump { .. }
+                | Inst::Predict { .. }
+                | Inst::Resolve { .. }
+                | Inst::Call { .. }
+                | Inst::Ret
+                | Inst::Halt
+        )
+    }
+
+    /// Returns `true` for instructions that access memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+
+    /// The explicit control-transfer target, if the instruction has one.
+    pub fn target(&self) -> Option<BlockId> {
+        match *self {
+            Inst::Branch { target, .. }
+            | Inst::Jump { target }
+            | Inst::Predict { target }
+            | Inst::Resolve { target, .. } => Some(target),
+            Inst::Call { callee, .. } => Some(callee),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the control-transfer target (used by CFG surgery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction has no target.
+    pub fn set_target(&mut self, new: BlockId) {
+        match self {
+            Inst::Branch { target, .. }
+            | Inst::Jump { target }
+            | Inst::Predict { target }
+            | Inst::Resolve { target, .. } => *target = new,
+            Inst::Call { callee, .. } => *callee = new,
+            other => panic!("set_target on non-control instruction {other:?}"),
+        }
+    }
+
+    /// The functional-unit class this instruction issues to.
+    pub fn fu_class(&self) -> FuClass {
+        match self {
+            Inst::Alu { .. } | Inst::Cmp { .. } => FuClass::Int,
+            Inst::Fp { .. } => FuClass::Fp,
+            Inst::Load { .. } | Inst::Store { .. } => FuClass::LdSt,
+            // Conditional control resolves on an integer unit.
+            Inst::Branch { .. } | Inst::Resolve { .. } => FuClass::Int,
+            // Nop occupies an issue slot on the INT side.
+            Inst::Nop => FuClass::Int,
+            Inst::Jump { .. } | Inst::Predict { .. } | Inst::Call { .. } | Inst::Ret
+            | Inst::Halt => FuClass::None,
+        }
+    }
+
+    /// Execution latency in cycles once issued (loads report the L1-hit
+    /// latency; the memory system supplies the real completion time).
+    pub fn base_latency(&self) -> u32 {
+        match self {
+            Inst::Alu { op, .. } => match op {
+                AluOp::Mul => 3,
+                AluOp::Div => 12,
+                _ => 1,
+            },
+            Inst::Fp { op, .. } => match op {
+                FpOp::Div => 12,
+                _ => 4,
+            },
+            Inst::Load { .. } => 4,
+            Inst::Store { .. } => 1,
+            Inst::Cmp { .. } => 1,
+            Inst::Branch { .. } | Inst::Resolve { .. } => 1,
+            _ => 1,
+        }
+    }
+
+    /// Encoded size in bytes. The hidden ISA uses 4-byte instructions with
+    /// an 8-byte long form for immediates that do not fit in 16 bits; this
+    /// feeds the static-code-size (PISCS) accounting and the I$ model.
+    pub fn encoded_size(&self) -> u64 {
+        match self {
+            Inst::Alu { a, b, .. }
+                if (a.needs_long_encoding() || b.needs_long_encoding()) => {
+                    8
+                }
+            Inst::Cmp { b, .. }
+                if b.needs_long_encoding() => {
+                    8
+                }
+            Inst::Load { offset, .. } | Inst::Store { offset, .. }
+                if Operand::Imm(*offset).needs_long_encoding() => {
+                    8
+                }
+            _ => 4,
+        }
+    }
+
+    /// Assembly mnemonic used by `Display`.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Inst::Alu { op, .. } => match op {
+                AluOp::Add => "add",
+                AluOp::Sub => "sub",
+                AluOp::And => "and",
+                AluOp::Or => "or",
+                AluOp::Xor => "xor",
+                AluOp::Shl => "shl",
+                AluOp::Shr => "shr",
+                AluOp::Mul => "mul",
+                AluOp::Div => "div",
+                AluOp::Mov => "mov",
+            },
+            Inst::Fp { op, .. } => match op {
+                FpOp::Add => "fadd",
+                FpOp::Sub => "fsub",
+                FpOp::Mul => "fmul",
+                FpOp::Div => "fdiv",
+            },
+            Inst::Load {
+                speculative: false, ..
+            } => "ld",
+            Inst::Load {
+                speculative: true, ..
+            } => "ld.s",
+            Inst::Store { .. } => "st",
+            Inst::Cmp { kind, .. } => match kind {
+                CmpKind::Eq => "cmp.eq",
+                CmpKind::Ne => "cmp.ne",
+                CmpKind::Lt => "cmp.lt",
+                CmpKind::Le => "cmp.le",
+                CmpKind::Gt => "cmp.gt",
+                CmpKind::Ge => "cmp.ge",
+                CmpKind::Ult => "cmp.ult",
+                CmpKind::Uge => "cmp.uge",
+            },
+            Inst::Branch { cond, .. } => match cond {
+                CondKind::Nz => "br.nz",
+                CondKind::Z => "br.z",
+            },
+            Inst::Jump { .. } => "jmp",
+            Inst::Predict { .. } => "predict",
+            Inst::Resolve { cond, .. } => match cond {
+                CondKind::Nz => "resolve.nz",
+                CondKind::Z => "resolve.z",
+            },
+            Inst::Call { .. } => "call",
+            Inst::Ret => "ret",
+            Inst::Nop => "nop",
+            Inst::Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.mnemonic();
+        match self {
+            Inst::Alu { dst, a, b, op } => {
+                if *op == AluOp::Mov {
+                    write!(f, "{m} {dst}, {b}")
+                } else {
+                    write!(f, "{m} {dst}, {a}, {b}")
+                }
+            }
+            Inst::Fp { dst, a, b, .. } => write!(f, "{m} {dst}, {a}, {b}"),
+            Inst::Load {
+                dst, base, offset, ..
+            } => write!(f, "{m} {dst}, [{base}+{offset}]"),
+            Inst::Store { src, base, offset } => write!(f, "{m} [{base}+{offset}], {src}"),
+            Inst::Cmp { dst, a, b, .. } => write!(f, "{m} {dst}, {a}, {b}"),
+            Inst::Branch { src, target, .. } => write!(f, "{m} {src}, {target}"),
+            Inst::Jump { target } => write!(f, "{m} {target}"),
+            Inst::Predict { target } => write!(f, "{m} {target}"),
+            Inst::Resolve { src, target, .. } => write!(f, "{m} {src}, {target}"),
+            Inst::Call { callee, ret_to } => write!(f, "{m} {callee} ret={ret_to}"),
+            Inst::Ret | Inst::Nop | Inst::Halt => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_covers_all_kinds() {
+        assert!(CmpKind::Eq.eval(3, 3));
+        assert!(CmpKind::Ne.eval(3, 4));
+        assert!(CmpKind::Lt.eval((-1i64) as u64, 0));
+        assert!(CmpKind::Le.eval(2, 2));
+        assert!(CmpKind::Gt.eval(5, 4));
+        assert!(CmpKind::Ge.eval(5, 5));
+        assert!(CmpKind::Ult.eval(1, u64::MAX));
+        assert!(CmpKind::Uge.eval(u64::MAX, 1));
+    }
+
+    #[test]
+    fn cmp_negation_is_logical_not() {
+        let pairs: [(u64, u64); 4] = [(0, 0), (1, 2), ((-5i64) as u64, 5), (u64::MAX, 0)];
+        for kind in [
+            CmpKind::Eq,
+            CmpKind::Ne,
+            CmpKind::Lt,
+            CmpKind::Le,
+            CmpKind::Gt,
+            CmpKind::Ge,
+            CmpKind::Ult,
+            CmpKind::Uge,
+        ] {
+            for (a, b) in pairs {
+                assert_eq!(kind.eval(a, b), !kind.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn cond_negation_flips_taken() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(CondKind::Nz.eval(v), !CondKind::Nz.negate().eval(v));
+            assert_eq!(CondKind::Z.eval(v), !CondKind::Z.negate().eval(v));
+        }
+    }
+
+    #[test]
+    fn srcs_and_dst_of_load_store() {
+        let ld = Inst::load(Reg(1), Reg(2), 8);
+        assert_eq!(ld.dst(), Some(Reg(1)));
+        assert_eq!(ld.srcs(), vec![Reg(2)]);
+        let st = Inst::store(Reg(3), Reg(4), 0);
+        assert_eq!(st.dst(), None);
+        assert_eq!(st.srcs(), vec![Reg(3), Reg(4)]);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Inst::Halt.is_control());
+        assert!(Inst::Predict { target: BlockId(1) }.is_control());
+        assert!(Inst::Resolve {
+            cond: CondKind::Nz,
+            src: Reg(0),
+            target: BlockId(1)
+        }
+        .is_control());
+        assert!(!Inst::Nop.is_control());
+        assert!(!Inst::load(Reg(0), Reg(1), 0).is_control());
+    }
+
+    #[test]
+    fn predict_is_front_end_only() {
+        assert_eq!(Inst::Predict { target: BlockId(0) }.fu_class(), FuClass::None);
+        assert_eq!(
+            Inst::Resolve {
+                cond: CondKind::Nz,
+                src: Reg(0),
+                target: BlockId(0)
+            }
+            .fu_class(),
+            FuClass::Int
+        );
+    }
+
+    #[test]
+    fn long_immediates_double_encoding_size() {
+        let small = Inst::alu(AluOp::Add, Reg(0), Operand::Reg(Reg(1)), Operand::Imm(12));
+        let large = Inst::alu(
+            AluOp::Add,
+            Reg(0),
+            Operand::Reg(Reg(1)),
+            Operand::Imm(1 << 20),
+        );
+        assert_eq!(small.encoded_size(), 4);
+        assert_eq!(large.encoded_size(), 8);
+    }
+
+    #[test]
+    fn set_target_rewrites_all_control_forms() {
+        let mut insts = vec![
+            Inst::Jump { target: BlockId(0) },
+            Inst::Predict { target: BlockId(0) },
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(0),
+                target: BlockId(0),
+            },
+            Inst::Resolve {
+                cond: CondKind::Z,
+                src: Reg(0),
+                target: BlockId(0),
+            },
+        ];
+        for i in &mut insts {
+            i.set_target(BlockId(7));
+            assert_eq!(i.target(), Some(BlockId(7)));
+        }
+    }
+
+    #[test]
+    fn display_formats_resolve() {
+        let r = Inst::Resolve {
+            cond: CondKind::Nz,
+            src: Reg(3),
+            target: BlockId(9),
+        };
+        assert_eq!(r.to_string(), "resolve.nz r3, bb9");
+    }
+}

@@ -1,0 +1,797 @@
+//! Functional interpreter: the architectural execution oracle.
+//!
+//! The interpreter executes a [`Program`] with exact semantics but no
+//! timing. It serves three roles in the reproduction:
+//!
+//! 1. **Profiling** — run with a real branch predictor as the
+//!    [`PredictionOracle`] to measure per-site bias and predictability
+//!    (the paper profiles TRAIN inputs in PTLSim).
+//! 2. **Transformation correctness** — a decomposed program must reach the
+//!    same architectural state as the original *under any oracle*, because
+//!    `predict`/`resolve` make the predicted path architecturally executed;
+//!    tests run both programs under adversarial oracles and compare state.
+//! 3. **Reference for the cycle simulator** — the simulator's committed
+//!    state must match the interpreter's.
+
+use crate::inst::{AluOp, FpOp, Inst, Operand};
+use crate::memory::Memory;
+use crate::program::{BlockId, LayoutInfo, Program};
+use crate::reg::{Reg, NUM_ARCH_REGS};
+use std::fmt;
+
+/// Supplies predictions for `predict` instructions and conventional
+/// branches, and receives training updates.
+///
+/// Sites are identified by the instruction's code address, mirroring how a
+/// hardware predictor indexes by PC.
+pub trait PredictionOracle {
+    /// Predicts the direction for the branch/predict at `site_pc`.
+    fn predict(&mut self, site_pc: u64) -> bool;
+    /// Trains the predictor with the actual direction.
+    fn update(&mut self, site_pc: u64, taken: bool);
+}
+
+/// Simple built-in oracles (the adversaries used by correctness tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TakenOracle {
+    /// Predict taken everywhere.
+    AlwaysTaken,
+    /// Predict not-taken everywhere.
+    AlwaysNotTaken,
+    /// Alternate taken/not-taken per query.
+    Alternate {
+        /// Next prediction.
+        next: bool,
+    },
+    /// Deterministic pseudo-random predictions (xorshift64*).
+    Random {
+        /// Generator state; must be non-zero.
+        state: u64,
+    },
+    /// Predict the last observed outcome for the site's low PC bits
+    /// (a toy last-direction predictor, useful for smoke tests).
+    LastOutcome {
+        /// 256-entry last-direction table.
+        table: Box<[bool; 256]>,
+    },
+}
+
+impl TakenOracle {
+    /// A deterministic pseudo-random oracle from a non-zero seed.
+    pub fn random(seed: u64) -> TakenOracle {
+        TakenOracle::Random {
+            state: seed.max(1),
+        }
+    }
+
+    /// A fresh last-direction oracle.
+    pub fn last_outcome() -> TakenOracle {
+        TakenOracle::LastOutcome {
+            table: Box::new([false; 256]),
+        }
+    }
+}
+
+impl PredictionOracle for TakenOracle {
+    fn predict(&mut self, site_pc: u64) -> bool {
+        match self {
+            TakenOracle::AlwaysTaken => true,
+            TakenOracle::AlwaysNotTaken => false,
+            TakenOracle::Alternate { next } => {
+                let p = *next;
+                *next = !p;
+                p
+            }
+            TakenOracle::Random { state } => {
+                let mut x = *state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *state = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63) != 0
+            }
+            TakenOracle::LastOutcome { table } => table[(site_pc >> 2) as usize & 0xff],
+        }
+    }
+
+    fn update(&mut self, site_pc: u64, taken: bool) {
+        if let TakenOracle::LastOutcome { table } = self {
+            table[(site_pc >> 2) as usize & 0xff] = taken;
+        }
+    }
+}
+
+/// Why an interpreter run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `halt` instruction was executed.
+    Halted,
+    /// The step budget was exhausted.
+    MaxSteps,
+}
+
+/// Architectural execution errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A non-speculative load touched an unmapped address — exactly the
+    /// fault that the non-faulting `ld.s` form exists to suppress.
+    LoadFault {
+        /// Faulting address.
+        addr: u64,
+        /// Block containing the load.
+        block: BlockId,
+    },
+    /// `ret` with an empty call stack.
+    ReturnUnderflow(BlockId),
+    /// A `resolve` executed with no outstanding `predict` (compiler bug).
+    OrphanResolve(BlockId),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::LoadFault { addr, block } => {
+                write!(f, "load fault at {addr:#x} in {block}")
+            }
+            ExecError::ReturnUnderflow(b) => write!(f, "return with empty call stack in {b}"),
+            ExecError::OrphanResolve(b) => write!(f, "resolve without outstanding predict in {b}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A dynamic control-flow event, delivered to the run visitor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecEvent {
+    /// A conventional conditional branch executed.
+    Branch {
+        /// Code address of the branch.
+        pc: u64,
+        /// Containing block.
+        block: BlockId,
+        /// Actual direction.
+        taken: bool,
+        /// Direction the oracle predicted.
+        predicted: bool,
+    },
+    /// A `predict` instruction steered fetch.
+    Predict {
+        /// Code address of the predict.
+        pc: u64,
+        /// Containing block.
+        block: BlockId,
+        /// Predicted direction.
+        predicted_taken: bool,
+    },
+    /// A `resolve` instruction checked an earlier prediction.
+    Resolve {
+        /// Code address of the resolve.
+        pc: u64,
+        /// Containing block.
+        block: BlockId,
+        /// Code address of the associated `predict`.
+        predict_pc: u64,
+        /// Whether the earlier prediction was wrong (resolve taken).
+        mispredicted: bool,
+        /// The actual direction of the original (pre-decomposition) branch,
+        /// expressed relative to the `predict`'s target.
+        actual_taken: bool,
+    },
+    /// A load executed.
+    Load {
+        /// Effective address.
+        addr: u64,
+        /// Non-faulting form.
+        speculative: bool,
+    },
+    /// A store executed.
+    Store {
+        /// Effective address.
+        addr: u64,
+    },
+}
+
+/// Aggregated per-run counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BranchRecord {
+    /// Dynamic conditional branches executed.
+    pub branches: u64,
+    /// Of those, taken.
+    pub taken: u64,
+    /// Of those, correctly predicted by the oracle.
+    pub correct: u64,
+    /// Dynamic `predict` instructions.
+    pub predicts: u64,
+    /// Dynamic `resolve` instructions.
+    pub resolves: u64,
+    /// Of those, mispredictions detected (resolve taken).
+    pub resolve_mispredicts: u64,
+}
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InterpConfig {
+    /// Maximum dynamic instructions before stopping with
+    /// [`StopReason::MaxSteps`].
+    pub max_steps: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+/// Outcome of [`Interpreter::run_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Why execution stopped.
+    pub stop: StopReason,
+    /// Dynamic instructions executed (including `predict`s).
+    pub steps: u64,
+    /// Control-flow counters.
+    pub record: BranchRecord,
+}
+
+/// The functional interpreter.
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    layout: LayoutInfo,
+    regs: [u64; NUM_ARCH_REGS],
+    memory: Memory,
+    call_stack: Vec<BlockId>,
+    /// FIFO of outstanding (predict_pc, predicted_taken); the software
+    /// analogue of the hardware DBB, unbounded because the compiler never
+    /// interleaves predict/resolve pairs.
+    outstanding: Vec<(u64, bool)>,
+    config: InterpConfig,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter over `program` with the given initial memory.
+    pub fn new(program: &'p Program, memory: Memory) -> Self {
+        Interpreter {
+            program,
+            layout: program.layout(),
+            regs: [0; NUM_ARCH_REGS],
+            memory,
+            call_stack: Vec::new(),
+            outstanding: Vec::new(),
+            config: InterpConfig::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: InterpConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets an initial register value.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Reads a register (for post-run state checks).
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// The full register file.
+    pub fn regs(&self) -> &[u64; NUM_ARCH_REGS] {
+        &self.regs
+    }
+
+    /// The memory image.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Runs to completion with a prediction oracle, delivering every
+    /// [`ExecEvent`] to `visitor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on an architectural fault.
+    pub fn run_with<O, F>(&mut self, oracle: &mut O, mut visitor: F) -> Result<RunOutcome, ExecError>
+    where
+        O: PredictionOracle + ?Sized,
+        F: FnMut(&ExecEvent),
+    {
+        let mut block = self.program.entry();
+        let mut idx = 0usize;
+        let mut steps = 0u64;
+        let mut record = BranchRecord::default();
+
+        loop {
+            if steps >= self.config.max_steps {
+                return Ok(RunOutcome {
+                    stop: StopReason::MaxSteps,
+                    steps,
+                    record,
+                });
+            }
+            let bb = self.program.block(block);
+            if idx >= bb.insts().len() {
+                // Implicit fall-through.
+                let ft = bb
+                    .fallthrough()
+                    .expect("validated program: fall-through present");
+                block = ft;
+                idx = 0;
+                continue;
+            }
+            let inst = &bb.insts()[idx];
+            let pc = self.layout.inst_addr(block, idx);
+            steps += 1;
+
+            match *inst {
+                Inst::Alu { op, dst, a, b } => {
+                    let av = self.operand(a);
+                    let bv = self.operand(b);
+                    self.regs[dst.index()] = eval_alu(op, av, bv);
+                }
+                Inst::Fp { op, dst, a, b } => {
+                    let av = f64::from_bits(self.regs[a.index()]);
+                    let bv = f64::from_bits(self.regs[b.index()]);
+                    let r = match op {
+                        FpOp::Add => av + bv,
+                        FpOp::Sub => av - bv,
+                        FpOp::Mul => av * bv,
+                        FpOp::Div => av / bv,
+                    };
+                    self.regs[dst.index()] = r.to_bits();
+                }
+                Inst::Load {
+                    dst,
+                    base,
+                    offset,
+                    speculative,
+                } => {
+                    let addr = self.regs[base.index()].wrapping_add(offset as u64);
+                    visitor(&ExecEvent::Load { addr, speculative });
+                    match self.memory.read(addr) {
+                        Some(v) => self.regs[dst.index()] = v,
+                        None if speculative => self.regs[dst.index()] = 0,
+                        None => return Err(ExecError::LoadFault { addr, block }),
+                    }
+                }
+                Inst::Store { src, base, offset } => {
+                    let addr = self.regs[base.index()].wrapping_add(offset as u64);
+                    visitor(&ExecEvent::Store { addr });
+                    self.memory.write(addr, self.regs[src.index()]);
+                }
+                Inst::Cmp { kind, dst, a, b } => {
+                    let av = self.regs[a.index()];
+                    let bv = self.operand(b);
+                    self.regs[dst.index()] = kind.eval(av, bv) as u64;
+                }
+                Inst::Branch { cond, src, target } => {
+                    let taken = cond.eval(self.regs[src.index()]);
+                    let predicted = oracle.predict(pc);
+                    oracle.update(pc, taken);
+                    record.branches += 1;
+                    record.taken += taken as u64;
+                    record.correct += (predicted == taken) as u64;
+                    visitor(&ExecEvent::Branch {
+                        pc,
+                        block,
+                        taken,
+                        predicted,
+                    });
+                    if taken {
+                        block = target;
+                        idx = 0;
+                        continue;
+                    }
+                    block = bb.fallthrough().expect("validated");
+                    idx = 0;
+                    continue;
+                }
+                Inst::Jump { target } => {
+                    block = target;
+                    idx = 0;
+                    continue;
+                }
+                Inst::Predict { target } => {
+                    let predicted_taken = oracle.predict(pc);
+                    self.outstanding.push((pc, predicted_taken));
+                    record.predicts += 1;
+                    visitor(&ExecEvent::Predict {
+                        pc,
+                        block,
+                        predicted_taken,
+                    });
+                    if predicted_taken {
+                        block = target;
+                    } else {
+                        block = bb.fallthrough().expect("validated");
+                    }
+                    idx = 0;
+                    continue;
+                }
+                Inst::Resolve { cond, src, target } => {
+                    let mispredicted = cond.eval(self.regs[src.index()]);
+                    let (predict_pc, predicted) = self
+                        .outstanding
+                        .pop()
+                        .ok_or(ExecError::OrphanResolve(block))?;
+                    let actual_taken = predicted ^ mispredicted;
+                    oracle.update(predict_pc, actual_taken);
+                    record.resolves += 1;
+                    record.resolve_mispredicts += mispredicted as u64;
+                    visitor(&ExecEvent::Resolve {
+                        pc,
+                        block,
+                        predict_pc,
+                        mispredicted,
+                        actual_taken,
+                    });
+                    if mispredicted {
+                        block = target;
+                        idx = 0;
+                        continue;
+                    }
+                    block = bb.fallthrough().expect("validated");
+                    idx = 0;
+                    continue;
+                }
+                Inst::Call { callee, ret_to } => {
+                    self.call_stack.push(ret_to);
+                    block = callee;
+                    idx = 0;
+                    continue;
+                }
+                Inst::Ret => {
+                    let ret = self
+                        .call_stack
+                        .pop()
+                        .ok_or(ExecError::ReturnUnderflow(block))?;
+                    block = ret;
+                    idx = 0;
+                    continue;
+                }
+                Inst::Nop => {}
+                Inst::Halt => {
+                    return Ok(RunOutcome {
+                        stop: StopReason::Halted,
+                        steps,
+                        record,
+                    });
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    /// Runs with an oracle and no event visitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on an architectural fault.
+    pub fn run<O>(&mut self, oracle: &mut O) -> Result<RunOutcome, ExecError>
+    where
+        O: PredictionOracle + ?Sized,
+    {
+        self.run_with(oracle, |_| {})
+    }
+
+    fn operand(&self, o: Operand) -> u64 {
+        match o {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(v) => v as u64,
+        }
+    }
+}
+
+/// Evaluates an integer ALU operation.
+pub fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+        AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
+        AluOp::Mov => b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{CmpKind, CondKind};
+    use crate::program::ProgramBuilder;
+
+    /// `r1 = 10; loop { r1 -= 1; if r1 != 0 goto loop }; halt`
+    fn countdown_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block("entry");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.push(entry, Inst::mov(Reg(1), Operand::Imm(10)));
+        b.fallthrough(entry, body);
+        b.push(
+            body,
+            Inst::alu(AluOp::Sub, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+        );
+        b.push(
+            body,
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            body,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: body,
+            },
+        );
+        b.fallthrough(body, exit);
+        b.push(exit, Inst::Halt);
+        b.set_entry(entry);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn countdown_executes_ten_iterations() {
+        let p = countdown_loop();
+        let mut i = Interpreter::new(&p, Memory::new());
+        let out = i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        assert_eq!(out.stop, StopReason::Halted);
+        assert_eq!(i.reg(Reg(1)), 0);
+        assert_eq!(out.record.branches, 10);
+        assert_eq!(out.record.taken, 9);
+    }
+
+    #[test]
+    fn oracle_accuracy_is_recorded() {
+        let p = countdown_loop();
+        let mut i = Interpreter::new(&p, Memory::new());
+        // Always-taken is right 9/10 times on this loop.
+        let out = i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        assert_eq!(out.record.correct, 9);
+    }
+
+    #[test]
+    fn max_steps_stops_runaway_loops() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("spin");
+        b.push(e, Inst::Jump { target: e });
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let mut i = Interpreter::new(&p, Memory::new()).with_config(InterpConfig { max_steps: 100 });
+        let out = i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        assert_eq!(out.stop, StopReason::MaxSteps);
+        assert_eq!(out.steps, 100);
+    }
+
+    #[test]
+    fn normal_load_to_unmapped_faults_but_speculative_returns_zero() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(e, Inst::load_spec(Reg(1), Reg(0), 0x5000));
+        b.push(e, Inst::load(Reg(2), Reg(0), 0x5000));
+        b.push(e, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let mut i = Interpreter::new(&p, Memory::new());
+        let err = i.run(&mut TakenOracle::AlwaysTaken).unwrap_err();
+        assert!(matches!(err, ExecError::LoadFault { addr: 0x5000, .. }));
+        // The speculative load completed with zero before the fault.
+        assert_eq!(i.reg(Reg(1)), 0);
+    }
+
+    /// Decomposed hammock:
+    /// entry: predict -> taken_path ; fallthrough -> nt_path
+    /// nt_path (predicted not-taken): cmp r2 = (r1 != 0); resolve.nz r2 -> correct_t; fallthrough join_nt
+    /// taken_path: cmp r2 = (r1 == 0); resolve.nz r2 -> correct_nt; fallthrough join_t
+    /// Each join/correct writes a distinct marker then halts.
+    fn decomposed_hammock() -> Program {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block("entry");
+        let t = b.block("taken_resolve");
+        let nt = b.block("nt_resolve");
+        let join_t = b.block("join_t");
+        let join_nt = b.block("join_nt");
+        let correct_t = b.block("correct_t");
+        let correct_nt = b.block("correct_nt");
+        let halt = b.block("halt");
+
+        // Original branch: taken iff r1 != 0.
+        b.push(entry, Inst::Predict { target: t });
+        b.fallthrough(entry, nt);
+
+        // Predicted taken: misprediction iff r1 == 0.
+        b.push(
+            t,
+            Inst::Cmp {
+                kind: CmpKind::Eq,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            t,
+            Inst::Resolve {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: correct_nt,
+            },
+        );
+        b.fallthrough(t, join_t);
+
+        // Predicted not-taken: misprediction iff r1 != 0.
+        b.push(
+            nt,
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            nt,
+            Inst::Resolve {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: correct_t,
+            },
+        );
+        b.fallthrough(nt, join_nt);
+
+        b.push(join_t, Inst::mov(Reg(10), Operand::Imm(100)));
+        b.push(join_t, Inst::Jump { target: halt });
+        b.push(join_nt, Inst::mov(Reg(10), Operand::Imm(200)));
+        b.push(join_nt, Inst::Jump { target: halt });
+        b.push(correct_t, Inst::mov(Reg(10), Operand::Imm(100)));
+        b.push(correct_t, Inst::Jump { target: halt });
+        b.push(correct_nt, Inst::mov(Reg(10), Operand::Imm(200)));
+        b.push(correct_nt, Inst::Jump { target: halt });
+        b.push(halt, Inst::Halt);
+        b.set_entry(entry);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn decomposed_branch_reaches_same_state_under_any_oracle() {
+        let p = decomposed_hammock();
+        for r1 in [0u64, 1, 42] {
+            let expected = if r1 != 0 { 100 } else { 200 };
+            for mut oracle in [
+                TakenOracle::AlwaysTaken,
+                TakenOracle::AlwaysNotTaken,
+                TakenOracle::random(7),
+                TakenOracle::Alternate { next: true },
+            ] {
+                let mut i = Interpreter::new(&p, Memory::new());
+                i.set_reg(Reg(1), r1);
+                let out = i.run(&mut oracle).unwrap();
+                assert_eq!(out.stop, StopReason::Halted);
+                assert_eq!(i.reg(Reg(10)), expected, "r1={r1} oracle={oracle:?}");
+                assert_eq!(out.record.predicts, 1);
+                assert_eq!(out.record.resolves, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_trains_the_predict_site() {
+        // With a last-outcome oracle, the second execution of the same
+        // hammock must predict the direction observed the first time.
+        let p = decomposed_hammock();
+        let mut oracle = TakenOracle::last_outcome();
+        // First run: r1 != 0 → actual taken; oracle starts not-taken, so the
+        // resolve fires and trains "taken".
+        let mut i = Interpreter::new(&p, Memory::new());
+        i.set_reg(Reg(1), 5);
+        let out = i.run(&mut oracle).unwrap();
+        assert_eq!(out.record.resolve_mispredicts, 1);
+        // Second run, same data: now predicted correctly.
+        let mut i = Interpreter::new(&p, Memory::new());
+        i.set_reg(Reg(1), 5);
+        let out = i.run(&mut oracle).unwrap();
+        assert_eq!(out.record.resolve_mispredicts, 0);
+    }
+
+    #[test]
+    fn call_and_ret_transfer_control() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let f = b.block("callee");
+        let r = b.block("after");
+        b.push(f, Inst::mov(Reg(3), Operand::Imm(9)));
+        b.push(f, Inst::Ret);
+        b.push(e, Inst::Call { callee: f, ret_to: r });
+        b.push(r, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let mut i = Interpreter::new(&p, Memory::new());
+        i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        assert_eq!(i.reg(Reg(3)), 9);
+    }
+
+    #[test]
+    fn ret_underflow_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(e, Inst::Ret);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let mut i = Interpreter::new(&p, Memory::new());
+        assert!(matches!(
+            i.run(&mut TakenOracle::AlwaysTaken).unwrap_err(),
+            ExecError::ReturnUnderflow(_)
+        ));
+    }
+
+    #[test]
+    fn orphan_resolve_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let c = b.block("correct");
+        b.push(
+            e,
+            Inst::Resolve {
+                cond: CondKind::Nz,
+                src: Reg(0),
+                target: c,
+            },
+        );
+        b.fallthrough(e, c);
+        b.push(c, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let mut i = Interpreter::new(&p, Memory::new());
+        assert!(matches!(
+            i.run(&mut TakenOracle::AlwaysTaken).unwrap_err(),
+            ExecError::OrphanResolve(_)
+        ));
+    }
+
+    #[test]
+    fn memory_traffic_events_are_delivered() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(e, Inst::mov(Reg(1), Operand::Imm(0x8000)));
+        b.push(e, Inst::store(Reg(1), Reg(1), 0));
+        b.push(e, Inst::load(Reg(2), Reg(1), 0));
+        b.push(e, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let mut i = Interpreter::new(&p, Memory::new());
+        let mut loads = 0;
+        let mut stores = 0;
+        i.run_with(&mut TakenOracle::AlwaysTaken, |ev| match ev {
+            ExecEvent::Load { .. } => loads += 1,
+            ExecEvent::Store { .. } => stores += 1,
+            _ => {}
+        })
+        .unwrap();
+        assert_eq!((loads, stores), (1, 1));
+        assert_eq!(i.reg(Reg(2)), 0x8000);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(eval_alu(AluOp::Add, 2, 3), 5);
+        assert_eq!(eval_alu(AluOp::Sub, 2, 3), u64::MAX);
+        assert_eq!(eval_alu(AluOp::Div, 7, 0), u64::MAX);
+        assert_eq!(eval_alu(AluOp::Shl, 1, 65), 2); // shift mod 64
+        assert_eq!(eval_alu(AluOp::Mov, 9, 4), 4);
+    }
+}

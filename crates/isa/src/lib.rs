@@ -1,0 +1,57 @@
+//! # vanguard-isa
+//!
+//! The *hidden ISA* of the Branch Vanguard reproduction.
+//!
+//! The paper (McFarlin & Zilles, ISCA 2015) targets dynamic binary
+//! translation systems (Transmeta Crusoe, NVIDIA Project Denver) whose
+//! microarchitecture-specific ISA can be extended freely. This crate defines
+//! such an ISA: a load/store RISC instruction set extended with the paper's
+//! two new control-flow instructions:
+//!
+//! * [`Inst::Predict`] — carries only a target; at fetch it consults the
+//!   branch predictor and steers the front end (the control-flow divergence
+//!   point), then is dropped after decode.
+//! * [`Inst::Resolve`] — looks like a conditional branch, is always
+//!   predicted not-taken, and transfers control to its target only when the
+//!   earlier `Predict` was wrong.
+//!
+//! The crate also provides the container types ([`Program`], [`BasicBlock`]),
+//! a byte-accurate code layout for instruction-cache modelling, a sparse
+//! [`Memory`] image, and a functional [`Interpreter`] used as the execution
+//! oracle for profiling, transformation-correctness testing, and driving the
+//! cycle-level simulator.
+//!
+//! ```
+//! use vanguard_isa::{Program, Inst, AluOp, Operand, Reg, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let entry = b.block("entry");
+//! b.push(entry, Inst::alu(AluOp::Add, Reg(1), Operand::Reg(Reg(0)), Operand::Imm(41)));
+//! b.push(entry, Inst::Halt);
+//! b.set_entry(entry);
+//! let program = b.finish().expect("valid program");
+//! assert_eq!(program.block(entry).insts().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod asm;
+mod inst;
+mod interp;
+mod memory;
+mod program;
+mod reg;
+
+pub use asm::{format_block, parse_program, ParseError};
+pub use inst::{AluOp, CmpKind, CondKind, FpOp, FuClass, Inst, Operand};
+pub use interp::{
+    eval_alu, BranchRecord, ExecError, ExecEvent, InterpConfig, Interpreter, PredictionOracle,
+    RunOutcome, StopReason, TakenOracle,
+};
+pub use memory::Memory;
+pub use program::{
+    BasicBlock, BlockId, LayoutInfo, Program, ProgramBuilder, StaticSummary, ValidationError,
+    CODE_BASE,
+};
+pub use reg::{Reg, NUM_ARCH_REGS};

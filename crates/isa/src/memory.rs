@@ -1,0 +1,134 @@
+//! Sparse 64-bit data-memory image.
+
+use std::collections::HashMap;
+
+/// A sparse, word-granular data memory.
+///
+/// Addresses are byte addresses; accesses are 8-byte words, aligned down to
+/// the nearest word boundary (the hidden ISA does not require sub-word
+/// accesses for the paper's workloads). The image tracks which regions were
+/// explicitly mapped so that non-speculative loads to unmapped addresses can
+/// be distinguished from non-faulting speculative (`ld.s`) loads.
+///
+/// Mapping is a `Vec` of ranges scanned linearly: pre-map your working set
+/// with [`map_region`](Memory::map_region)/[`load_words`](Memory::load_words).
+/// Each store to an *unmapped* word implicitly maps one 8-byte range, so a
+/// workload scattering stores across unmapped space degrades every
+/// subsequent access to O(stores) — map first.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    words: HashMap<u64, u64>,
+    /// Half-open mapped ranges `[start, end)`.
+    mapped: Vec<(u64, u64)>,
+}
+
+impl Memory {
+    /// Creates an empty memory image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps the half-open byte range `[start, start + len)`.
+    ///
+    /// Mapped-but-unwritten words read as zero.
+    pub fn map_region(&mut self, start: u64, len: u64) {
+        if len > 0 {
+            self.mapped.push((start, start + len));
+        }
+    }
+
+    /// Returns `true` if the byte address falls in a mapped region.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.mapped.iter().any(|&(s, e)| addr >= s && addr < e)
+    }
+
+    /// Reads the word containing `addr`. Returns `None` when `addr` is
+    /// unmapped — callers decide whether that is a fault (normal load) or a
+    /// zero (speculative load).
+    pub fn read(&self, addr: u64) -> Option<u64> {
+        if !self.is_mapped(addr) {
+            return None;
+        }
+        Some(*self.words.get(&(addr & !7)).unwrap_or(&0))
+    }
+
+    /// Writes the word containing `addr`. Stores to unmapped addresses map
+    /// the containing word implicitly (the workloads pre-map their images,
+    /// so this path only services scratch data).
+    pub fn write(&mut self, addr: u64, value: u64) {
+        let w = addr & !7;
+        if !self.is_mapped(addr) {
+            self.mapped.push((w, w + 8));
+        }
+        self.words.insert(w, value);
+    }
+
+    /// Bulk-initialises a region with 64-bit words starting at `start`
+    /// (mapping it as a side effect).
+    pub fn load_words(&mut self, start: u64, words: &[u64]) {
+        self.map_region(start, (words.len() as u64) * 8);
+        for (i, &w) in words.iter().enumerate() {
+            self.words.insert((start & !7) + (i as u64) * 8, w);
+        }
+    }
+
+    /// Number of explicitly stored (non-zero-default) words.
+    pub fn resident_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_are_none() {
+        let m = Memory::new();
+        assert_eq!(m.read(0x1000), None);
+    }
+
+    #[test]
+    fn mapped_unwritten_reads_zero() {
+        let mut m = Memory::new();
+        m.map_region(0x1000, 64);
+        assert_eq!(m.read(0x1000), Some(0));
+        assert_eq!(m.read(0x103f), Some(0));
+        assert_eq!(m.read(0x1040), None);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut m = Memory::new();
+        m.write(0x2000, 0xdead_beef);
+        assert_eq!(m.read(0x2000), Some(0xdead_beef));
+    }
+
+    #[test]
+    fn reads_are_word_aligned() {
+        let mut m = Memory::new();
+        m.write(0x2000, 7);
+        // Any byte inside the word sees the same value.
+        assert_eq!(m.read(0x2003), Some(7));
+        assert_eq!(m.read(0x2007), Some(7));
+    }
+
+    #[test]
+    fn load_words_maps_and_fills() {
+        let mut m = Memory::new();
+        m.load_words(0x3000, &[1, 2, 3]);
+        assert_eq!(m.read(0x3000), Some(1));
+        assert_eq!(m.read(0x3008), Some(2));
+        assert_eq!(m.read(0x3010), Some(3));
+        assert_eq!(m.read(0x3018), None);
+        assert_eq!(m.resident_words(), 3);
+    }
+
+    #[test]
+    fn store_implicitly_maps_word() {
+        let mut m = Memory::new();
+        m.write(0x9000, 5);
+        assert!(m.is_mapped(0x9000));
+        assert!(!m.is_mapped(0x9008));
+    }
+}

@@ -1,0 +1,658 @@
+//! Programs, basic blocks, and byte-accurate code layout.
+
+use crate::inst::Inst;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Identifier of a basic block within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into the program's block table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A straight-line sequence of instructions with a single entry and at most
+/// one control-transfer instruction, which must be last.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    name: String,
+    insts: Vec<Inst>,
+    /// Explicit fall-through successor taken when the final instruction is
+    /// not an unconditional transfer. `None` for blocks ending in `Jump`,
+    /// `Ret`, or `Halt`.
+    fallthrough: Option<BlockId>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        BasicBlock {
+            name: name.into(),
+            insts: Vec::new(),
+            fallthrough: None,
+        }
+    }
+
+    /// Diagnostic name (not semantically meaningful).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instructions of the block.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Mutable access to the instructions (callers must preserve the
+    /// control-last invariant; re-validate with [`Program::validate`]).
+    pub fn insts_mut(&mut self) -> &mut Vec<Inst> {
+        &mut self.insts
+    }
+
+    /// The fall-through successor, if any.
+    pub fn fallthrough(&self) -> Option<BlockId> {
+        self.fallthrough
+    }
+
+    /// Sets the fall-through successor.
+    pub fn set_fallthrough(&mut self, succ: Option<BlockId>) {
+        self.fallthrough = succ;
+    }
+
+    /// The final (control) instruction, if the block is non-empty.
+    pub fn terminator(&self) -> Option<&Inst> {
+        self.insts.last()
+    }
+
+    /// Total encoded bytes of the block.
+    pub fn byte_size(&self) -> u64 {
+        self.insts.iter().map(Inst::encoded_size).sum()
+    }
+
+    /// Successor blocks in (taken-target, fall-through) order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(2);
+        if let Some(term) = self.terminator() {
+            match term {
+                Inst::Jump { target } => {
+                    out.push(*target);
+                    return out;
+                }
+                Inst::Halt | Inst::Ret => return out,
+                Inst::Call { callee, ret_to } => {
+                    // Both edges are real control flow: into the callee, and
+                    // back to the return block when the callee's `ret` fires
+                    // (the standard CFG treatment of calls — reachability,
+                    // liveness, and compaction all need the return edge).
+                    out.push(*callee);
+                    out.push(*ret_to);
+                    return out;
+                }
+                t if t.is_control() => {
+                    if let Some(target) = t.target() {
+                        out.push(target);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(ft) = self.fallthrough {
+            out.push(ft);
+        }
+        out
+    }
+}
+
+/// Errors detected by [`Program::validate`] / [`ProgramBuilder::finish`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A control-transfer instruction appears before the end of a block.
+    ControlNotLast {
+        /// Offending block.
+        block: BlockId,
+        /// Instruction index within the block.
+        index: usize,
+    },
+    /// A block falls off the end without a fall-through successor or an
+    /// unconditional terminator.
+    MissingFallthrough(BlockId),
+    /// An instruction references a block that does not exist.
+    DanglingTarget {
+        /// Offending block.
+        block: BlockId,
+        /// The missing target.
+        target: BlockId,
+    },
+    /// A register index is outside the architected file.
+    InvalidRegister(BlockId),
+    /// The entry block was never set.
+    NoEntry,
+    /// A conditional terminator needs a fall-through successor.
+    ConditionalWithoutFallthrough(BlockId),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ControlNotLast { block, index } => {
+                write!(f, "control instruction not last in {block} at index {index}")
+            }
+            ValidationError::MissingFallthrough(b) => {
+                write!(f, "block {b} has no terminator and no fall-through")
+            }
+            ValidationError::DanglingTarget { block, target } => {
+                write!(f, "block {block} references non-existent {target}")
+            }
+            ValidationError::InvalidRegister(b) => {
+                write!(f, "block {b} uses a register outside the architected file")
+            }
+            ValidationError::NoEntry => write!(f, "program entry block not set"),
+            ValidationError::ConditionalWithoutFallthrough(b) => {
+                write!(f, "conditional terminator in {b} lacks a fall-through successor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Byte layout of a program: block start addresses in layout order.
+///
+/// The layout is the linear placement the code generator emits; it determines
+/// instruction-cache behaviour and static code size.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LayoutInfo {
+    /// Start address of each block, indexed by `BlockId::index()`.
+    starts: Vec<u64>,
+    /// Address of each instruction: `addrs[block][i]`.
+    addrs: Vec<Vec<u64>>,
+    /// One past the last code byte.
+    end: u64,
+}
+
+impl LayoutInfo {
+    /// Start address of a block.
+    pub fn block_start(&self, b: BlockId) -> u64 {
+        self.starts[b.index()]
+    }
+
+    /// Address of instruction `i` of block `b`.
+    pub fn inst_addr(&self, b: BlockId, i: usize) -> u64 {
+        self.addrs[b.index()][i]
+    }
+
+    /// Total static code size in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.end - CODE_BASE
+    }
+}
+
+/// Base address at which code is laid out.
+pub const CODE_BASE: u64 = 0x1000;
+
+/// A complete hidden-ISA program: a table of basic blocks plus an entry
+/// point and a linear layout order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    blocks: Vec<BasicBlock>,
+    entry: BlockId,
+    /// Linear code layout order (every block exactly once).
+    layout_order: Vec<BlockId>,
+}
+
+impl Program {
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Accesses a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutably accesses a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Appends a new block (placed at the end of the layout order).
+    pub fn add_block(&mut self, block: BasicBlock) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(block);
+        self.layout_order.push(id);
+        id
+    }
+
+    /// The linear layout order.
+    pub fn layout_order(&self) -> &[BlockId] {
+        &self.layout_order
+    }
+
+    /// Replaces the layout order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of all block ids.
+    pub fn set_layout_order(&mut self, order: Vec<BlockId>) {
+        let seen: HashSet<BlockId> = order.iter().copied().collect();
+        assert_eq!(seen.len(), self.blocks.len(), "layout order must cover every block once");
+        assert_eq!(order.len(), self.blocks.len());
+        self.layout_order = order;
+    }
+
+    /// Computes the byte layout (block/instruction addresses).
+    pub fn layout(&self) -> LayoutInfo {
+        let mut starts = vec![0u64; self.blocks.len()];
+        let mut addrs = vec![Vec::new(); self.blocks.len()];
+        let mut pc = CODE_BASE;
+        for &bid in &self.layout_order {
+            starts[bid.index()] = pc;
+            let block = &self.blocks[bid.index()];
+            let mut a = Vec::with_capacity(block.insts().len());
+            for inst in block.insts() {
+                a.push(pc);
+                pc += inst.encoded_size();
+            }
+            addrs[bid.index()] = a;
+        }
+        LayoutInfo {
+            starts,
+            addrs,
+            end: pc,
+        }
+    }
+
+    /// Total static code size in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.blocks.iter().map(BasicBlock::byte_size).sum()
+    }
+
+    /// Total static instruction count.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts().len()).sum()
+    }
+
+    /// Checks the structural invariants; see [`ValidationError`].
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        for (i, block) in self.blocks.iter().enumerate() {
+            let bid = BlockId(i as u32);
+            let n = block.insts().len();
+            for (j, inst) in block.insts().iter().enumerate() {
+                if inst.is_control() && j + 1 != n {
+                    return Err(ValidationError::ControlNotLast { block: bid, index: j });
+                }
+                if let Some(t) = inst.target() {
+                    if t.index() >= self.blocks.len() {
+                        return Err(ValidationError::DanglingTarget { block: bid, target: t });
+                    }
+                }
+                if let Inst::Call { ret_to, .. } = inst {
+                    if ret_to.index() >= self.blocks.len() {
+                        return Err(ValidationError::DanglingTarget {
+                            block: bid,
+                            target: *ret_to,
+                        });
+                    }
+                }
+                let reg_ok = inst.dst().is_none_or(|r| r.is_valid())
+                    && inst.srcs().iter().all(|r| r.is_valid());
+                if !reg_ok {
+                    return Err(ValidationError::InvalidRegister(bid));
+                }
+            }
+            if let Some(ft) = block.fallthrough() {
+                if ft.index() >= self.blocks.len() {
+                    return Err(ValidationError::DanglingTarget { block: bid, target: ft });
+                }
+            }
+            let needs_ft = match block.terminator() {
+                None => true,
+                Some(Inst::Jump { .. }) | Some(Inst::Halt) | Some(Inst::Ret)
+                | Some(Inst::Call { .. }) => false,
+                Some(t) if t.is_control() => {
+                    // Conditional forms: Branch / Predict / Resolve.
+                    if block.fallthrough().is_none() {
+                        return Err(ValidationError::ConditionalWithoutFallthrough(bid));
+                    }
+                    false
+                }
+                Some(_) => true,
+            };
+            if needs_ft && block.fallthrough().is_none() {
+                return Err(ValidationError::MissingFallthrough(bid));
+            }
+        }
+        if self.entry.index() >= self.blocks.len() {
+            return Err(ValidationError::NoEntry);
+        }
+        Ok(())
+    }
+
+    /// Renders the program as pseudo-assembly, one block per paragraph.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for &bid in &self.layout_order {
+            let b = self.block(bid);
+            let _ = writeln!(s, "{bid} <{}>:", b.name());
+            for inst in b.insts() {
+                let _ = writeln!(s, "    {inst}");
+            }
+            if let Some(ft) = b.fallthrough() {
+                let _ = writeln!(s, "    ; fallthrough -> {ft}");
+            }
+        }
+        s
+    }
+}
+
+/// Incremental builder for [`Program`]s.
+///
+/// ```
+/// use vanguard_isa::{ProgramBuilder, Inst};
+/// let mut b = ProgramBuilder::new();
+/// let entry = b.block("entry");
+/// b.push(entry, Inst::Halt);
+/// b.set_entry(entry);
+/// let p = b.finish().unwrap();
+/// assert_eq!(p.entry(), entry);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    blocks: Vec<BasicBlock>,
+    entry: Option<BlockId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a new, empty block and returns its id.
+    pub fn block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock::new(name));
+        id
+    }
+
+    /// Appends an instruction to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` was not created by this builder.
+    pub fn push(&mut self, b: BlockId, inst: Inst) {
+        self.blocks[b.index()].insts_mut().push(inst);
+    }
+
+    /// Appends several instructions to a block.
+    pub fn push_all(&mut self, b: BlockId, insts: impl IntoIterator<Item = Inst>) {
+        self.blocks[b.index()].insts_mut().extend(insts);
+    }
+
+    /// Sets a block's fall-through successor.
+    pub fn fallthrough(&mut self, b: BlockId, succ: BlockId) {
+        self.blocks[b.index()].set_fallthrough(Some(succ));
+    }
+
+    /// Sets the program entry block.
+    pub fn set_entry(&mut self, b: BlockId) {
+        self.entry = Some(b);
+    }
+
+    /// Validates and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] found.
+    pub fn finish(self) -> Result<Program, ValidationError> {
+        let entry = self.entry.ok_or(ValidationError::NoEntry)?;
+        let layout_order = (0..self.blocks.len() as u32).map(BlockId).collect();
+        let p = Program {
+            blocks: self.blocks,
+            entry,
+            layout_order,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// Static per-branch-site summary used for code-size reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StaticSummary {
+    /// Counts of each mnemonic.
+    pub mnemonics: BTreeMap<&'static str, usize>,
+    /// Static bytes.
+    pub bytes: u64,
+    /// Static instruction count.
+    pub insts: usize,
+}
+
+impl Program {
+    /// Computes a static instruction-mix summary.
+    pub fn static_summary(&self) -> StaticSummary {
+        let mut s = StaticSummary::default();
+        for (_, b) in self.iter() {
+            for inst in b.insts() {
+                *s.mnemonics.entry(inst.mnemonic()).or_insert(0) += 1;
+                s.bytes += inst.encoded_size();
+                s.insts += 1;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, CondKind, Operand};
+    use crate::reg::Reg;
+
+    fn two_block_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.push(
+            e,
+            Inst::alu(AluOp::Add, Reg(1), Operand::Imm(0), Operand::Imm(1)),
+        );
+        b.fallthrough(e, x);
+        b.push(x, Inst::Halt);
+        b.set_entry(e);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_program() {
+        let p = two_block_program();
+        assert_eq!(p.num_blocks(), 2);
+        assert_eq!(p.num_insts(), 2);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn control_must_be_last() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(e, Inst::Halt);
+        b.push(e, Inst::Nop);
+        b.set_entry(e);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ValidationError::ControlNotLast {
+                block: BlockId(0),
+                index: 0
+            }
+        );
+    }
+
+    #[test]
+    fn missing_fallthrough_detected() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(e, Inst::Nop);
+        b.set_entry(e);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ValidationError::MissingFallthrough(BlockId(0))
+        );
+    }
+
+    #[test]
+    fn conditional_requires_fallthrough() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let t = b.block("t");
+        b.push(
+            e,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(0),
+                target: t,
+            },
+        );
+        b.push(t, Inst::Halt);
+        b.set_entry(e);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ValidationError::ConditionalWithoutFallthrough(BlockId(0))
+        );
+    }
+
+    #[test]
+    fn dangling_target_detected() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(e, Inst::Jump { target: BlockId(9) });
+        b.set_entry(e);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidationError::DanglingTarget { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_register_detected() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(
+            e,
+            Inst::alu(AluOp::Add, Reg(200), Operand::Imm(0), Operand::Imm(0)),
+        );
+        b.push(e, Inst::Halt);
+        b.set_entry(e);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ValidationError::InvalidRegister(BlockId(0))
+        );
+    }
+
+    #[test]
+    fn layout_addresses_are_contiguous() {
+        let p = two_block_program();
+        let l = p.layout();
+        assert_eq!(l.block_start(BlockId(0)), CODE_BASE);
+        assert_eq!(l.inst_addr(BlockId(0), 0), CODE_BASE);
+        // First inst is a short ALU op (4 bytes), so bb1 starts right after.
+        assert_eq!(l.block_start(BlockId(1)), CODE_BASE + 4);
+        assert_eq!(l.code_bytes(), p.code_bytes());
+    }
+
+    #[test]
+    fn successors_of_conditional_branch() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let t = b.block("taken");
+        let f = b.block("fall");
+        b.push(
+            e,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(0),
+                target: t,
+            },
+        );
+        b.fallthrough(e, f);
+        b.push(t, Inst::Halt);
+        b.push(f, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        assert_eq!(p.block(e).successors(), vec![t, f]);
+        assert!(p.block(t).successors().is_empty());
+    }
+
+    #[test]
+    fn set_layout_order_changes_addresses() {
+        let mut p = two_block_program();
+        p.set_layout_order(vec![BlockId(1), BlockId(0)]);
+        let l = p.layout();
+        assert_eq!(l.block_start(BlockId(1)), CODE_BASE);
+        assert!(l.block_start(BlockId(0)) > CODE_BASE);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout order must cover every block")]
+    fn bad_layout_order_panics() {
+        let mut p = two_block_program();
+        p.set_layout_order(vec![BlockId(0), BlockId(0)]);
+    }
+
+    #[test]
+    fn disassembly_contains_names_and_mnemonics() {
+        let p = two_block_program();
+        let d = p.disassemble();
+        assert!(d.contains("<entry>"));
+        assert!(d.contains("add r1"));
+        assert!(d.contains("halt"));
+    }
+
+    #[test]
+    fn static_summary_counts() {
+        let p = two_block_program();
+        let s = p.static_summary();
+        assert_eq!(s.insts, 2);
+        assert_eq!(s.mnemonics["add"], 1);
+        assert_eq!(s.mnemonics["halt"], 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of architected general-purpose registers in the hidden ISA.
+///
+/// DBT-based VLIW machines expose a large architectural register file to the
+/// translator (the paper's §2.2 lists "additional registers to hold
+/// speculative values" as one of the three enabling mechanisms); 64 matches
+/// the Transmeta/Denver class of machines.
+pub const NUM_ARCH_REGS: usize = 64;
+
+/// An architected register `r0..r63`.
+///
+/// `r0` is a normal read/write register (the ISA has no hardwired zero; use
+/// [`crate::Operand::Imm`] for constants). Register *values* are untyped
+/// 64-bit words; floating-point operations interpret them as `f64` bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Returns the register index as a `usize` for register-file indexing.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; indices are validated at program-build time.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this register index is within the architected file.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_ARCH_REGS
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u8> for Reg {
+    fn from(v: u8) -> Self {
+        Reg(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_assembly_syntax() {
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(Reg(63).to_string(), "r63");
+    }
+
+    #[test]
+    fn validity_bound_is_num_arch_regs() {
+        assert!(Reg(63).is_valid());
+        assert!(!Reg(64).is_valid());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..NUM_ARCH_REGS as u8 {
+            assert_eq!(Reg(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Reg(1) < Reg(2));
+        assert_eq!(Reg(5), Reg::from(5u8));
+    }
+}

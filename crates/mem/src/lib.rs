@@ -1,0 +1,37 @@
+//! # vanguard-mem
+//!
+//! Timing model of the memory hierarchy from Table 1 of the paper:
+//!
+//! | Structure | Configuration |
+//! |---|---|
+//! | L1-D | 8-way, 32 KB, 64 B lines, 4-cycle |
+//! | L1-I | 4-way, 32 KB, 64 B lines, 4-cycle |
+//! | L2 | 16-way, 256 KB unified, 12-cycle |
+//! | L3 | 32-way, 4 MB LLC, 25-cycle |
+//! | Miss handling | 64-entry miss buffer, 64-entry load-fill-request queue |
+//! | Main memory | 140-cycle |
+//!
+//! The model is *non-blocking*: an access returns the cycle at which its
+//! data is available, and outstanding misses to the same line merge. The
+//! simulator decides what stalls on that completion time (in-order cores
+//! stall the consumer, not the load).
+//!
+//! ```
+//! use vanguard_mem::{MemSystem, MemConfig, AccessKind};
+//!
+//! let mut mem = MemSystem::new(MemConfig::table1_default());
+//! let miss = mem.access(0, 0x4_0000, AccessKind::Load);
+//! let hit = mem.access(miss.complete, 0x4_0000, AccessKind::Load);
+//! assert!(hit.complete - miss.complete < miss.complete - 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod hierarchy;
+mod outstanding;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{Access, AccessKind, Level, MemConfig, MemStats, MemSystem};
+pub use outstanding::OutstandingQueue;

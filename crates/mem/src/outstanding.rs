@@ -1,0 +1,158 @@
+//! Bounded tracking of in-flight misses (miss buffer / LFRQ).
+
+use std::collections::VecDeque;
+
+/// A bounded queue of outstanding line misses.
+///
+/// Models both Table 1 structures: the 64-entry miss buffer and the
+/// 64-entry load-fill-request queue. Misses to a line that is already in
+/// flight *merge* (complete at the same time). When the queue is full, a
+/// new miss must wait for the earliest completion before it can even be
+/// issued — the structural hazard an in-order machine feels as back-end
+/// pressure.
+#[derive(Clone, Debug)]
+pub struct OutstandingQueue {
+    capacity: usize,
+    /// `(line_addr, complete_cycle)` in completion order.
+    inflight: VecDeque<(u64, u64)>,
+    merges: u64,
+    structural_stalls: u64,
+}
+
+impl OutstandingQueue {
+    /// Creates a queue with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        OutstandingQueue {
+            capacity,
+            inflight: VecDeque::new(),
+            merges: 0,
+            structural_stalls: 0,
+        }
+    }
+
+    /// Removes entries that have completed by `cycle`.
+    pub fn drain_completed(&mut self, cycle: u64) {
+        while let Some(&(_, done)) = self.inflight.front() {
+            if done <= cycle {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Registers a miss to `line_addr` observed at `cycle` that needs
+    /// `latency` cycles of service; returns the completion cycle,
+    /// accounting for merging and structural stalls.
+    pub fn request(&mut self, cycle: u64, line_addr: u64, latency: u64) -> u64 {
+        self.drain_completed(cycle);
+        if let Some(&(_, done)) = self.inflight.iter().find(|&&(l, _)| l == line_addr) {
+            self.merges += 1;
+            return done;
+        }
+        let start = if self.inflight.len() >= self.capacity {
+            // Wait for the earliest in-flight miss to free its slot.
+            self.structural_stalls += 1;
+            let earliest = self.inflight.front().expect("full queue").1;
+            self.inflight.pop_front();
+            earliest.max(cycle)
+        } else {
+            cycle
+        };
+        let done = start + latency;
+        // Keep the deque sorted by completion (latencies are uniform per
+        // level, and delayed starts only ever append later completions).
+        let pos = self
+            .inflight
+            .iter()
+            .position(|&(_, d)| d > done)
+            .unwrap_or(self.inflight.len());
+        self.inflight.insert(pos, (line_addr, done));
+        done
+    }
+
+    /// Entries currently in flight (after draining at the given cycle).
+    pub fn occupancy(&mut self, cycle: u64) -> usize {
+        self.drain_completed(cycle);
+        self.inflight.len()
+    }
+
+    /// Lifetime count of merged (secondary) misses.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Lifetime count of full-queue stalls.
+    pub fn structural_stalls(&self) -> u64 {
+        self.structural_stalls
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_misses_overlap() {
+        let mut q = OutstandingQueue::new(4);
+        let a = q.request(0, 0x100, 140);
+        let b = q.request(1, 0x200, 140);
+        assert_eq!(a, 140);
+        assert_eq!(b, 141); // overlapped, not serialized
+    }
+
+    #[test]
+    fn same_line_merges() {
+        let mut q = OutstandingQueue::new(4);
+        let a = q.request(0, 0x100, 140);
+        let b = q.request(10, 0x100, 140);
+        assert_eq!(a, b);
+        assert_eq!(q.merges(), 1);
+    }
+
+    #[test]
+    fn full_queue_delays_new_misses() {
+        let mut q = OutstandingQueue::new(2);
+        q.request(0, 0x100, 100);
+        q.request(0, 0x200, 100);
+        let c = q.request(1, 0x300, 100);
+        // Must wait for the first completion at 100 before starting.
+        assert_eq!(c, 200);
+        assert_eq!(q.structural_stalls(), 1);
+    }
+
+    #[test]
+    fn completed_entries_free_slots() {
+        let mut q = OutstandingQueue::new(1);
+        q.request(0, 0x100, 10);
+        // At cycle 20 the miss has retired; no structural stall.
+        let c = q.request(20, 0x200, 10);
+        assert_eq!(c, 30);
+        assert_eq!(q.structural_stalls(), 0);
+    }
+
+    #[test]
+    fn occupancy_reflects_inflight_misses() {
+        let mut q = OutstandingQueue::new(8);
+        q.request(0, 0x100, 50);
+        q.request(0, 0x200, 50);
+        assert_eq!(q.occupancy(0), 2);
+        assert_eq!(q.occupancy(100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = OutstandingQueue::new(0);
+    }
+}

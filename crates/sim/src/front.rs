@@ -1,0 +1,487 @@
+//! The 5-stage front end: fetch, prediction, and the Decomposed Branch
+//! Buffer.
+
+use crate::config::MachineConfig;
+use crate::stats::SimStats;
+use std::collections::VecDeque;
+use vanguard_bpred::{Btb, DecomposedBranchBuffer, DirectionPredictor, PredMeta, Ras};
+use vanguard_isa::{BlockId, Inst, LayoutInfo, Program};
+use vanguard_mem::{AccessKind, Level, MemSystem};
+
+/// Prediction state attached to a fetched conditional.
+#[derive(Clone, Debug)]
+pub enum PredInfo {
+    /// A conventional branch: the predictor metadata and direction chosen
+    /// at fetch.
+    Branch {
+        /// Predictor metadata for the later update.
+        meta: PredMeta,
+        /// Direction the front end followed.
+        predicted_taken: bool,
+    },
+    /// A `resolve`: always predicted not-taken; carries the DBB index that
+    /// associates it with its `predict` (Figure 7b).
+    Resolve {
+        /// DBB tail index read at decode.
+        dbb_index: usize,
+    },
+}
+
+/// Front-end state captured at the fetch of every conditional, restored on
+/// a misprediction re-steer (the paper notes branch history and the DBB
+/// tail are recovered by the same mechanism).
+#[derive(Clone, Debug)]
+pub struct FetchSnapshot {
+    /// DBB tail pointer.
+    pub dbb_tail: usize,
+    /// Hardware RAS (top, depth).
+    pub ras: (usize, usize),
+    /// Architectural call stack (perfect; bounded by workload call depth).
+    pub call_stack: Vec<BlockId>,
+}
+
+/// An instruction waiting in the fetch buffer.
+#[derive(Clone, Debug)]
+pub struct FetchedInst {
+    /// The instruction.
+    pub inst: Inst,
+    /// Containing block.
+    pub block: BlockId,
+    /// Index within the block.
+    pub index: usize,
+    /// Code address.
+    pub pc: u64,
+    /// Cycle at which it clears the front end and becomes issue-eligible.
+    pub ready_cycle: u64,
+    /// Prediction state (conditionals only).
+    pub pred: Option<PredInfo>,
+    /// Front-end snapshot (conditionals only).
+    pub snapshot: Option<FetchSnapshot>,
+}
+
+/// The front end: fetch PC, fetch buffer, predictor, BTB, RAS, DBB, and
+/// the perfect call stack used to model a translated machine's precise
+/// return handling.
+pub struct FrontEnd<'p> {
+    program: &'p Program,
+    layout: LayoutInfo,
+    config: MachineConfig,
+    /// Next fetch position.
+    pc: (BlockId, usize),
+    /// Decoded instructions awaiting issue.
+    pub(crate) buffer: VecDeque<FetchedInst>,
+    pub(crate) predictor: Box<dyn DirectionPredictor>,
+    pub(crate) dbb: DecomposedBranchBuffer,
+    btb: Btb,
+    ras: Ras,
+    call_stack: Vec<BlockId>,
+    /// Fetch is blocked until this cycle (I$ miss or BTB bubble).
+    stall_until: u64,
+    /// Set when a `halt` (or an unresolvable wrong-path `ret`) was fetched.
+    halted: bool,
+    /// Line containing the last fetched instruction (I$ access filter).
+    last_line: Option<u64>,
+    /// True from a flush until the first I$ line access completes
+    /// (measures the §6.1 miss-under-mispredict conjunction).
+    redirect_window: bool,
+}
+
+impl<'p> std::fmt::Debug for FrontEnd<'p> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontEnd")
+            .field("pc", &self.pc)
+            .field("buffer_len", &self.buffer.len())
+            .field("stall_until", &self.stall_until)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p> FrontEnd<'p> {
+    /// Creates a front end positioned at the program entry.
+    pub fn new(
+        program: &'p Program,
+        config: MachineConfig,
+        predictor: Box<dyn DirectionPredictor>,
+    ) -> Self {
+        FrontEnd {
+            program,
+            layout: program.layout(),
+            config,
+            pc: (program.entry(), 0),
+            buffer: VecDeque::with_capacity(config.fetch_buffer),
+            predictor,
+            dbb: DecomposedBranchBuffer::new(config.dbb_entries),
+            btb: Btb::table1_default(),
+            ras: Ras::table1_default(),
+            call_stack: Vec::new(),
+            stall_until: 0,
+            halted: false,
+            last_line: None,
+            redirect_window: false,
+        }
+    }
+
+    /// The code layout (shared with the issue stage).
+    pub fn layout(&self) -> &LayoutInfo {
+        &self.layout
+    }
+
+    /// The oldest buffered instruction, if any.
+    pub fn head(&self) -> Option<&FetchedInst> {
+        self.buffer.front()
+    }
+
+    /// Removes and returns the oldest buffered instruction.
+    pub fn pop(&mut self) -> Option<FetchedInst> {
+        self.buffer.pop_front()
+    }
+
+    fn snapshot(&self) -> FetchSnapshot {
+        FetchSnapshot {
+            dbb_tail: self.dbb.tail(),
+            ras: (0, self.ras.depth()),
+            call_stack: self.call_stack.clone(),
+        }
+    }
+
+    /// Runs one fetch cycle: up to `width` instructions, stopping at taken
+    /// steers, I$ miss stalls, a full fetch buffer, or `halt`.
+    pub fn fetch_cycle(&mut self, cycle: u64, mem: &mut MemSystem, stats: &mut SimStats) {
+        if self.halted {
+            return;
+        }
+        if cycle < self.stall_until {
+            stats.icache_stall_cycles += 1;
+            return;
+        }
+        let mut slots = self.config.width;
+        while slots > 0 && self.buffer.len() < self.config.fetch_buffer {
+            let (block, idx) = self.pc;
+            let bb = self.program.block(block);
+            if idx >= bb.insts().len() {
+                // Implicit fall-through: pure next-PC logic, no slot cost.
+                self.pc = (
+                    bb.fallthrough()
+                        .expect("validated program: fall-through present"),
+                    0,
+                );
+                continue;
+            }
+            let inst = bb.insts()[idx].clone();
+            let pc = self.layout.inst_addr(block, idx);
+
+            // Instruction cache: one access per line transition.
+            let line = pc >> 6;
+            if self.last_line != Some(line) {
+                let acc = mem.access(cycle, pc, AccessKind::InstFetch);
+                let was_redirect_window = self.redirect_window;
+                self.redirect_window = false;
+                if acc.level != Level::L1 {
+                    if was_redirect_window {
+                        stats.icache_miss_under_mispredict += 1;
+                    }
+                    self.stall_until = acc.complete;
+                    self.last_line = Some(line);
+                    stats.icache_stall_cycles += 1;
+                    return;
+                }
+                self.last_line = Some(line);
+            }
+
+            stats.fetched += 1;
+            slots -= 1;
+
+            match inst {
+                Inst::Predict { target } => {
+                    stats.predicts += 1;
+                    let meta = self.predictor.predict(pc);
+                    let predicted_taken = meta.taken;
+                    self.dbb.insert(pc, meta);
+                    if predicted_taken {
+                        if self.steer(cycle, pc, target) {
+                            return;
+                        }
+                        break; // taken steer ends the fetch group
+                    }
+                    self.pc = (
+                        bb.fallthrough().expect("validated: predict fall-through"),
+                        0,
+                    );
+                }
+                Inst::Branch { target, .. } => {
+                    let snapshot = self.snapshot();
+                    let meta = self.predictor.predict(pc);
+                    let predicted_taken = meta.taken;
+                    self.buffer.push_back(FetchedInst {
+                        inst,
+                        block,
+                        index: idx,
+                        pc,
+                        ready_cycle: cycle + self.config.fe_latency(),
+                        pred: Some(PredInfo::Branch {
+                            meta,
+                            predicted_taken,
+                        }),
+                        snapshot: Some(snapshot),
+                    });
+                    if predicted_taken {
+                        if self.steer(cycle, pc, target) {
+                            return;
+                        }
+                        break;
+                    }
+                    self.pc = (
+                        bb.fallthrough().expect("validated: branch fall-through"),
+                        0,
+                    );
+                }
+                Inst::Resolve { .. } => {
+                    // Always predicted not-taken; tagged with the DBB tail.
+                    let snapshot = self.snapshot();
+                    let dbb_index = self.dbb.tail();
+                    self.buffer.push_back(FetchedInst {
+                        inst,
+                        block,
+                        index: idx,
+                        pc,
+                        ready_cycle: cycle + self.config.fe_latency(),
+                        pred: Some(PredInfo::Resolve { dbb_index }),
+                        snapshot: Some(snapshot),
+                    });
+                    self.pc = (
+                        bb.fallthrough().expect("validated: resolve fall-through"),
+                        0,
+                    );
+                }
+                Inst::Jump { target } => {
+                    if self.steer(cycle, pc, target) {
+                        return;
+                    }
+                    break;
+                }
+                Inst::Call { callee, ret_to } => {
+                    self.call_stack.push(ret_to);
+                    self.ras.push(self.layout.block_start(ret_to));
+                    if self.steer(cycle, pc, callee) {
+                        return;
+                    }
+                    break;
+                }
+                Inst::Ret => {
+                    self.ras.pop();
+                    match self.call_stack.pop() {
+                        Some(ret) => {
+                            if self.steer(cycle, pc, ret) {
+                                return;
+                            }
+                        }
+                        None => {
+                            // Wrong-path return past the top frame: fetch
+                            // cannot proceed; wait to be flushed.
+                            self.halted = true;
+                        }
+                    }
+                    break;
+                }
+                Inst::Halt => {
+                    self.buffer.push_back(FetchedInst {
+                        inst,
+                        block,
+                        index: idx,
+                        pc,
+                        ready_cycle: cycle + self.config.fe_latency(),
+                        pred: None,
+                        snapshot: None,
+                    });
+                    self.halted = true;
+                    break;
+                }
+                other => {
+                    self.buffer.push_back(FetchedInst {
+                        inst: other,
+                        block,
+                        index: idx,
+                        pc,
+                        ready_cycle: cycle + self.config.fe_latency(),
+                        pred: None,
+                        snapshot: None,
+                    });
+                    self.pc = (block, idx + 1);
+                }
+            }
+        }
+    }
+
+    /// Redirects fetch to `target`; returns `true` if a BTB miss inserted a
+    /// one-cycle steer bubble (which ends the fetch cycle immediately).
+    fn steer(&mut self, cycle: u64, from_pc: u64, target: BlockId) -> bool {
+        self.pc = (target, 0);
+        self.last_line = None;
+        let target_addr = self.layout.block_start(target);
+        if self.btb.lookup(from_pc) != Some(target_addr) {
+            self.btb.insert(from_pc, target_addr);
+            // Decode-stage steer: one bubble cycle.
+            self.stall_until = cycle + 2;
+            return true;
+        }
+        false
+    }
+
+    /// Squashes all buffered instructions and re-steers fetch after a
+    /// misprediction, restoring the snapshot captured at the mispredicting
+    /// conditional's fetch.
+    pub fn flush(&mut self, target: (BlockId, usize), snap: &FetchSnapshot, resume_cycle: u64) {
+        self.buffer.clear();
+        self.pc = target;
+        self.dbb.recover_tail(snap.dbb_tail);
+        // Rebuild the hardware RAS to the snapshot depth (entry contents
+        // are re-derived from the perfect stack, modelling a checkpointed
+        // top-of-stack pointer).
+        self.call_stack = snap.call_stack.clone();
+        self.ras = Ras::table1_default();
+        for &b in &self.call_stack {
+            self.ras.push(self.layout.block_start(b));
+        }
+        self.stall_until = resume_cycle;
+        self.halted = false;
+        self.last_line = None;
+        self.redirect_window = true;
+    }
+
+    /// True when fetch has stopped at a `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SimStats;
+    use vanguard_bpred::Combined;
+    use vanguard_isa::{CondKind, ProgramBuilder, Reg};
+    use vanguard_mem::MemConfig;
+
+    fn front_for(p: &Program) -> (FrontEnd<'_>, MemSystem, SimStats) {
+        let fe = FrontEnd::new(
+            p,
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        (fe, MemSystem::new(MemConfig::table1_default()), SimStats::default())
+    }
+
+    fn straightline() -> Program {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        for _ in 0..6 {
+            b.push(e, Inst::Nop);
+        }
+        b.push(e, Inst::Halt);
+        b.set_entry(e);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fetch_fills_the_buffer_at_width_per_cycle() {
+        let p = straightline();
+        let (mut fe, mut mem, mut stats) = front_for(&p);
+        // Cycle 0: cold I$ miss stalls fetch.
+        fe.fetch_cycle(0, &mut mem, &mut stats);
+        assert_eq!(fe.buffer.len(), 0);
+        assert!(stats.icache_stall_cycles > 0);
+        // After the fill completes, width instructions per cycle.
+        let resume = 200;
+        fe.fetch_cycle(resume, &mut mem, &mut stats);
+        assert_eq!(fe.buffer.len(), 4);
+        fe.fetch_cycle(resume + 1, &mut mem, &mut stats);
+        assert_eq!(fe.buffer.len(), 7); // 6 nops + halt
+        assert!(fe.is_halted());
+    }
+
+    #[test]
+    fn ready_cycle_reflects_front_end_depth() {
+        let p = straightline();
+        let (mut fe, mut mem, mut stats) = front_for(&p);
+        fe.fetch_cycle(0, &mut mem, &mut stats); // cold I$ fill
+        fe.fetch_cycle(200, &mut mem, &mut stats);
+        let head = fe.head().expect("fetched");
+        assert_eq!(head.ready_cycle, 200 + 4);
+    }
+
+    #[test]
+    fn taken_branch_prediction_ends_the_fetch_group() {
+        // entry: br (trained taken) -> target far away.
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let t = b.block("target");
+        let f = b.block("fall");
+        b.push(e, Inst::Nop);
+        b.push(
+            e,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: t,
+            },
+        );
+        b.fallthrough(e, f);
+        b.push(f, Inst::Halt);
+        b.push(t, Inst::Nop);
+        b.push(t, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let (mut fe, mut mem, mut stats) = front_for(&p);
+        // Warm the I$ then fetch: nop + branch fetched; the branch is
+        // predicted not-taken cold, so fetch continues at the fall-through
+        // within the same group.
+        fe.fetch_cycle(0, &mut mem, &mut stats);
+        fe.fetch_cycle(200, &mut mem, &mut stats);
+        assert!(fe.buffer.len() >= 2);
+        let kinds: Vec<_> = fe.buffer.iter().map(|fi| fi.inst.mnemonic()).collect();
+        assert!(kinds.contains(&"br.nz"));
+    }
+
+    #[test]
+    fn flush_clears_buffer_and_resteers() {
+        let p = straightline();
+        let (mut fe, mut mem, mut stats) = front_for(&p);
+        fe.fetch_cycle(0, &mut mem, &mut stats); // cold I$ fill
+        fe.fetch_cycle(200, &mut mem, &mut stats);
+        assert!(!fe.buffer.is_empty());
+        let snap = FetchSnapshot {
+            dbb_tail: 0,
+            ras: (0, 0),
+            call_stack: Vec::new(),
+        };
+        fe.flush((p.entry(), 0), &snap, 300);
+        assert!(fe.buffer.is_empty());
+        assert!(!fe.is_halted());
+        // Fetch resumes at the redirect cycle, not before.
+        fe.fetch_cycle(299, &mut mem, &mut stats);
+        assert!(fe.buffer.is_empty());
+        fe.fetch_cycle(300, &mut mem, &mut stats);
+        assert!(!fe.buffer.is_empty());
+    }
+
+    #[test]
+    fn fetch_buffer_capacity_is_respected() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let l = b.block("loop");
+        b.push(e, Inst::Nop);
+        b.fallthrough(e, l);
+        for _ in 0..8 {
+            b.push(l, Inst::Nop);
+        }
+        b.push(l, Inst::Jump { target: l });
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let (mut fe, mut mem, mut stats) = front_for(&p);
+        for c in 0..300 {
+            fe.fetch_cycle(c, &mut mem, &mut stats);
+        }
+        assert!(fe.buffer.len() <= MachineConfig::four_wide().fetch_buffer);
+    }
+}

@@ -1,0 +1,140 @@
+//! Speculative store buffer with store-to-load forwarding.
+
+use vanguard_isa::Memory;
+
+/// One buffered store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// Word-aligned address.
+    pub addr: u64,
+    /// Value.
+    pub value: u64,
+    /// Issue sequence number (for rollback).
+    pub seq: u64,
+    /// Cycle the store issued (for drain safety).
+    pub issue_cycle: u64,
+}
+
+/// A FIFO of issued-but-not-committed stores.
+///
+/// Stores execute speculatively into this buffer; younger-than-checkpoint
+/// entries are discarded on a misprediction rollback, and entries old
+/// enough to be unsquashable drain into the architectural [`Memory`]
+/// image. Loads forward from the youngest matching entry.
+#[derive(Clone, Debug, Default)]
+pub struct StoreBuffer {
+    entries: Vec<StoreEntry>,
+}
+
+impl StoreBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers a store.
+    pub fn push(&mut self, addr: u64, value: u64, seq: u64, issue_cycle: u64) {
+        self.entries.push(StoreEntry {
+            addr: addr & !7,
+            value,
+            seq,
+            issue_cycle,
+        });
+    }
+
+    /// Forwards the youngest buffered value for the word containing
+    /// `addr`, if any.
+    pub fn forward(&self, addr: u64) -> Option<u64> {
+        let w = addr & !7;
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.addr == w)
+            .map(|e| e.value)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no stores are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards entries with `seq >= from_seq` (misprediction rollback).
+    pub fn squash_from(&mut self, from_seq: u64) {
+        self.entries.retain(|e| e.seq < from_seq);
+    }
+
+    /// Writes entries issued at or before `safe_cycle` to memory and
+    /// removes them. Entries are drained in order.
+    pub fn drain_older_than(&mut self, safe_cycle: u64, memory: &mut Memory) {
+        let mut i = 0;
+        while i < self.entries.len() && self.entries[i].issue_cycle <= safe_cycle {
+            memory.write(self.entries[i].addr, self.entries[i].value);
+            i += 1;
+        }
+        self.entries.drain(..i);
+    }
+
+    /// Drains everything (end of simulation).
+    pub fn drain_all(&mut self, memory: &mut Memory) {
+        for e in self.entries.drain(..) {
+            memory.write(e.addr, e.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_returns_youngest_match() {
+        let mut sb = StoreBuffer::new();
+        sb.push(0x100, 1, 0, 0);
+        sb.push(0x100, 2, 1, 0);
+        sb.push(0x200, 3, 2, 0);
+        assert_eq!(sb.forward(0x100), Some(2));
+        assert_eq!(sb.forward(0x104), Some(2)); // same word
+        assert_eq!(sb.forward(0x300), None);
+    }
+
+    #[test]
+    fn squash_drops_young_entries_only() {
+        let mut sb = StoreBuffer::new();
+        sb.push(0x100, 1, 10, 0);
+        sb.push(0x200, 2, 11, 0);
+        sb.push(0x300, 3, 12, 0);
+        sb.squash_from(11);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.forward(0x100), Some(1));
+        assert_eq!(sb.forward(0x200), None);
+    }
+
+    #[test]
+    fn drain_commits_in_order() {
+        let mut sb = StoreBuffer::new();
+        let mut mem = Memory::new();
+        sb.push(0x100, 7, 0, 5);
+        sb.push(0x100, 8, 1, 9);
+        sb.drain_older_than(5, &mut mem);
+        assert_eq!(mem.read(0x100), Some(7));
+        assert_eq!(sb.len(), 1);
+        sb.drain_all(&mut mem);
+        assert_eq!(mem.read(0x100), Some(8));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn drain_respects_cycle_boundary() {
+        let mut sb = StoreBuffer::new();
+        let mut mem = Memory::new();
+        sb.push(0x100, 1, 0, 10);
+        sb.drain_older_than(9, &mut mem);
+        assert_eq!(sb.len(), 1, "not yet safe to drain");
+        assert_eq!(mem.read(0x100), None);
+    }
+}

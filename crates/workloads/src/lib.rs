@@ -1,0 +1,32 @@
+//! # vanguard-workloads
+//!
+//! Calibrated synthetic stand-ins for the SPEC 2000/2006 benchmarks.
+//!
+//! The paper evaluates on SPEC binaries with TRAIN/REF inputs; those are
+//! not redistributable, so this crate synthesises workloads that reproduce
+//! the *branch-behaviour characteristics* the paper's own analysis (§5.1,
+//! §5.2, Table 2) identifies as the determinants of speedup:
+//!
+//! * per-site **bias** and **predictability** (including the crucial
+//!   predictable-but-unbiased population — [`OutcomeModel`] generates
+//!   direction streams whose measured predictor accuracy and taken-rate
+//!   are calibrated to targets);
+//! * **PBC** — the fraction of forward branches that qualify;
+//! * **MLP/ALPBB** — loads per successor block;
+//! * **PHI** — the hoistable fraction of successor blocks;
+//! * **D$ behaviour** — working-set footprint per benchmark;
+//! * multiple REF inputs with per-input bias variation.
+//!
+//! [`suite::spec2006_int`] and friends give one [`BenchmarkSpec`] per
+//! benchmark named in the paper; [`BenchmarkSpec::build`] produces an
+//! `ExperimentInput`-shaped bundle (program + TRAIN + REF inputs).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod kernel;
+mod model;
+pub mod suite;
+
+pub use kernel::{BenchmarkSpec, BuiltWorkload, SiteSpec, Suite, WorkloadInput};
+pub use model::OutcomeModel;

@@ -1,0 +1,335 @@
+//! Branch-outcome models with independently controllable bias and
+//! predictability.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of branch-direction streams.
+///
+/// The paper's motivating population is branches whose *predictability
+/// significantly exceeds their bias* (Figures 2/3). [`OutcomeModel::markov`]
+/// produces exactly that: directions are locally sticky (run/phase
+/// behaviour a real predictor learns) while the long-run taken-rate is
+/// unbiased. Calibration: a two-state Markov chain with stationary
+/// taken-rate `T` and flip rate `f` gives a last-direction-style predictor
+/// accuracy ≈ `1 − α·f` (α ≈ 1.25 for 2-bit-counter re-saturation), so we
+/// set `f = (1 − predictability)/α`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutcomeModel {
+    /// Two-state Markov chain: `bias` = stationary frequency of the
+    /// majority direction, `predictability` = target predictor accuracy.
+    Markov {
+        /// Majority-direction frequency in `[0.5, 1)`.
+        bias: f64,
+        /// Target predictor accuracy in `(0.5, 1]`.
+        predictability: f64,
+    },
+    /// A fixed repeating pattern (fully predictable given enough history).
+    Periodic {
+        /// The repeating direction pattern (non-empty).
+        pattern: Vec<bool>,
+    },
+    /// Independent biased coin flips (predictability ≈ bias: the
+    /// unpredictable population, predication territory).
+    Random {
+        /// Taken probability.
+        taken_prob: f64,
+    },
+    /// A period-`2·half_len + 2` pattern of the form `X·0·X·1` where `X`
+    /// is a fixed pseudo-random block: every history window shorter than
+    /// `half_len` appears twice with *different* successors, so
+    /// short-history predictors (bimodal, small gshare) are confused while
+    /// long-history predictors (TAGE-class) disambiguate perfectly — the
+    /// population that drives the §5.3 sensitivity study.
+    AliasedPeriodic {
+        /// Length of the repeated block `X` (pattern period is
+        /// `2·half_len + 2`).
+        half_len: usize,
+        /// Seed fixing the block contents (a site's intrinsic behaviour).
+        pattern_seed: u64,
+    },
+}
+
+/// Calibration constant: 2-bit counters lose ≈ 1.25 predictions per
+/// direction flip.
+const FLIP_PENALTY: f64 = 1.25;
+
+impl OutcomeModel {
+    /// A fixed-trip loop branch: taken `trip − 1` times, then not-taken
+    /// once. Short-history predictors mispredict the exit (≈ `1/trip`
+    /// miss rate); TAGE-class predictors with history ≥ `trip` and loop
+    /// predictors capture it exactly — another §5.3 separator.
+    pub fn loop_trip(trip: usize) -> Self {
+        assert!(trip >= 2, "trip must be at least 2");
+        let mut pattern = vec![true; trip - 1];
+        pattern.push(false);
+        OutcomeModel::Periodic { pattern }
+    }
+
+    /// A Markov model with the given majority-direction bias and target
+    /// predictability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.5 <= bias < 1.0` and `bias <= predictability <= 1.0`
+    /// (predictability below bias is unachievable for any predictor that
+    /// can at least learn the majority direction).
+    pub fn markov(bias: f64, predictability: f64) -> Self {
+        assert!((0.5..1.0).contains(&bias), "bias out of range: {bias}");
+        assert!(
+            (bias..=1.0).contains(&predictability),
+            "predictability {predictability} must be in [bias={bias}, 1]"
+        );
+        OutcomeModel::Markov {
+            bias,
+            predictability,
+        }
+    }
+
+    /// Generates `n` outcomes with the RNG.
+    pub fn generate(&self, n: usize, rng: &mut StdRng) -> Vec<bool> {
+        match self {
+            OutcomeModel::Markov {
+                bias,
+                predictability,
+            } => {
+                // Majority direction is "taken"; stationary taken-rate T.
+                let t = *bias;
+                let f = ((1.0 - predictability) / FLIP_PENALTY).min(2.0 * t * (1.0 - t));
+                // Transition probabilities for stationary T and flip rate f:
+                //   P(N→T) = f / (2(1−T)),  P(T→N) = f / (2T).
+                let p_nt = if t < 1.0 { f / (2.0 * (1.0 - t)) } else { 1.0 };
+                let p_tn = if t > 0.0 { f / (2.0 * t) } else { 1.0 };
+                let mut state = rng.gen_bool(t);
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(state);
+                    let flip = if state {
+                        rng.gen_bool(p_tn.clamp(0.0, 1.0))
+                    } else {
+                        rng.gen_bool(p_nt.clamp(0.0, 1.0))
+                    };
+                    if flip {
+                        state = !state;
+                    }
+                }
+                out
+            }
+            OutcomeModel::Periodic { pattern } => {
+                assert!(!pattern.is_empty(), "empty pattern");
+                (0..n).map(|i| pattern[i % pattern.len()]).collect()
+            }
+            OutcomeModel::Random { taken_prob } => {
+                (0..n).map(|_| rng.gen_bool(*taken_prob)).collect()
+            }
+            OutcomeModel::AliasedPeriodic {
+                half_len,
+                pattern_seed,
+            } => {
+                let pattern = aliased_pattern(*half_len, *pattern_seed);
+                (0..n).map(|i| pattern[i % pattern.len()]).collect()
+            }
+        }
+    }
+
+    /// The model's nominal majority-direction bias.
+    pub fn nominal_bias(&self) -> f64 {
+        match self {
+            OutcomeModel::Markov { bias, .. } => *bias,
+            OutcomeModel::Periodic { pattern } => {
+                let t = pattern.iter().filter(|&&x| x).count() as f64 / pattern.len() as f64;
+                t.max(1.0 - t)
+            }
+            OutcomeModel::Random { taken_prob } => taken_prob.max(1.0 - taken_prob),
+            OutcomeModel::AliasedPeriodic {
+                half_len,
+                pattern_seed,
+            } => {
+                let p = aliased_pattern(*half_len, *pattern_seed);
+                let t = p.iter().filter(|&&x| x).count() as f64 / p.len() as f64;
+                t.max(1.0 - t)
+            }
+        }
+    }
+
+    /// The model's nominal predictability.
+    pub fn nominal_predictability(&self) -> f64 {
+        match self {
+            OutcomeModel::Markov { predictability, .. } => *predictability,
+            OutcomeModel::Periodic { .. } => 1.0,
+            OutcomeModel::Random { taken_prob } => taken_prob.max(1.0 - taken_prob),
+            // Fully predictable *given enough history*; weak predictors
+            // see far less (that asymmetry is the point of the model).
+            OutcomeModel::AliasedPeriodic { .. } => 1.0,
+        }
+    }
+}
+
+/// Builds the `X·0·X·1` aliased pattern.
+fn aliased_pattern(half_len: usize, seed: u64) -> Vec<bool> {
+    assert!(half_len >= 4, "block too short to alias");
+    let mut x = seed.max(1);
+    let mut block = Vec::with_capacity(half_len);
+    for _ in 0..half_len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        block.push(x & 1 == 1);
+    }
+    let mut p = block.clone();
+    p.push(false);
+    p.extend(block);
+    p.push(true);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vanguard_bpred::{measure_accuracy, Combined};
+
+    fn measure(model: &OutcomeModel, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stream = model.generate(n, &mut rng);
+        let taken = stream.iter().filter(|&&t| t).count() as f64 / n as f64;
+        let bias = taken.max(1.0 - taken);
+        let mut p = Combined::ptlsim_default();
+        let report = measure_accuracy(
+            &mut p,
+            stream.into_iter().map(|t| (0x4000u64, t)),
+            (n / 10) as u64,
+        );
+        (bias, report.accuracy())
+    }
+
+    #[test]
+    fn markov_calibration_unbiased_predictable() {
+        // The paper's sweet spot: 60/40 bias, 90% predictability.
+        let model = OutcomeModel::markov(0.60, 0.90);
+        let (bias, acc) = measure(&model, 60_000, 42);
+        assert!((bias - 0.60).abs() < 0.03, "measured bias {bias}");
+        assert!((acc - 0.90).abs() < 0.04, "measured accuracy {acc}");
+    }
+
+    #[test]
+    fn markov_calibration_highly_predictable() {
+        let model = OutcomeModel::markov(0.55, 0.97);
+        let (bias, acc) = measure(&model, 60_000, 7);
+        assert!((bias - 0.55).abs() < 0.03, "measured bias {bias}");
+        assert!(acc > 0.93, "measured accuracy {acc}");
+        assert!(acc - bias > 0.3, "predictability must far exceed bias");
+    }
+
+    #[test]
+    fn markov_biased_case() {
+        let model = OutcomeModel::markov(0.90, 0.95);
+        let (bias, acc) = measure(&model, 60_000, 9);
+        assert!((bias - 0.90).abs() < 0.03, "measured bias {bias}");
+        assert!(acc >= 0.90, "measured accuracy {acc}");
+    }
+
+    #[test]
+    fn random_model_is_unpredictable() {
+        let model = OutcomeModel::Random { taken_prob: 0.5 };
+        let (bias, acc) = measure(&model, 40_000, 3);
+        assert!(bias < 0.53);
+        assert!(acc < 0.56, "a fair coin cannot be predicted: {acc}");
+    }
+
+    #[test]
+    fn periodic_model_is_fully_predictable() {
+        let model = OutcomeModel::Periodic {
+            pattern: vec![true, true, false, true, false],
+        };
+        let (bias, acc) = measure(&model, 40_000, 3);
+        assert!((bias - 0.6).abs() < 0.01);
+        assert!(acc > 0.98, "periodic accuracy {acc}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let model = OutcomeModel::markov(0.6, 0.9);
+        let a = model.generate(1000, &mut StdRng::seed_from_u64(5));
+        let b = model.generate(1000, &mut StdRng::seed_from_u64(5));
+        let c = model.generate(1000, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "predictability")]
+    fn predictability_below_bias_rejected() {
+        let _ = OutcomeModel::markov(0.8, 0.6);
+    }
+
+    #[test]
+    fn nominal_values() {
+        assert_eq!(OutcomeModel::markov(0.6, 0.9).nominal_bias(), 0.6);
+        assert_eq!(
+            OutcomeModel::Random { taken_prob: 0.3 }.nominal_bias(),
+            0.7
+        );
+        assert_eq!(
+            OutcomeModel::Periodic {
+                pattern: vec![true, false]
+            }
+            .nominal_predictability(),
+            1.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod aliased_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vanguard_bpred::{measure_accuracy, Bimodal, Combined, DirectionPredictor, IslTage};
+
+    fn accuracy_of<P: DirectionPredictor>(mut p: P, stream: &[bool]) -> f64 {
+        let report = measure_accuracy(
+            &mut p,
+            stream.iter().map(|&t| (0x7000u64, t)),
+            (stream.len() / 5) as u64,
+        );
+        report.accuracy()
+    }
+
+    #[test]
+    fn aliased_pattern_separates_the_predictor_ladder() {
+        let model = OutcomeModel::AliasedPeriodic {
+            half_len: 24,
+            pattern_seed: 99,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let stream = model.generate(50_000, &mut rng);
+        let bimodal = accuracy_of(Bimodal::new(8 * 1024), &stream);
+        let combined = accuracy_of(Combined::ptlsim_default(), &stream);
+        let isl = accuracy_of(IslTage::storage_64kb(), &stream);
+        assert!(
+            combined > bimodal + 0.05,
+            "combined {combined} vs bimodal {bimodal}"
+        );
+        assert!(isl >= combined - 0.005, "isl {isl} vs combined {combined}");
+        assert!(isl > 0.99, "long history should disambiguate: {isl}");
+    }
+
+    #[test]
+    fn aliased_pattern_has_the_advertised_period() {
+        let p = aliased_pattern(8, 3);
+        assert_eq!(p.len(), 18);
+        assert_eq!(&p[..8], &p[9..17]);
+        assert!(!p[8]);
+        assert!(p[17]);
+    }
+
+    #[test]
+    fn aliased_nominal_values() {
+        let m = OutcomeModel::AliasedPeriodic {
+            half_len: 16,
+            pattern_seed: 5,
+        };
+        assert_eq!(m.nominal_predictability(), 1.0);
+        assert!(m.nominal_bias() >= 0.5 && m.nominal_bias() < 1.0);
+    }
+}

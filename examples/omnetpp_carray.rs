@@ -1,0 +1,204 @@
+//! The paper's Figure 6 walk-through: `cArray::add(cObject*)` from
+//! omnetpp, simplified exactly as the paper does, then decomposed.
+//!
+//! The code pattern: a bounds check (`count < size`) that is unbiased but
+//! predictable; the taken path grows the array (loads + store), the
+//! fall-through path inserts directly. The branch serialises the loads in
+//! block A against the loads in B/C; the transformation overlaps them.
+//!
+//! ```text
+//! cargo run --release --example omnetpp_carray
+//! ```
+
+use vanguard_bpred::Combined;
+use vanguard_compiler::profile_program;
+use vanguard_core::{decompose_branches, TransformOptions};
+use vanguard_isa::{
+    AluOp, CmpKind, CondKind, Inst, Memory, Operand, Program, ProgramBuilder, Reg,
+};
+use vanguard_sim::{MachineConfig, Simulator};
+
+/// Builds the Figure 6(a) kernel: a loop calling the simplified
+/// `cArray::add` body.
+///
+/// Registers: r1 = `this`, r2 = loop counter, r20 = scratch obj pointer.
+/// `this` layout: [count, size, items_ptr, lastfull].
+fn carray_add_kernel(iterations: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let a = b.block("A");
+    let grow = b.block("B_grow"); // count >= size: grow path (taken)
+    let fast = b.block("C_fast"); // count < size: fast insert
+    let join = b.block("join");
+    let exit = b.block("exit");
+
+    b.push(entry, Inst::mov(Reg(1), Operand::Imm(0x10000))); // this
+    b.push(entry, Inst::mov(Reg(2), Operand::Imm(iterations)));
+    b.push(entry, Inst::mov(Reg(20), Operand::Imm(0x40000))); // obj
+    b.fallthrough(entry, a);
+
+    // A: load this->count, this->size; branch if count >= size (grow).
+    b.push(a, Inst::load(Reg(3), Reg(1), 0)); // count
+    b.push(a, Inst::load(Reg(4), Reg(1), 8)); // size
+    b.push(
+        a,
+        Inst::Cmp {
+            kind: CmpKind::Ge,
+            dst: Reg(5),
+            a: Reg(3),
+            b: Operand::Reg(Reg(4)),
+        },
+    );
+    b.push(
+        a,
+        Inst::Branch {
+            cond: CondKind::Nz,
+            src: Reg(5),
+            target: grow,
+        },
+    );
+    b.fallthrough(a, fast);
+
+    // C (fast path): items = this->items; items[count] = obj; count++.
+    b.push(fast, Inst::load(Reg(6), Reg(1), 16)); // items ptr
+    b.push(
+        fast,
+        Inst::alu(AluOp::Shl, Reg(7), Operand::Reg(Reg(3)), Operand::Imm(3)),
+    );
+    b.push(
+        fast,
+        Inst::alu(AluOp::Add, Reg(7), Operand::Reg(Reg(7)), Operand::Reg(Reg(6))),
+    );
+    b.push(fast, Inst::store(Reg(20), Reg(7), 0));
+    b.push(
+        fast,
+        Inst::alu(AluOp::Add, Reg(3), Operand::Reg(Reg(3)), Operand::Imm(1)),
+    );
+    b.push(fast, Inst::store(Reg(3), Reg(1), 0));
+    b.push(fast, Inst::Jump { target: join });
+
+    // B (grow path): load lastfull, recompute size, store both, then
+    // insert — the loads here are what the paper overlaps with A's loads.
+    b.push(grow, Inst::load(Reg(8), Reg(1), 24)); // lastfull
+    b.push(grow, Inst::load(Reg(6), Reg(1), 16)); // items ptr
+    b.push(
+        grow,
+        Inst::alu(AluOp::Add, Reg(9), Operand::Reg(Reg(8)), Operand::Reg(Reg(3))),
+    );
+    b.push(
+        grow,
+        Inst::alu(AluOp::Add, Reg(9), Operand::Reg(Reg(9)), Operand::Imm(2)),
+    );
+    b.push(grow, Inst::store(Reg(9), Reg(1), 8)); // size = lastfull+count+2
+    b.push(
+        grow,
+        Inst::alu(AluOp::Shl, Reg(7), Operand::Reg(Reg(3)), Operand::Imm(3)),
+    );
+    b.push(
+        grow,
+        Inst::alu(AluOp::Add, Reg(7), Operand::Reg(Reg(7)), Operand::Reg(Reg(6))),
+    );
+    b.push(grow, Inst::store(Reg(20), Reg(7), 0));
+    b.push(
+        grow,
+        Inst::alu(AluOp::Add, Reg(3), Operand::Reg(Reg(3)), Operand::Imm(1)),
+    );
+    b.push(grow, Inst::store(Reg(3), Reg(1), 0));
+    b.push(grow, Inst::Jump { target: join });
+
+    // join: size oscillation keeps the branch unbiased-but-patterned, the
+    // situation the paper profiles in omnetpp.
+    b.push(
+        join,
+        Inst::alu(AluOp::Sub, Reg(2), Operand::Reg(Reg(2)), Operand::Imm(1)),
+    );
+    b.push(
+        join,
+        Inst::Cmp {
+            kind: CmpKind::Ne,
+            dst: Reg(10),
+            a: Reg(2),
+            b: Operand::Imm(0),
+        },
+    );
+    b.push(
+        join,
+        Inst::Branch {
+            cond: CondKind::Nz,
+            src: Reg(10),
+            target: a,
+        },
+    );
+    b.fallthrough(join, exit);
+    b.push(exit, Inst::Halt);
+    b.set_entry(entry);
+    b.finish().expect("kernel is valid")
+}
+
+fn initial_memory() -> Memory {
+    let mut mem = Memory::new();
+    // this: count=0, size=4, items=0x20000, lastfull=0
+    mem.load_words(0x10000, &[0, 4, 0x20000, 0]);
+    mem.map_region(0x20000, 128 * 1024); // items array
+    mem.map_region(0x40000, 64);
+    mem
+}
+
+fn main() {
+    let iterations = 4000;
+    let program = carray_add_kernel(iterations);
+
+    println!("=== Figure 6(a): original cArray::add kernel ===");
+    println!("{}", program.disassemble());
+
+    // Profile (TRAIN) with the baseline predictor: the grow/fast branch is
+    // unbiased (size grows by 16 after every 16 fast inserts … a periodic,
+    // highly predictable pattern) — exactly the candidate population.
+    let profile = profile_program(
+        &program,
+        initial_memory(),
+        &[],
+        Combined::ptlsim_default(),
+        10_000_000,
+    )
+    .expect("profiling runs");
+    for (block, stats) in profile.iter() {
+        println!(
+            "site {block}: bias {:.2}, predictability {:.2}, executed {}",
+            stats.bias(),
+            stats.predictability(),
+            stats.executed
+        );
+    }
+
+    let mut transformed = program.clone();
+    let report = decompose_branches(&mut transformed, &profile, &TransformOptions::default());
+    println!("\n=== Figure 6(b)/(c): decomposed kernel ===");
+    println!("{}", transformed.disassemble());
+    println!(
+        "converted {} site(s); code size {} -> {} bytes (+{:.1}%)",
+        report.converted.len(),
+        report.code_bytes_before,
+        report.code_bytes_after,
+        report.piscs()
+    );
+
+    // Simulate both on the 4-wide machine.
+    let run = |p: &Program| {
+        let sim = Simulator::new(
+            p,
+            initial_memory(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.run().expect("simulates cleanly").stats
+    };
+    let base = run(&program);
+    let exp = run(&transformed);
+    println!("\nbaseline:   {} cycles (IPC {:.3})", base.cycles, base.ipc());
+    println!("decomposed: {} cycles (IPC {:.3})", exp.cycles, exp.ipc());
+    println!(
+        "speedup: {:.2}%",
+        (base.cycles as f64 / exp.cycles as f64 - 1.0) * 100.0
+    );
+}

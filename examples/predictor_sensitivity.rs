@@ -1,0 +1,61 @@
+//! §5.3 of the paper: how the transformation's benefit scales with branch
+//! predictor accuracy.
+//!
+//! "Since the benefit of our technique improves with increased branch
+//! predictor accuracy, this conservative choice of branch predictors
+//! pessimizes our results." We sweep the ladder from a bimodal table up
+//! to a 64 KB ISL-TAGE on one hard-to-predict benchmark.
+//!
+//! ```text
+//! cargo run --release --example predictor_sensitivity
+//! ```
+
+use vanguard_bench::{quick_spec, to_experiment_input, BenchScale};
+use vanguard_bpred::ladder;
+use vanguard_core::Experiment;
+use vanguard_sim::MachineConfig;
+use vanguard_workloads::suite;
+
+fn main() {
+    // astar: one of the four benchmarks the paper singles out as
+    // predictor-sensitive (astar, sjeng, gobmk, mcf).
+    let spec = suite::spec2006_int()
+        .into_iter()
+        .find(|s| s.name == "astar")
+        .expect("astar in the suite");
+    let input = to_experiment_input(quick_spec(spec, BenchScale::Quick).build());
+
+    println!("{:<32} {:>10} {:>10}", "predictor", "miss-rate", "speedup");
+    let mut prev: Option<(f64, f64)> = None;
+    for rung in ladder() {
+        let mut experiment = Experiment::new(MachineConfig::four_wide());
+        experiment.predictor = rung;
+        let out = experiment.run(&input).expect("runs cleanly");
+        let miss = 1.0
+            - out
+                .runs
+                .iter()
+                .map(|r| r.base.prediction_accuracy())
+                .sum::<f64>()
+                / out.runs.len() as f64;
+        let spd = out.geomean_speedup_pct();
+        print!(
+            "{:<32} {:>9.2}% {:>9.2}%",
+            rung.label(),
+            miss * 100.0,
+            spd
+        );
+        if let Some((pm, ps)) = prev {
+            if pm > miss && miss > 0.0 {
+                // The paper's headline: ~0.3% extra speedup per 1% of
+                // misprediction rate removed.
+                print!(
+                    "   ({:+.2}% speedup per -1% missrate)",
+                    (spd - ps) / ((pm - miss) * 100.0)
+                );
+            }
+        }
+        println!();
+        prev = Some((miss, spd));
+    }
+}

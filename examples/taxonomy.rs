@@ -1,0 +1,190 @@
+//! Figure 1 of the paper, run as an experiment: which transformation
+//! helps which kind of branch?
+//!
+//! | | highly biased | low biased |
+//! |---|---|---|
+//! | **predictable** | superblocks | **decomposed branches (this paper)** |
+//! | **unpredictable** | (rare) | predication |
+//!
+//! One hammock kernel (written in the crate's assembly syntax), three
+//! branch populations, four compilations: baseline, superblock formation,
+//! cmov if-conversion, and the Decomposed Branch Transformation.
+//!
+//! ```text
+//! cargo run --release --example taxonomy
+//! ```
+
+use vanguard_bpred::Combined;
+use vanguard_compiler::{
+    compact_program, form_superblocks, if_convert, layout_program, merge_straightline,
+    profile_program, schedule_program, SchedConfig,
+};
+use vanguard_core::{decompose_branches, SelectOptions, TransformOptions};
+use vanguard_isa::{parse_program, Memory, Program, Reg};
+use vanguard_sim::{MachineConfig, Simulator};
+
+/// The hammock: a data-dependent condition chain feeding a branch whose
+/// two sides are pure ALU work, converging on a join that loads, combines,
+/// and stores. If-convertible, superblock-able, and decomposable.
+const KERNEL: &str = r"
+.entry bb0
+bb0 <entry>:
+    mov r3, #1048576
+    mov r10, #2097152
+    mov r11, #3145728
+    mov r13, #0
+    ; fallthrough -> bb1
+bb1 <head>:
+    ld r4, [r3+0]
+    add r4, r4, #0
+    cmp.ne r5, r4, #0
+    br.nz r5, bb3
+    ; fallthrough -> bb2
+bb2 <fall>:
+    mul r6, r13, #3
+    add r6, r6, #1
+    xor r6, r6, #21
+    jmp bb4
+bb3 <taken>:
+    mul r6, r13, #5
+    sub r6, r6, #2
+    or r6, r6, #9
+    ; fallthrough -> bb4
+bb4 <join>:
+    ld r7, [r10+0]
+    add r8, r7, r6
+    st [r11+0], r8
+    add r13, r13, #8
+    and r13, r13, #4095
+    add r3, r13, #1048576
+    add r10, r13, #2097152
+    add r11, r13, #3145728
+    sub r1, r1, #1
+    cmp.ne r2, r1, #0
+    br.nz r2, bb1
+    ; fallthrough -> bb5
+bb5 <exit>:
+    halt
+";
+
+const ITERS: u64 = 2000;
+
+fn memory_for(pattern: impl Fn(usize) -> bool) -> Memory {
+    // 4 KB wrapped regions: L1-resident after warmup, so the comparison
+    // isolates branch handling rather than cold-miss streaming.
+    let mut mem = Memory::new();
+    let conds: Vec<u64> = (0..512).map(|i| u64::from(pattern(i))).collect();
+    mem.load_words(0x10_0000, &conds);
+    let data: Vec<u64> = (0..512).map(|i| i * 13 % 97).collect();
+    mem.load_words(0x20_0000, &data);
+    mem.map_region(0x30_0000, 4096 + 64);
+    mem
+}
+
+fn cycles(p: &Program, mem: Memory) -> u64 {
+    let mut sim = Simulator::new(
+        p,
+        mem,
+        MachineConfig::four_wide(),
+        Box::new(Combined::ptlsim_default()),
+    );
+    sim.set_reg(Reg(1), ITERS);
+    sim.run().expect("simulates").stats.cycles
+}
+
+type Pattern = Box<dyn Fn(usize) -> bool>;
+
+fn main() {
+    let program = parse_program(KERNEL).expect("kernel parses");
+    let sched = SchedConfig::for_width(4);
+
+    // Direction streams for the three quadrants (seeded, deterministic).
+    let mut x = 0x2545f4914f6cdd1du64;
+    let mut rand_bit = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x & 1 == 1
+    };
+    let random: Vec<bool> = (0..ITERS as usize).map(|_| rand_bit()).collect();
+    let quadrants: [(&str, Pattern); 3] = [
+        (
+            "predictable, low-biased  (this paper)",
+            // 60/40 with a long learnable phase structure.
+            Box::new(|i: usize| matches!(i % 8, 0 | 1 | 3 | 6 | 7)) as Pattern,
+        ),
+        (
+            "unpredictable, low-biased (predication)",
+            Box::new(move |i| random[i]),
+        ),
+        (
+            "predictable, highly-biased (superblocks)",
+            Box::new(|i: usize| !i.is_multiple_of(16)),
+        ),
+    ];
+
+    println!(
+        "{:<42} {:>10} {:>12} {:>12} {:>12}",
+        "branch population", "baseline", "superblock", "if-convert", "decomposed"
+    );
+    for (label, pattern) in quadrants {
+        let profile = {
+            let mut prof_mem = memory_for(&pattern);
+            let _ = &mut prof_mem;
+            profile_program(
+                &program,
+                prof_mem,
+                &[(Reg(1), ITERS)],
+                Combined::ptlsim_default(),
+                50_000_000,
+            )
+            .expect("profiling")
+        };
+
+        let compile = |f: &dyn Fn(&mut Program)| -> Program {
+            let mut p = program.clone();
+            f(&mut p);
+            layout_program(&mut p, &profile);
+            schedule_program(&mut p, &sched);
+            compact_program(&p)
+        };
+        let base = compile(&|_| {});
+        let sb = compile(&|p| {
+            form_superblocks(p, &profile, 0.85, 32);
+            merge_straightline(p);
+        });
+        let ic = compile(&|p| {
+            if_convert(p, 8);
+        });
+        let dec = compile(&|p| {
+            decompose_branches(
+                p,
+                &profile,
+                &TransformOptions {
+                    select: SelectOptions {
+                        threshold: -1.0, // force conversion to expose the contrast
+                        ..SelectOptions::default()
+                    },
+                    ..TransformOptions::default()
+                },
+            );
+        });
+
+        let b = cycles(&base, memory_for(&pattern));
+        let pct = |p: &Program| (b as f64 / cycles(p, memory_for(&pattern)) as f64 - 1.0) * 100.0;
+        println!(
+            "{:<42} {:>10} {:>11.2}% {:>11.2}% {:>11.2}%",
+            label,
+            b,
+            pct(&sb),
+            pct(&ic),
+            pct(&dec),
+        );
+    }
+    println!(
+        "\nEach cell: % speedup over the baseline (4-wide). Decomposition is\n\
+         the only transformation that wins on the predictable-but-unbiased\n\
+         population — the paper's quadrant; if-conversion pays off where\n\
+         prediction fails, and superblocks need a dominant path."
+    );
+}

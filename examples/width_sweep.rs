@@ -1,0 +1,42 @@
+//! Sweep the three Table 1 machine widths on a couple of benchmarks.
+//!
+//! The paper observes that "the 4-wide configuration tends to benefit the
+//! most: the transformation can balance the 4-wide's functional-unit
+//! utilization to a greater degree than the narrow 2-wide, while we can
+//! rarely fully utilize the 8-wide."
+//!
+//! ```text
+//! cargo run --release --example width_sweep
+//! ```
+
+use vanguard_bench::{quick_spec, to_experiment_input, BenchScale};
+use vanguard_core::Experiment;
+use vanguard_sim::MachineConfig;
+use vanguard_workloads::suite;
+
+fn main() {
+    let names = ["h264ref", "omnetpp", "wrf"];
+    println!(
+        "{:<10} {:>7} {:>12} {:>12} {:>9}",
+        "bench", "width", "base cyc", "exp cyc", "speedup"
+    );
+    for name in names {
+        let spec = suite::all_benchmarks()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("known benchmark");
+        let input = to_experiment_input(quick_spec(spec, BenchScale::Quick).build());
+        for machine in MachineConfig::all_widths() {
+            let out = Experiment::new(machine).run(&input).expect("runs cleanly");
+            let r = &out.runs[0];
+            println!(
+                "{:<10} {:>7} {:>12} {:>12} {:>8.2}%",
+                name,
+                machine.width,
+                r.base.cycles,
+                r.exp.cycles,
+                out.geomean_speedup_pct()
+            );
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Branch Vanguard facade crate.

@@ -1,0 +1,121 @@
+//! Property tests for the assembler: parse/disassemble round-trips.
+
+use proptest::prelude::*;
+use vanguard_isa::{
+    parse_program, AluOp, CmpKind, CondKind, Inst, Operand, Program, ProgramBuilder, Reg,
+};
+
+/// Random straight-line body instructions covering every printable form.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let reg = || (0u8..64).prop_map(Reg);
+    let operand = prop_oneof![
+        (0u8..64).prop_map(|r| Operand::Reg(Reg(r))),
+        (-(1i64 << 20)..(1i64 << 20)).prop_map(Operand::Imm),
+    ];
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::And),
+                Just(AluOp::Or),
+                Just(AluOp::Xor),
+                Just(AluOp::Shl),
+                Just(AluOp::Shr),
+                Just(AluOp::Mul),
+                Just(AluOp::Div),
+            ],
+            reg(),
+            operand.clone(),
+            operand.clone()
+        )
+            .prop_map(|(op, dst, a, b)| Inst::alu(op, dst, a, b)),
+        (reg(), operand.clone()).prop_map(|(d, s)| Inst::mov(d, s)),
+        (reg(), reg(), -4096i64..4096, any::<bool>()).prop_map(|(dst, base, off, spec)| {
+            Inst::Load {
+                dst,
+                base,
+                offset: off * 8,
+                speculative: spec,
+            }
+        }),
+        (reg(), reg(), -4096i64..4096).prop_map(|(src, base, off)| Inst::store(src, base, off * 8)),
+        (
+            prop_oneof![
+                Just(CmpKind::Eq),
+                Just(CmpKind::Ne),
+                Just(CmpKind::Lt),
+                Just(CmpKind::Le),
+                Just(CmpKind::Gt),
+                Just(CmpKind::Ge),
+                Just(CmpKind::Ult),
+                Just(CmpKind::Uge),
+            ],
+            reg(),
+            reg(),
+            operand
+        )
+            .prop_map(|(kind, dst, a, b)| Inst::Cmp { kind, dst, a, b }),
+        Just(Inst::Nop),
+    ]
+}
+
+/// A random multi-block program: a chain of blocks with conditional
+/// branches to later blocks, terminated by halt.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(proptest::collection::vec(arb_inst(), 0..6), 1..5),
+        any::<bool>(),
+    )
+        .prop_map(|(bodies, use_predicts)| {
+            let n = bodies.len();
+            let mut b = ProgramBuilder::new();
+            let blocks: Vec<_> = (0..=n).map(|i| b.block(format!("blk{i}"))).collect();
+            for (i, body) in bodies.into_iter().enumerate() {
+                b.push_all(blocks[i], body);
+                // Conditional to the final block, falling through to next.
+                if use_predicts {
+                    b.push(
+                        blocks[i],
+                        Inst::Predict {
+                            target: blocks[n],
+                        },
+                    );
+                } else {
+                    b.push(
+                        blocks[i],
+                        Inst::Branch {
+                            cond: CondKind::Nz,
+                            src: Reg(1),
+                            target: blocks[n],
+                        },
+                    );
+                }
+                b.fallthrough(blocks[i], blocks[i + 1]);
+            }
+            b.push(blocks[n], Inst::Halt);
+            b.set_entry(blocks[0]);
+            b.finish().expect("generated program valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse(disassemble(p)) reproduces the program exactly.
+    #[test]
+    fn disassemble_parse_roundtrip(p in arb_program()) {
+        let text = p.disassemble();
+        let q = parse_program(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(&p, &q, "text:\n{}", text);
+    }
+
+    /// The round-trip is a textual fixpoint (stable formatting).
+    #[test]
+    fn disassembly_is_a_fixpoint(p in arb_program()) {
+        let t1 = p.disassemble();
+        let t2 = parse_program(&t1).unwrap().disassemble();
+        prop_assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Workload calibration: the synthetic benchmarks must actually exhibit
+//! the branch behaviour their specs claim — measured with the same
+//! profiling pipeline the experiments use.
+
+use vanguard_bench::{quick_spec, to_experiment_input, BenchScale};
+use vanguard_core::Experiment;
+use vanguard_sim::MachineConfig;
+use vanguard_workloads::{suite, OutcomeModel};
+
+/// For a sample of benchmarks across all four suites, profile the TRAIN
+/// input and check every Markov site's measured bias and predictability
+/// against its nominal targets.
+#[test]
+fn markov_sites_hit_their_targets_in_situ() {
+    let sample = ["h264ref", "omnetpp", "wrf", "vortex", "mesa"];
+    for name in sample {
+        let spec = suite::all_benchmarks()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
+        let nominal: Vec<(f64, f64)> = spec
+            .sites
+            .iter()
+            .filter_map(|s| match s.model {
+                OutcomeModel::Markov {
+                    bias,
+                    predictability,
+                } => Some((bias, predictability)),
+                _ => None,
+            })
+            .collect();
+        let input = to_experiment_input(quick_spec(spec, BenchScale::Quick).build());
+        let profile = Experiment::new(MachineConfig::four_wide())
+            .profile(&input)
+            .expect("profiles");
+        // Match each nominal site to the closest measured site by bias.
+        let measured: Vec<(f64, f64)> = profile
+            .iter()
+            .map(|(_, s)| (s.bias(), s.predictability()))
+            .collect();
+        for (nb, np) in nominal {
+            let best = measured
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - nb)
+                        .abs()
+                        .partial_cmp(&(b.0 - nb).abs())
+                        .unwrap()
+                })
+                .expect("sites measured");
+            assert!(
+                (best.0 - nb).abs() < 0.10,
+                "{name}: nominal bias {nb:.2}, closest measured {:.2}",
+                best.0
+            );
+            assert!(
+                (best.1 - np).abs() < 0.12,
+                "{name}: nominal pred {np:.2}, matched site measured {:.2}",
+                best.1
+            );
+        }
+    }
+}
+
+/// The candidate selector must pick up the qualifying sites and skip
+/// the biased/random ones, across suites.
+#[test]
+fn selection_counts_match_the_specs() {
+    for name in ["perlbench", "gobmk", "libquantum", "leslie3d"] {
+        let spec = suite::all_benchmarks()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
+        let expected_quals = spec
+            .sites
+            .iter()
+            .filter(|s| {
+                let b = s.model.nominal_bias();
+                let p = s.model.nominal_predictability();
+                p - b >= 0.05 && matches!(s.model, OutcomeModel::Markov { .. })
+            })
+            .count();
+        let input = to_experiment_input(quick_spec(spec, BenchScale::Quick).build());
+        let out = Experiment::new(MachineConfig::four_wide())
+            .run(&input)
+            .expect("runs");
+        let converted = out.report.converted.len();
+        // Allow ±1: measured bias/pred sit near the threshold for some
+        // sites under the quick input sizes.
+        assert!(
+            (converted as i64 - expected_quals as i64).abs() <= 1,
+            "{name}: expected ≈{expected_quals} conversions, got {converted}"
+        );
+    }
+}
+
+/// Dynamic instruction counts scale linearly with iterations (no hidden
+/// dependence of kernel structure on input length).
+#[test]
+fn dynamic_work_scales_with_iterations() {
+    let base = suite::spec2006_int().remove(0);
+    let mut small = quick_spec(base.clone(), BenchScale::Quick);
+    small.iterations = 200;
+    small.ref_inputs = 1;
+    let mut large = small.clone();
+    large.iterations = 400;
+
+    let run = |s: vanguard_workloads::BenchmarkSpec| {
+        let input = to_experiment_input(s.build());
+        Experiment::new(MachineConfig::four_wide())
+            .run(&input)
+            .unwrap()
+            .runs[0]
+            .base
+            .committed()
+    };
+    let c1 = run(small);
+    let c2 = run(large);
+    let ratio = c2 as f64 / c1 as f64;
+    assert!(
+        (ratio - 2.0).abs() < 0.1,
+        "work should double with iterations: {c1} -> {c2} (x{ratio:.2})"
+    );
+}

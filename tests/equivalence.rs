@@ -1,0 +1,180 @@
+//! Architectural-equivalence integration tests: the transformed program
+//! must compute exactly what the original computes, on the interpreter
+//! (under adversarial oracles) and on the cycle simulator (whose
+//! committed state must also match the interpreter's).
+
+use vanguard_bench::{quick_spec, BenchScale};
+use vanguard_bpred::Combined;
+use vanguard_compiler::profile_program;
+use vanguard_core::{decompose_branches, TransformOptions};
+use vanguard_isa::{Interpreter, Memory, Program, Reg, StopReason, TakenOracle};
+use vanguard_sim::{MachineConfig, Simulator, StopCause};
+use vanguard_workloads::suite;
+
+/// Output-region snapshot (the kernels' observable result).
+fn output_window(mem: &Memory) -> Vec<Option<u64>> {
+    (0..0x1200 / 8)
+        .map(|k| mem.read(0x90_0000 + k * 8))
+        .collect()
+}
+
+fn interp_run(
+    program: &Program,
+    memory: Memory,
+    init: &[(Reg, u64)],
+    oracle: &mut TakenOracle,
+) -> Vec<Option<u64>> {
+    let mut i = Interpreter::new(program, memory);
+    for &(r, v) in init {
+        i.set_reg(r, v);
+    }
+    let out = i.run(oracle).expect("interprets cleanly");
+    assert_eq!(out.stop, StopReason::Halted);
+    output_window(i.memory())
+}
+
+#[test]
+fn transformed_kernels_match_original_under_adversarial_oracles() {
+    for name in ["h264ref", "mcf", "wrf", "vortex"] {
+        let spec = suite::all_benchmarks()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
+        let mut spec = quick_spec(spec, BenchScale::Quick);
+        spec.iterations = 200;
+        spec.train_iterations = 200;
+        spec.data_footprint = spec.data_footprint.min(128 * 1024);
+        let w = spec.build();
+
+        let profile = profile_program(
+            &w.program,
+            w.train.memory.clone(),
+            &w.train.init_regs,
+            Combined::ptlsim_default(),
+            50_000_000,
+        )
+        .unwrap();
+        let mut transformed = w.program.clone();
+        let report = decompose_branches(&mut transformed, &profile, &TransformOptions::default());
+        assert!(!report.converted.is_empty(), "{name}: nothing converted");
+
+        let reference = interp_run(
+            &w.program,
+            w.refs[0].memory.clone(),
+            &w.refs[0].init_regs,
+            &mut TakenOracle::AlwaysTaken,
+        );
+        for mut oracle in [
+            TakenOracle::AlwaysTaken,
+            TakenOracle::AlwaysNotTaken,
+            TakenOracle::random(1234),
+            TakenOracle::Alternate { next: true },
+        ] {
+            let got = interp_run(
+                &transformed,
+                w.refs[0].memory.clone(),
+                &w.refs[0].init_regs,
+                &mut oracle,
+            );
+            assert_eq!(got, reference, "{name} under {oracle:?}");
+        }
+    }
+}
+
+#[test]
+fn simulator_commits_the_interpreter_state() {
+    for name in ["perlbench", "gobmk"] {
+        let spec = suite::spec2006_int()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
+        let mut spec = quick_spec(spec, BenchScale::Quick);
+        spec.iterations = 150;
+        spec.train_iterations = 150;
+        let w = spec.build();
+
+        let reference = interp_run(
+            &w.program,
+            w.refs[0].memory.clone(),
+            &w.refs[0].init_regs,
+            &mut TakenOracle::AlwaysTaken,
+        );
+
+        // Baseline program through the pipeline.
+        let mut sim = Simulator::new(
+            &w.program,
+            w.refs[0].memory.clone(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        for &(r, v) in &w.refs[0].init_regs {
+            sim.set_reg(r, v);
+        }
+        let res = sim.run().expect("simulates cleanly");
+        assert_eq!(res.stop, StopCause::Halted);
+        assert_eq!(output_window(&res.memory), reference, "{name}: baseline sim");
+
+        // Transformed program through the pipeline (wrong paths, rollbacks,
+        // resolve redirects — committed state must still be identical).
+        let profile = profile_program(
+            &w.program,
+            w.train.memory.clone(),
+            &w.train.init_regs,
+            Combined::ptlsim_default(),
+            50_000_000,
+        )
+        .unwrap();
+        let mut transformed = w.program.clone();
+        decompose_branches(&mut transformed, &profile, &TransformOptions::default());
+        let mut sim = Simulator::new(
+            &transformed,
+            w.refs[0].memory.clone(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        for &(r, v) in &w.refs[0].init_regs {
+            sim.set_reg(r, v);
+        }
+        let res = sim.run().expect("simulates cleanly");
+        assert_eq!(res.stop, StopCause::Halted);
+        assert_eq!(
+            output_window(&res.memory),
+            reference,
+            "{name}: transformed sim"
+        );
+        assert!(res.stats.resolves > 0);
+    }
+}
+
+#[test]
+fn full_compile_pipeline_preserves_semantics() {
+    // layout + scheduling + transformation + compaction, end to end.
+    let spec = suite::spec2000_int()
+        .into_iter()
+        .find(|s| s.name == "vortex")
+        .unwrap();
+    let mut spec = quick_spec(spec, BenchScale::Quick);
+    spec.iterations = 120;
+    spec.train_iterations = 120;
+    let w = spec.build();
+    let input = vanguard_bench::to_experiment_input(w.clone());
+    let exp = vanguard_core::Experiment::new(MachineConfig::four_wide());
+    let profile = exp.profile(&input).unwrap();
+    let (baseline, transformed, _) = exp.compile_pair(&input.program, &profile);
+
+    let reference = interp_run(
+        &w.program,
+        w.refs[0].memory.clone(),
+        &w.refs[0].init_regs,
+        &mut TakenOracle::AlwaysTaken,
+    );
+    for p in [&baseline, &transformed] {
+        let got = interp_run(
+            p,
+            w.refs[0].memory.clone(),
+            &w.refs[0].init_regs,
+            &mut TakenOracle::random(5),
+        );
+        assert_eq!(got, reference);
+    }
+}

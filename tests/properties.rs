@@ -1,0 +1,381 @@
+//! Property-based tests (proptest) on the core invariants:
+//! transformation equivalence, scheduler legality, simulator/interpreter
+//! agreement, and data-structure laws.
+
+use proptest::prelude::*;
+use vanguard_bpred::Combined;
+use vanguard_compiler::{
+    compact_program, if_convert, profile_program, schedule_order, schedule_program, SchedConfig,
+};
+use vanguard_core::{decompose_branches, SelectOptions, TransformOptions};
+use vanguard_ir::{DepDag, RegSet};
+use vanguard_isa::{
+    AluOp, BasicBlock, CmpKind, CondKind, Inst, Interpreter, Memory, Operand, Program,
+    ProgramBuilder, Reg, TakenOracle,
+};
+use vanguard_sim::{MachineConfig, Simulator};
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A random non-control instruction. Destinations stay in r1..r9 so the
+/// data pointer (r10) and harness registers (r12..r14) are never
+/// clobbered; sources may read any of them.
+fn arb_body_inst() -> impl Strategy<Value = Inst> {
+    let reg = || (1u8..10).prop_map(Reg);
+    let operand = prop_oneof![
+        (1u8..12).prop_map(|r| Operand::Reg(Reg(r))),
+        (-100i64..100).prop_map(Operand::Imm),
+    ];
+    let alu_op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Mul),
+    ];
+    prop_oneof![
+        4 => (alu_op, reg(), operand.clone(), operand.clone())
+            .prop_map(|(op, dst, a, b)| Inst::alu(op, dst, a, b)),
+        1 => (reg(), 0i64..64).prop_map(|(dst, off)| Inst::Load {
+            dst,
+            base: Reg(10),
+            offset: off * 8,
+            speculative: false,
+        }),
+        1 => (reg(), 0i64..64).prop_map(|(src, off)| Inst::store(src, Reg(10), off * 8)),
+    ]
+}
+
+/// A random hammock program: `head` (with a data-driven branch) →
+/// {taken, fall} → join → next head … → halt, over `n_sites` sites.
+fn arb_hammock_program(
+    n_sites: usize,
+) -> impl Strategy<Value = (Program, Vec<u64 /* cond words */>)> {
+    let site = (
+        proptest::collection::vec(arb_body_inst(), 0..5), // taken body
+        proptest::collection::vec(arb_body_inst(), 0..5), // fall body
+        proptest::collection::vec(arb_body_inst(), 0..3), // join body
+    );
+    (
+        proptest::collection::vec(site, n_sites),
+        proptest::collection::vec(any::<bool>(), 64),
+    )
+        .prop_map(|(sites, conds)| {
+            let mut b = ProgramBuilder::new();
+            let entry = b.block("entry");
+            b.push(entry, Inst::mov(Reg(10), Operand::Imm(0x4000)));
+            b.push(entry, Inst::mov(Reg(12), Operand::Imm(0x8000))); // cond ptr
+            let mut prev = entry;
+            for (s, (taken_body, fall_body, join_body)) in sites.into_iter().enumerate() {
+                let head = b.block(format!("head{s}"));
+                let fall = b.block(format!("fall{s}"));
+                let taken = b.block(format!("taken{s}"));
+                let join = b.block(format!("join{s}"));
+                b.fallthrough(prev, head);
+                b.push(head, Inst::load(Reg(13), Reg(12), (s as i64) * 8));
+                b.push(
+                    head,
+                    Inst::Cmp {
+                        kind: CmpKind::Ne,
+                        dst: Reg(14),
+                        a: Reg(13),
+                        b: Operand::Imm(0),
+                    },
+                );
+                b.push(
+                    head,
+                    Inst::Branch {
+                        cond: CondKind::Nz,
+                        src: Reg(14),
+                        target: taken,
+                    },
+                );
+                b.fallthrough(head, fall);
+                b.push_all(fall, fall_body);
+                b.push(fall, Inst::Jump { target: join });
+                b.push_all(taken, taken_body);
+                b.fallthrough(taken, join);
+                b.push_all(join, join_body);
+                prev = join;
+            }
+            let exit = b.block("exit");
+            b.fallthrough(prev, exit);
+            // Materialise every register so nothing is trivially dead.
+            for r in 1..12u8 {
+                b.push(exit, Inst::store(Reg(r), Reg(10), 512 + i64::from(r) * 8));
+            }
+            b.push(exit, Inst::Halt);
+            b.set_entry(entry);
+            let p = b.finish().expect("generated program is valid");
+            let conds = conds.into_iter().map(u64::from).collect();
+            (p, conds)
+        })
+}
+
+fn memory_with(conds: &[u64]) -> Memory {
+    let mut m = Memory::new();
+    m.map_region(0x4000, 4096);
+    let data: Vec<u64> = (0..64).map(|i| i * 37 % 101).collect();
+    m.load_words(0x4000, &data);
+    m.load_words(0x8000, conds);
+    m
+}
+
+fn observable(i: &Interpreter<'_>) -> (Vec<u64>, Vec<Option<u64>>) {
+    let regs = i.regs()[1..12].to_vec();
+    let mem = (0..128).map(|k| i.memory().read(0x4000 + k * 8)).collect();
+    (regs, mem)
+}
+
+/// A synthetic profile that marks every forward branch as a perfect
+/// candidate (the equivalence property must hold regardless of profile).
+fn force_all_profile(p: &Program) -> vanguard_ir::Profile {
+    let mut profile = vanguard_ir::Profile::new();
+    for (bid, block) in p.iter() {
+        if matches!(block.terminator(), Some(Inst::Branch { .. })) {
+            for i in 0..200 {
+                profile.record(bid, i % 5 < 3, i % 10 != 0);
+            }
+        }
+    }
+    profile
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Decomposed Branch Transformation preserves architectural
+    /// semantics on arbitrary hammock programs, under arbitrary oracles.
+    #[test]
+    fn transformation_preserves_semantics(
+        (program, conds) in arb_hammock_program(3),
+        oracle_seed in 1u64..u64::MAX,
+    ) {
+        let profile = force_all_profile(&program);
+        let mut transformed = program.clone();
+        let options = TransformOptions {
+            select: SelectOptions { min_executions: 1, ..SelectOptions::default() },
+            ..TransformOptions::default()
+        };
+        decompose_branches(&mut transformed, &profile, &options);
+        prop_assert!(transformed.validate().is_ok());
+
+        let mut reference = Interpreter::new(&program, memory_with(&conds));
+        reference.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        let want = observable(&reference);
+
+        for mut oracle in [
+            TakenOracle::AlwaysTaken,
+            TakenOracle::AlwaysNotTaken,
+            TakenOracle::random(oracle_seed),
+        ] {
+            let mut got_i = Interpreter::new(&transformed, memory_with(&conds));
+            got_i.run(&mut oracle).unwrap();
+            let got = observable(&got_i);
+            // Memory must match exactly; registers too (the exit block
+            // stores them, making them part of memory as well).
+            prop_assert_eq!(&got.1, &want.1);
+            prop_assert_eq!(&got.0, &want.0);
+        }
+    }
+
+    /// The full compile pipeline (layout + schedule + transform + compact)
+    /// also preserves semantics.
+    #[test]
+    fn compile_pipeline_preserves_semantics(
+        (program, conds) in arb_hammock_program(2),
+    ) {
+        let profile = profile_program(
+            &program, memory_with(&conds), &[], Combined::ptlsim_default(), 1_000_000,
+        ).unwrap();
+        let mut compiled = program.clone();
+        let opts = TransformOptions {
+            select: SelectOptions { min_executions: 1, threshold: -1.0, ..SelectOptions::default() },
+            ..TransformOptions::default()
+        };
+        decompose_branches(&mut compiled, &profile, &opts);
+        schedule_program(&mut compiled, &SchedConfig::for_width(4));
+        let compiled = compact_program(&compiled);
+
+        let mut a = Interpreter::new(&program, memory_with(&conds));
+        a.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        let mut b = Interpreter::new(&compiled, memory_with(&conds));
+        b.run(&mut TakenOracle::random(99)).unwrap();
+        prop_assert_eq!(observable(&a).1, observable(&b).1);
+    }
+
+    /// The cycle simulator's committed state equals the interpreter's for
+    /// arbitrary (possibly transformed) programs.
+    #[test]
+    fn simulator_matches_interpreter(
+        (program, conds) in arb_hammock_program(2),
+        transform in any::<bool>(),
+    ) {
+        let mut p = program.clone();
+        if transform {
+            let opts = TransformOptions {
+                select: SelectOptions { min_executions: 1, ..SelectOptions::default() },
+                ..TransformOptions::default()
+            };
+            decompose_branches(&mut p, &force_all_profile(&program), &opts);
+        }
+        let mut i = Interpreter::new(&program, memory_with(&conds));
+        i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+        let want = observable(&i).1;
+
+        let sim = Simulator::new(
+            &p,
+            memory_with(&conds),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        let res = sim.run().unwrap();
+        let got: Vec<Option<u64>> = (0..128).map(|k| res.memory.read(0x4000 + k * 8)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The list scheduler never violates a dependence edge.
+    #[test]
+    fn scheduler_respects_dependences(
+        insts in proptest::collection::vec(arb_body_inst(), 1..24),
+    ) {
+        let order = schedule_order(&insts, &SchedConfig::for_width(4));
+        // Must be a permutation.
+        let mut seen = vec![false; insts.len()];
+        for &i in &order {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        // Every DAG edge must point forward in the new order.
+        let mut block = BasicBlock::new("p");
+        block.insts_mut().extend(insts.iter().cloned());
+        let dag = DepDag::build(&block);
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; insts.len()];
+            for (at, &i) in order.iter().enumerate() {
+                pos[i] = at;
+            }
+            pos
+        };
+        for i in 0..insts.len() {
+            for e in dag.succs(i) {
+                prop_assert!(pos[e.from] < pos[e.to], "edge {:?} violated", e);
+            }
+        }
+    }
+
+    /// Scheduling a straight-line program never changes its result.
+    #[test]
+    fn scheduling_is_semantics_preserving(
+        insts in proptest::collection::vec(arb_body_inst(), 1..20),
+    ) {
+        let build = |body: &[Inst]| {
+            let mut b = ProgramBuilder::new();
+            let e = b.block("entry");
+            b.push(e, Inst::mov(Reg(10), Operand::Imm(0x4000)));
+            b.push_all(e, body.iter().cloned());
+            b.push(e, Inst::Halt);
+            b.set_entry(e);
+            b.finish().unwrap()
+        };
+        let p0 = build(&insts);
+        let mut p1 = p0.clone();
+        schedule_program(&mut p1, &SchedConfig::for_width(8));
+        let run = |p: &Program| {
+            let mut m = Memory::new();
+            m.map_region(0x4000, 4096);
+            let mut i = Interpreter::new(p, m);
+            i.run(&mut TakenOracle::AlwaysTaken).unwrap();
+            observable(&i)
+        };
+        prop_assert_eq!(run(&p0), run(&p1));
+    }
+
+    /// If-conversion preserves semantics on ALU-only diamonds.
+    #[test]
+    fn if_conversion_preserves_semantics(
+        taken_body in proptest::collection::vec(
+            (1u8..10, -50i64..50).prop_map(|(d, imm)| Inst::alu(
+                AluOp::Add, Reg(d), Operand::Reg(Reg(d)), Operand::Imm(imm))),
+            1..4),
+        fall_body in proptest::collection::vec(
+            (1u8..10, -50i64..50).prop_map(|(d, imm)| Inst::alu(
+                AluOp::Xor, Reg(d), Operand::Reg(Reg(d)), Operand::Imm(imm))),
+            1..4),
+        r1 in 0u64..4,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let a = b.block("a");
+        let t = b.block("t");
+        let f = b.block("f");
+        let j = b.block("join");
+        b.push(a, Inst::Branch { cond: CondKind::Nz, src: Reg(1), target: t });
+        b.fallthrough(a, f);
+        b.push_all(t, taken_body);
+        b.push(t, Inst::Jump { target: j });
+        b.push_all(f, fall_body);
+        b.fallthrough(f, j);
+        for r in 1..10u8 {
+            b.push(j, Inst::store(Reg(r), Reg(10), i64::from(r) * 8));
+        }
+        b.push(j, Inst::Halt);
+        b.set_entry(a);
+        let p0 = b.finish().unwrap();
+        let mut p1 = p0.clone();
+        if_convert(&mut p1, 8);
+        prop_assert!(p1.validate().is_ok());
+
+        let run = |p: &Program| {
+            let mut m = Memory::new();
+            m.map_region(0, 4096);
+            let mut i = Interpreter::new(p, m);
+            i.set_reg(Reg(1), r1);
+            i.set_reg(Reg(10), 0x100);
+            i.run(&mut TakenOracle::random(3)).unwrap();
+            (0..16).map(|k| i.memory().read(0x100 + k * 8)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&p0), run(&p1));
+    }
+
+    /// RegSet obeys set-algebra laws (cross-checked against HashSet).
+    #[test]
+    fn regset_matches_hashset(
+        xs in proptest::collection::vec(0u8..64, 0..40),
+        ys in proptest::collection::vec(0u8..64, 0..40),
+    ) {
+        use std::collections::HashSet;
+        let a: RegSet = xs.iter().map(|&r| Reg(r)).collect();
+        let b: RegSet = ys.iter().map(|&r| Reg(r)).collect();
+        let ha: HashSet<u8> = xs.iter().copied().collect();
+        let hb: HashSet<u8> = ys.iter().copied().collect();
+        prop_assert_eq!(a.len(), ha.len());
+        prop_assert_eq!(a.union(&b).len(), ha.union(&hb).count());
+        prop_assert_eq!(a.intersection(&b).len(), ha.intersection(&hb).count());
+        prop_assert_eq!(a.difference(&b).len(), ha.difference(&hb).count());
+        for r in 0..64u8 {
+            prop_assert_eq!(a.contains(Reg(r)), ha.contains(&r));
+        }
+    }
+
+    /// Encoded layout is gap-free and monotone regardless of program shape.
+    #[test]
+    fn layout_is_contiguous((program, _) in arb_hammock_program(2)) {
+        let layout = program.layout();
+        let mut expected = vanguard_isa::CODE_BASE;
+        for &bid in program.layout_order() {
+            prop_assert_eq!(layout.block_start(bid), expected);
+            for (i, inst) in program.block(bid).insts().iter().enumerate() {
+                prop_assert_eq!(layout.inst_addr(bid, i), expected);
+                expected += inst.encoded_size();
+            }
+        }
+        prop_assert_eq!(layout.code_bytes(), expected - vanguard_isa::CODE_BASE);
+    }
+}
