@@ -4,6 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vanguard_bench::{
     fig2_fig3_series, quick_spec, suite_speedups, table2_rows, to_experiment_input, BenchScale,
+    SuiteEngine,
 };
 use vanguard_core::Experiment;
 use vanguard_sim::MachineConfig;
@@ -14,15 +15,26 @@ fn paper_tables(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("paper");
     group.sample_size(10);
+    // A fresh engine per iteration: these benches time the cold path
+    // (profile + compile + simulate), not cache hits.
     group.bench_function("fig8_row_h264ref", |b| {
-        b.iter(|| black_box(suite_speedups(&h264, BenchScale::Quick)))
+        b.iter(|| {
+            let mut eng = SuiteEngine::new(BenchScale::Quick);
+            black_box(suite_speedups(&mut eng, &h264))
+        })
     });
     group.bench_function("table2_row_h264ref", |b| {
-        b.iter(|| black_box(table2_rows(&h264, BenchScale::Quick)))
+        b.iter(|| {
+            let mut eng = SuiteEngine::new(BenchScale::Quick);
+            black_box(table2_rows(&mut eng, &h264))
+        })
     });
     group.bench_function("fig2_two_benchmarks", |b| {
         let specs: Vec<_> = suite::spec2006_int().into_iter().take(2).collect();
-        b.iter(|| black_box(fig2_fig3_series(&specs, 16, BenchScale::Quick)))
+        b.iter(|| {
+            let mut eng = SuiteEngine::new(BenchScale::Quick);
+            black_box(fig2_fig3_series(&mut eng, &specs, 16))
+        })
     });
     group.bench_function("experiment_4wide_h264ref", |b| {
         let input = to_experiment_input(quick_spec(h264[0].clone(), BenchScale::Quick).build());

@@ -5,10 +5,21 @@
 //! cargo run --release -p vanguard-bench --bin figures -- table2 --quick
 //! cargo run --release -p vanguard-bench --bin figures -- fig8 fig9 sensitivity
 //! ```
+//!
+//! All items share one experiment engine: profiles and compiled pairs
+//! are computed once per distinct (benchmark, predictor, width) and
+//! reused across figures, and simulations run on a worker pool sized by
+//! `VANGUARD_THREADS` (default: available parallelism). Figure data is
+//! printed to stdout — byte-identical for any worker count — while
+//! progress and per-stage timings go to stderr (`--verbose` adds a line
+//! per simulation job).
 
+use std::sync::Arc;
+use std::time::Instant;
 use vanguard_bench::{
     fig14_rows, fig2_fig3_series, format_speedups, format_table2, geomean_pct, icache_ablation,
-    sensitivity_rows, suite_speedups, table1_text, table2_rows, BenchScale,
+    sensitivity_rows, suite_speedups, table1_text, table2_rows, BenchScale, StderrProgress,
+    SuiteEngine,
 };
 use vanguard_workloads::suite;
 
@@ -16,8 +27,13 @@ fn main() {
     let mut bad_item = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let verbose = args.iter().any(|a| a == "--verbose");
     let scale = if quick { BenchScale::Quick } else { BenchScale::Full };
-    let mut what: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    let mut what: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     if what.is_empty() || what.contains(&"all") {
         what = vec![
             "table1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
@@ -25,7 +41,17 @@ fn main() {
         ];
     }
 
+    let mut eng = SuiteEngine::new(scale);
+    eng.observe(Arc::new(if verbose {
+        StderrProgress::verbose()
+    } else {
+        StderrProgress::new()
+    }));
+    eprintln!("[engine] {} workers", eng.engine().workers());
+    let started = Instant::now();
+
     for item in what {
+        let item_started = Instant::now();
         match item {
             "table1" => {
                 println!("== Table 1: Machine Configuration Parameters ==");
@@ -41,7 +67,7 @@ fn main() {
                 };
                 println!("== {label} ==");
                 println!("{:>4} {:>8} {:>14} {:>10}", "rank", "bias", "predictability", "execs");
-                for p in fig2_fig3_series(&specs, 75, scale) {
+                for p in fig2_fig3_series(&mut eng, &specs, 75) {
                     println!(
                         "{:>4} {:>8.3} {:>14.3} {:>10}",
                         p.rank, p.bias, p.predictability, p.executed
@@ -59,14 +85,14 @@ fn main() {
                     _ => ("Figure 13: SPEC00 FP speedup, all REF inputs", suite::spec2000_fp(), false),
                 };
                 println!("== {label} ==");
-                let rows = suite_speedups(&specs, scale);
+                let rows = suite_speedups(&mut eng, &specs);
                 println!("{}", format_speedups(&rows, best));
             }
             "table2" => {
                 println!("== Table 2: SPEC 2006 INT+FP metrics, 4-wide (sorted by SPD) ==");
                 let mut specs = suite::spec2006_int();
                 specs.extend(suite::spec2006_fp());
-                let mut rows = table2_rows(&specs, scale);
+                let mut rows = table2_rows(&mut eng, &specs);
                 rows.sort_by(|a, b| b.spd.partial_cmp(&a.spd).unwrap());
                 println!("{}", format_table2(&rows));
             }
@@ -74,7 +100,7 @@ fn main() {
                 println!("== Figure 14: % increase in instructions issued (4-wide) ==");
                 let mut specs = suite::spec2006_int();
                 specs.extend(suite::spec2006_fp());
-                let rows = fig14_rows(&specs, scale);
+                let rows = fig14_rows(&mut eng, &specs);
                 for r in &rows {
                     println!("{:<12} {:>6.2}%", r.name, r.increase_pct);
                 }
@@ -92,7 +118,7 @@ fn main() {
                     "{:<8} {:<30} {:>10} {:>9}",
                     "bench", "predictor", "missrate", "speedup"
                 );
-                for r in sensitivity_rows(&specs, scale) {
+                for r in sensitivity_rows(&mut eng, &specs) {
                     println!(
                         "{:<8} {:<30} {:>9.2}% {:>8.2}%",
                         r.name,
@@ -106,7 +132,7 @@ fn main() {
             "icache" => {
                 println!("== Section 6.1: I$ 32KB -> 24KB ablation (transformed code) ==");
                 let specs = suite::spec2006_int();
-                let rows = icache_ablation(&specs, scale);
+                let rows = icache_ablation(&mut eng, &specs);
                 println!(
                     "{:<12} {:>12} {:>12} {:>10} {:>22}",
                     "bench", "cyc(32K)", "cyc(24K)", "slowdown", "I$miss-under-mispred"
@@ -130,7 +156,18 @@ fn main() {
                 bad_item = true;
             }
         }
+        eprintln!(
+            "[engine] item {:<12} done in {:.1} ms",
+            item,
+            item_started.elapsed().as_secs_f64() * 1e3
+        );
     }
+
+    eprintln!(
+        "[engine] total wall-clock {:.1} ms, per-stage breakdown:\n{}",
+        started.elapsed().as_secs_f64() * 1e3,
+        eng.engine().stats().summary()
+    );
     if bad_item {
         std::process::exit(2);
     }

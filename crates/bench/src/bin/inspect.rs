@@ -1,8 +1,8 @@
 //! Developer inspection tool: dumps baseline-vs-experimental statistics
 //! for one benchmark (used to diagnose where cycles go).
 
-use vanguard_bench::{quick_spec, to_experiment_input, BenchScale};
-use vanguard_core::Experiment;
+use std::sync::Arc;
+use vanguard_bench::{BenchScale, StderrProgress, SuiteEngine};
 use vanguard_sim::MachineConfig;
 use vanguard_workloads::suite;
 
@@ -13,9 +13,9 @@ fn main() {
         eprintln!("unknown benchmark `{name}`; choose one of: {}", names.join(", "));
         std::process::exit(1);
     };
-    let input = to_experiment_input(quick_spec(spec, BenchScale::Quick).build());
-    let exp = Experiment::new(MachineConfig::four_wide());
-    let out = exp.run(&input).unwrap();
+    let mut eng = SuiteEngine::new(BenchScale::Quick);
+    eng.observe(Arc::new(StderrProgress::verbose()));
+    let out = eng.outcome(&spec, MachineConfig::four_wide());
     let r = &out.runs[0];
     println!("== {name} ==");
     println!("speedup: {:.2}%   PBC {:.1}  PISCS {:.1}", out.geomean_speedup_pct(), out.report.pbc(), out.report.piscs());
@@ -31,4 +31,5 @@ fn main() {
             s.mem.l1d.hits, s.mem.l1d.misses, s.mem.l2.misses, s.mem.l3.misses, s.mem.memory_accesses,
         );
     }
+    eprintln!("{}", eng.engine().stats().summary());
 }

@@ -10,9 +10,11 @@
 //! cargo run --release -p vanguard-bench --bin pipeview -- path/to/prog.s 120
 //! ```
 
+use std::sync::Arc;
+use vanguard_bench::StderrProgress;
 use vanguard_bpred::Combined;
-use vanguard_compiler::{layout_program, profile_program, schedule_program, SchedConfig};
-use vanguard_core::{decompose_branches, TransformOptions};
+use vanguard_core::engine::{Engine, PredictorKind};
+use vanguard_core::{ExperimentInput, RunInput, TransformOptions};
 use vanguard_isa::{parse_program, Memory, Program, Reg};
 use vanguard_sim::{MachineConfig, Simulator, TraceEvent};
 
@@ -147,26 +149,33 @@ fn main() {
         return;
     }
 
-    // Demo: baseline vs decomposed on the Figure 6-shaped hammock.
+    // Demo: baseline vs decomposed on the Figure 6-shaped hammock. The
+    // pair comes from the experiment engine (profile + compile stages
+    // reported through the stderr observer); only the traced simulation
+    // below is hand-rolled, because tracing needs `run_traced`.
     let program = parse_program(DEMO).expect("demo parses");
-    let profile = profile_program(
-        &program,
-        demo_memory(),
-        &[],
-        Combined::ptlsim_default(),
-        1_000_000,
-    )
-    .expect("profiles");
-    let sched = SchedConfig::for_width(4);
-
-    let mut base = program.clone();
-    layout_program(&mut base, &profile);
-    schedule_program(&mut base, &sched);
-
-    let mut dec = program.clone();
-    let report = decompose_branches(&mut dec, &profile, &TransformOptions::default());
-    layout_program(&mut dec, &profile);
-    schedule_program(&mut dec, &sched);
+    let mut engine = Engine::new();
+    engine.observe(Arc::new(StderrProgress::new()));
+    let demo_input = RunInput {
+        memory: demo_memory(),
+        init_regs: vec![],
+    };
+    let bench = engine.add_benchmark(ExperimentInput {
+        name: "pipeview-demo".into(),
+        program,
+        train: demo_input.clone(),
+        refs: vec![demo_input],
+    });
+    let pair = engine
+        .compile_pair(
+            bench,
+            PredictorKind::Combined24KB,
+            MachineConfig::four_wide(),
+            &TransformOptions::default(),
+            1_000_000,
+        )
+        .expect("profiles");
+    let (base, dec, report) = (pair.baseline, pair.transformed, pair.report);
 
     println!(
         "Decomposed {} site(s). Watch the baseline stall at `cmp`/`br` while\n\

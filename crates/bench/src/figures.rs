@@ -1,7 +1,8 @@
 //! Figures 2/3, Figure 14, Table 1, §5.3 sensitivity, §6.1 I$ ablation.
 
-use crate::glue::{quick_spec, to_experiment_input, BenchScale};
-use vanguard_core::{Experiment, PredictorKind};
+use crate::glue::SuiteEngine;
+use vanguard_core::engine::{SimJob, SweepCell, Variant};
+use vanguard_core::PredictorKind;
 use vanguard_sim::MachineConfig;
 use vanguard_workloads::BenchmarkSpec;
 
@@ -25,12 +26,18 @@ pub struct BiasPredPoint {
 /// # Panics
 ///
 /// Panics if a profiling run faults (generated kernels never do).
-pub fn fig2_fig3_series(specs: &[BenchmarkSpec], limit: usize, scale: BenchScale) -> Vec<BiasPredPoint> {
+pub fn fig2_fig3_series(
+    eng: &mut SuiteEngine,
+    specs: &[BenchmarkSpec],
+    limit: usize,
+) -> Vec<BiasPredPoint> {
     let mut pool: Vec<(f64, f64, u64)> = Vec::new();
     for spec in specs {
-        let input = to_experiment_input(quick_spec(spec.clone(), scale).build());
-        let exp = Experiment::new(MachineConfig::four_wide());
-        let profile = exp.profile(&input).expect("profiling succeeds");
+        let profile = eng
+            .profile(spec, PredictorKind::Combined24KB)
+            .expect("profiling succeeds");
+        let id = eng.bench_id(spec);
+        let input = eng.engine().benchmark(id);
         // Forward sites only: the loop latch is the one backward branch.
         let cfg = vanguard_ir::Cfg::build(&input.program);
         for (block, stats) in profile.iter() {
@@ -72,18 +79,22 @@ pub struct IssuedRow {
 /// # Panics
 ///
 /// Panics if a workload faults in simulation.
-pub fn fig14_rows(specs: &[BenchmarkSpec], scale: BenchScale) -> Vec<IssuedRow> {
+pub fn fig14_rows(eng: &mut SuiteEngine, specs: &[BenchmarkSpec]) -> Vec<IssuedRow> {
+    let cells: Vec<SweepCell> = specs
+        .iter()
+        .map(|spec| SweepCell {
+            bench: eng.bench_id(spec),
+            machine: MachineConfig::four_wide(),
+            predictor: PredictorKind::Combined24KB,
+        })
+        .collect();
+    let outcomes = eng.run_cells(&cells).expect("workload simulates cleanly");
     specs
         .iter()
-        .map(|spec| {
-            let input = to_experiment_input(quick_spec(spec.clone(), scale).build());
-            let out = Experiment::new(MachineConfig::four_wide())
-                .run(&input)
-                .expect("workload simulates cleanly");
-            IssuedRow {
-                name: spec.name.clone(),
-                increase_pct: out.issued_increase_pct(),
-            }
+        .zip(&outcomes)
+        .map(|(spec, out)| IssuedRow {
+            name: spec.name.clone(),
+            increase_pct: out.issued_increase_pct(),
         })
         .collect()
 }
@@ -109,14 +120,25 @@ pub struct SensitivityRow {
 /// # Panics
 ///
 /// Panics if a workload faults in simulation.
-pub fn sensitivity_rows(specs: &[BenchmarkSpec], scale: BenchScale) -> Vec<SensitivityRow> {
+pub fn sensitivity_rows(eng: &mut SuiteEngine, specs: &[BenchmarkSpec]) -> Vec<SensitivityRow> {
+    // Flat (benchmark × rung) matrix: every rung's profile + compile +
+    // sims run concurrently on the pool.
+    let ladder = vanguard_bpred::ladder();
+    let cells: Vec<SweepCell> = specs
+        .iter()
+        .flat_map(|spec| {
+            let bench = eng.bench_id(spec);
+            ladder.iter().map(move |&rung| SweepCell {
+                bench,
+                machine: MachineConfig::four_wide(),
+                predictor: rung,
+            })
+        })
+        .collect();
+    let outcomes = eng.run_cells(&cells).expect("workload simulates cleanly");
     let mut rows = Vec::new();
-    for spec in specs {
-        let input = to_experiment_input(quick_spec(spec.clone(), scale).build());
-        for rung in vanguard_bpred::ladder() {
-            let mut exp = Experiment::new(MachineConfig::four_wide());
-            exp.predictor = rung;
-            let out = exp.run(&input).expect("workload simulates cleanly");
+    for (spec, outs) in specs.iter().zip(outcomes.chunks_exact(ladder.len())) {
+        for (rung, out) in ladder.iter().zip(outs) {
             let miss_rate = 1.0
                 - out
                     .runs
@@ -165,21 +187,34 @@ impl IcacheAblationRow {
 /// # Panics
 ///
 /// Panics if a workload faults in simulation.
-pub fn icache_ablation(specs: &[BenchmarkSpec], scale: BenchScale) -> Vec<IcacheAblationRow> {
+pub fn icache_ablation(eng: &mut SuiteEngine, specs: &[BenchmarkSpec]) -> Vec<IcacheAblationRow> {
+    // Only the transformed variant is needed, so this sweep is a raw job
+    // list rather than full cells. The two machines differ only in I$
+    // size, not width, so they share one cached compiled pair.
+    let jobs: Vec<SimJob> = specs
+        .iter()
+        .flat_map(|spec| {
+            let bench = eng.bench_id(spec);
+            [
+                MachineConfig::four_wide(),
+                MachineConfig::four_wide().with_reduced_icache(),
+            ]
+            .into_iter()
+            .map(move |machine| SimJob {
+                bench,
+                ref_input: 0,
+                machine,
+                predictor: PredictorKind::Combined24KB,
+                variant: Variant::Transformed,
+            })
+        })
+        .collect();
+    let results = eng.run_jobs(&jobs).expect("workload simulates cleanly");
     specs
         .iter()
-        .map(|spec| {
-            let input = to_experiment_input(quick_spec(spec.clone(), scale).build());
-            let exp32 = Experiment::new(MachineConfig::four_wide());
-            let exp24 = Experiment::new(MachineConfig::four_wide().with_reduced_icache());
-            let profile = exp32.profile(&input).expect("profiling succeeds");
-            let (_, transformed, _) = exp32.compile_pair(&input.program, &profile);
-            let s32 = exp32
-                .simulate(&transformed, &input.refs[0])
-                .expect("simulates");
-            let s24 = exp24
-                .simulate(&transformed, &input.refs[0])
-                .expect("simulates");
+        .zip(results.chunks_exact(2))
+        .map(|(spec, pair)| {
+            let (s32, s24) = (pair[0].stats, pair[1].stats);
             let total_icache_misses = s32.mem.l1i.misses.max(1);
             IcacheAblationRow {
                 name: spec.name.clone(),
@@ -266,7 +301,8 @@ mod tests {
     fn fig2_series_shows_predictability_exceeding_bias() {
         // Two benchmarks are enough to see the shape in a unit test.
         let specs: Vec<_> = suite::spec2006_int().into_iter().take(2).collect();
-        let pts = fig2_fig3_series(&specs, 16, BenchScale::Quick);
+        let mut eng = SuiteEngine::new(crate::glue::BenchScale::Quick);
+        let pts = fig2_fig3_series(&mut eng, &specs, 16);
         assert!(!pts.is_empty());
         // Bias-sorted descending.
         for w in pts.windows(2) {
@@ -295,6 +331,7 @@ mod tests {
 #[cfg(test)]
 mod harness_tests {
     use super::*;
+    use crate::glue::BenchScale;
     use vanguard_workloads::suite;
 
     fn tiny() -> Vec<BenchmarkSpec> {
@@ -303,7 +340,8 @@ mod harness_tests {
 
     #[test]
     fn fig14_reports_bounded_overhead() {
-        let rows = fig14_rows(&tiny(), BenchScale::Quick);
+        let mut eng = SuiteEngine::new(BenchScale::Quick);
+        let rows = fig14_rows(&mut eng, &tiny());
         assert_eq!(rows.len(), 1);
         assert!(
             rows[0].increase_pct > -5.0 && rows[0].increase_pct < 30.0,
@@ -314,7 +352,8 @@ mod harness_tests {
 
     #[test]
     fn sensitivity_covers_the_full_ladder() {
-        let rows = sensitivity_rows(&tiny(), BenchScale::Quick);
+        let mut eng = SuiteEngine::new(BenchScale::Quick);
+        let rows = sensitivity_rows(&mut eng, &tiny());
         assert_eq!(rows.len(), vanguard_bpred::ladder().len());
         for r in &rows {
             assert!(r.mispredict_rate >= 0.0 && r.mispredict_rate < 0.5, "{r:?}");
@@ -330,7 +369,11 @@ mod harness_tests {
 
     #[test]
     fn icache_ablation_reports_conjunction_statistic() {
-        let rows = icache_ablation(&tiny(), BenchScale::Quick);
+        let mut eng = SuiteEngine::new(BenchScale::Quick);
+        let rows = icache_ablation(&mut eng, &tiny());
+        // One benchmark, one width: a single compiled pair serves both
+        // I$ configurations.
+        assert_eq!(eng.engine().stats().compile_misses, 1);
         let r = &rows[0];
         // Tiny kernels: shrinking the I$ cannot slow them down much.
         assert!(r.slowdown_pct().abs() < 2.0, "slowdown {:.2}%", r.slowdown_pct());

@@ -17,13 +17,20 @@
 
 #![warn(missing_docs)]
 
+//!
+//! All sweeps run on the [`vanguard_core::engine`] worker pool through a
+//! shared [`SuiteEngine`], so profiles and compiled pairs are computed
+//! once and reused across every figure of a harness invocation.
+
 mod figures;
 mod glue;
+mod progress;
 mod speedups;
 
 pub use figures::{
     fig14_rows, fig2_fig3_series, icache_ablation, sensitivity_rows, table1_text, BiasPredPoint,
     IcacheAblationRow, IssuedRow, SensitivityRow,
 };
-pub use glue::{geomean_pct, quick_spec, to_experiment_input, BenchScale};
+pub use glue::{geomean_pct, quick_spec, to_experiment_input, BenchScale, SuiteEngine};
+pub use progress::StderrProgress;
 pub use speedups::{format_speedups, format_table2, suite_speedups, table2_rows, SpeedupRow, Table2Row};

@@ -1,7 +1,8 @@
 //! Speedup sweeps (Figures 8–13) and the Table 2 metric rows.
 
-use crate::glue::{quick_spec, to_experiment_input, BenchScale};
-use vanguard_core::{Experiment, ExperimentOutcome};
+use crate::glue::SuiteEngine;
+use vanguard_core::engine::{PredictorKind, SweepCell};
+use vanguard_core::ExperimentOutcome;
 use vanguard_sim::MachineConfig;
 use vanguard_workloads::BenchmarkSpec;
 
@@ -18,20 +19,33 @@ pub struct SpeedupRow {
 
 /// Runs one suite over the three widths (Figures 8–13).
 ///
+/// The whole figure is enumerated as one flat cell matrix (benchmarks ×
+/// widths) and executed on the engine's worker pool; profiles are shared
+/// across the three widths of each benchmark.
+///
 /// # Panics
 ///
 /// Panics if a workload faults in simulation (generated kernels never do).
-pub fn suite_speedups(specs: &[BenchmarkSpec], scale: BenchScale) -> Vec<SpeedupRow> {
+pub fn suite_speedups(eng: &mut SuiteEngine, specs: &[BenchmarkSpec]) -> Vec<SpeedupRow> {
+    let cells: Vec<SweepCell> = specs
+        .iter()
+        .flat_map(|spec| {
+            let bench = eng.bench_id(spec);
+            MachineConfig::all_widths().into_iter().map(move |machine| SweepCell {
+                bench,
+                machine,
+                predictor: PredictorKind::Combined24KB,
+            })
+        })
+        .collect();
+    let outcomes = eng.run_cells(&cells).expect("workload simulates cleanly");
     specs
         .iter()
-        .map(|spec| {
-            let input = to_experiment_input(quick_spec(spec.clone(), scale).build());
+        .zip(outcomes.chunks_exact(3))
+        .map(|(spec, outs)| {
             let mut all = [0.0; 3];
             let mut best = [0.0; 3];
-            for (i, machine) in MachineConfig::all_widths().into_iter().enumerate() {
-                let out = Experiment::new(machine)
-                    .run(&input)
-                    .expect("workload simulates cleanly");
+            for (i, out) in outs.iter().enumerate() {
                 all[i] = out.geomean_speedup_pct();
                 best[i] = out.best_speedup_pct();
             }
@@ -70,21 +84,29 @@ pub struct Table2Row {
 
 /// Computes the full Table 2 for a set of benchmarks on the 4-wide.
 ///
+/// 4-wide compiled pairs and profiles are shared with any other figure
+/// item already run on the same engine.
+///
 /// # Panics
 ///
 /// Panics if a workload faults in simulation.
-pub fn table2_rows(specs: &[BenchmarkSpec], scale: BenchScale) -> Vec<Table2Row> {
+pub fn table2_rows(eng: &mut SuiteEngine, specs: &[BenchmarkSpec]) -> Vec<Table2Row> {
+    let cells: Vec<SweepCell> = specs
+        .iter()
+        .map(|spec| SweepCell {
+            bench: eng.bench_id(spec),
+            machine: MachineConfig::four_wide(),
+            predictor: PredictorKind::Combined24KB,
+        })
+        .collect();
+    let outcomes = eng.run_cells(&cells).expect("workload simulates cleanly");
     specs
         .iter()
-        .map(|spec| {
-            let spec = quick_spec(spec.clone(), scale);
-            let built = spec.build();
-            let alpbb = static_alpbb(&built.program);
-            let input = to_experiment_input(built);
-            let out = Experiment::new(MachineConfig::four_wide())
-                .run(&input)
-                .expect("workload simulates cleanly");
-            table2_row_from(&spec, &out, alpbb)
+        .zip(&cells)
+        .zip(&outcomes)
+        .map(|((spec, cell), out)| {
+            let alpbb = static_alpbb(&eng.engine().benchmark(cell.bench).program);
+            table2_row_from(spec, out, alpbb)
         })
         .collect()
 }
@@ -194,12 +216,14 @@ pub fn format_speedups(rows: &[SpeedupRow], best: bool) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::glue::BenchScale;
     use vanguard_workloads::suite;
 
     #[test]
     fn one_int_benchmark_produces_a_speedup_row() {
         let specs = vec![suite::spec2006_int().remove(0)]; // h264ref
-        let rows = suite_speedups(&specs, BenchScale::Quick);
+        let mut eng = SuiteEngine::new(BenchScale::Quick);
+        let rows = suite_speedups(&mut eng, &specs);
         assert_eq!(rows.len(), 1);
         let r = &rows[0];
         assert_eq!(r.name, "h264ref");
@@ -215,7 +239,12 @@ mod tests {
     #[test]
     fn table2_row_metrics_are_sane() {
         let specs = vec![suite::spec2006_int().remove(0)];
-        let rows = table2_rows(&specs, BenchScale::Quick);
+        let mut eng = SuiteEngine::new(BenchScale::Quick);
+        let rows = table2_rows(&mut eng, &specs);
+        // Table 2 shares the 4-wide artifacts: exactly one profile and
+        // one compiled pair for the single benchmark.
+        assert_eq!(eng.engine().stats().profile_misses, 1);
+        assert_eq!(eng.engine().stats().compile_misses, 1);
         let r = &rows[0];
         assert!(r.pbc > 30.0 && r.pbc <= 100.0, "PBC {}", r.pbc);
         assert!(r.piscs > 0.0 && r.piscs < 60.0, "PISCS {}", r.piscs);

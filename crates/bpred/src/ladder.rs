@@ -11,7 +11,7 @@ use crate::twolevel::TwoLevel;
 /// The paper simulates "a series of ever improving conditional branch
 /// predictors, culminating in a 64-KB version of ISL-TAGE"; this ladder
 /// reproduces that sweep.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LadderRung {
     /// 2 KB bimodal.
     Bimodal8K,

@@ -1,0 +1,822 @@
+//! The experiment engine: staged, artifact-cached, parallel execution
+//! of simulation sweeps.
+//!
+//! [`Experiment::run`](crate::Experiment::run) decomposes into three
+//! stages — **profile** (TRAIN input, once per program × predictor),
+//! **compile-pair** (baseline + transformed, once per program × profile
+//! × machine width × transform options), and **simulate-one-ref** (one
+//! program variant on one REF input on one machine). Every figure and
+//! table of the paper's evaluation is a sweep over those stages, so the
+//! engine:
+//!
+//! * enumerates a sweep as a flat list of [`SimJob`]s keyed by
+//!   `(benchmark, input, machine, predictor, variant)`;
+//! * memoizes profiles and compiled pairs in an **artifact cache** so
+//!   each is produced at most once per distinct key, shared across
+//!   widths, predictor rungs, and REF inputs;
+//! * executes jobs on a [`std::thread::scope`] worker pool, collecting
+//!   results in job-index order so output is **bit-identical** to
+//!   serial execution regardless of worker count (see DESIGN.md §6);
+//! * reports per-job and per-stage progress (with wall-clock timings
+//!   and cache hit/miss accounting) through [`ProgressObserver`].
+//!
+//! Worker count defaults to the machine's available parallelism and can
+//! be overridden with the `VANGUARD_THREADS` environment variable.
+
+use crate::experiment::{
+    Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, RefRun,
+};
+use crate::report::TransformReport;
+use crate::transform::TransformOptions;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+use vanguard_ir::Profile;
+use vanguard_isa::Program;
+use vanguard_sim::{MachineConfig, SimStats};
+
+pub use vanguard_bpred::LadderRung as PredictorKind;
+
+/// The paper's default profiling step budget (also used by
+/// [`Experiment::new`]).
+pub const DEFAULT_MAX_PROFILE_STEPS: u64 = 100_000_000;
+
+/// Which side of a compiled pair a job simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The PGO-laid-out, scheduled original program.
+    Baseline,
+    /// The decomposed-branch program.
+    Transformed,
+}
+
+/// One unit of simulation work: a fully keyed
+/// `(benchmark, input, machine, predictor, variant)` tuple.
+///
+/// `bench` indexes the engine's registered benchmarks (see
+/// [`Engine::add_benchmark`]); `ref_input` indexes that benchmark's REF
+/// inputs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimJob {
+    /// Benchmark id from [`Engine::add_benchmark`].
+    pub bench: usize,
+    /// REF-input index within the benchmark.
+    pub ref_input: usize,
+    /// Machine to simulate.
+    pub machine: MachineConfig,
+    /// Predictor rung (drives both profiling and simulation).
+    pub predictor: PredictorKind,
+    /// Baseline or transformed program.
+    pub variant: Variant,
+}
+
+/// A completed [`SimJob`].
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job that produced this result.
+    pub job: SimJob,
+    /// Simulation statistics.
+    pub stats: SimStats,
+    /// Wall-clock time of the simulate stage alone (excludes cached or
+    /// shared profile/compile work).
+    pub sim_elapsed: Duration,
+}
+
+/// Cache key of a profiling run: a profile depends on the program and
+/// TRAIN input (both identified by the benchmark id), the predictor the
+/// profiler consults, and the step budget. It does **not** depend on
+/// machine width or transform options, so one profile serves every
+/// width and option sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    /// Benchmark id (program + TRAIN input identity).
+    pub bench: usize,
+    /// Profiling predictor.
+    pub predictor: PredictorKind,
+    /// Profiling step budget.
+    pub max_steps: u64,
+}
+
+/// Exact-valued (bit-pattern) form of [`TransformOptions`] usable as a
+/// hash-map key. Constructed with [`TransformKey::from_options`]; two
+/// keys are equal iff every option field is identical, so distinct
+/// option sets can never collide in the artifact cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TransformKey {
+    /// `select.threshold` as IEEE-754 bits.
+    pub threshold_bits: u64,
+    /// `select.min_executions`.
+    pub min_executions: u64,
+    /// `select.forward_only`.
+    pub forward_only: bool,
+    /// `max_hoist`.
+    pub max_hoist: usize,
+    /// `hoist_loads`.
+    pub hoist_loads: bool,
+    /// `shadow_temps`.
+    pub shadow_temps: bool,
+}
+
+impl TransformKey {
+    /// The key of an option set.
+    pub fn from_options(opts: &TransformOptions) -> Self {
+        TransformKey {
+            threshold_bits: opts.select.threshold.to_bits(),
+            min_executions: opts.select.min_executions,
+            forward_only: opts.select.forward_only,
+            max_hoist: opts.max_hoist,
+            hoist_loads: opts.hoist_loads,
+            shadow_temps: opts.shadow_temps,
+        }
+    }
+}
+
+/// Cache key of a compiled baseline/transformed pair: the profile it
+/// was guided by, the machine *width* (the only machine parameter the
+/// compiler consults, so 32 KB- and 24 KB-I$ variants share pairs), and
+/// the transform options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CompileKey {
+    /// The guiding profile's key.
+    pub profile: ProfileKey,
+    /// Machine width the scheduler targeted.
+    pub width: usize,
+    /// Transform options.
+    pub options: TransformKey,
+}
+
+/// A cached compiled pair plus its transformation report.
+#[derive(Clone, Debug)]
+pub struct CompiledPair {
+    /// Laid-out, scheduled baseline.
+    pub baseline: Arc<Program>,
+    /// Laid-out, scheduled transformed program.
+    pub transformed: Arc<Program>,
+    /// The transformation report (PBC, PISCS, hoist counts).
+    pub report: TransformReport,
+}
+
+/// A pipeline stage, for observer events and timing attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// TRAIN-input profiling.
+    Profile,
+    /// Baseline + transformed compilation.
+    Compile,
+    /// One REF-input simulation.
+    Simulate,
+}
+
+impl Stage {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Profile => "profile",
+            Stage::Compile => "compile",
+            Stage::Simulate => "simulate",
+        }
+    }
+}
+
+/// Observer of engine progress. All methods have empty defaults; they
+/// are called from worker threads, so implementations must be
+/// `Send + Sync` (use atomics or locks for mutable state; printing to
+/// stderr keeps figure output on stdout byte-identical).
+pub trait ProgressObserver: Send + Sync {
+    /// A job was picked up by a worker.
+    fn job_started(&self, index: usize, job: &SimJob, bench_name: &str) {
+        let _ = (index, job, bench_name);
+    }
+
+    /// A job finished, with its [`SimStats`] summary and the wall-clock
+    /// time of its simulate stage.
+    fn job_finished(
+        &self,
+        index: usize,
+        job: &SimJob,
+        bench_name: &str,
+        stats: &SimStats,
+        elapsed: Duration,
+    ) {
+        let _ = (index, job, bench_name, stats, elapsed);
+    }
+
+    /// A profile or compile artifact was produced (`cached == false`)
+    /// or served from the cache (`cached == true`). Simulate stages
+    /// report through [`ProgressObserver::job_finished`] instead.
+    fn stage_completed(&self, stage: Stage, bench_name: &str, elapsed: Duration, cached: bool) {
+        let _ = (stage, bench_name, elapsed, cached);
+    }
+}
+
+/// Cache and timing counters, snapshot via [`Engine::stats`].
+///
+/// `profile_misses`/`compile_misses` count actual stage executions —
+/// in any sweep they equal the number of *distinct* cache keys touched,
+/// which is how the at-most-once artifact guarantee is asserted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Profile-stage executions (distinct profile keys computed).
+    pub profile_misses: u64,
+    /// Profile requests served from the cache.
+    pub profile_hits: u64,
+    /// Compile-stage executions (distinct compile keys computed).
+    pub compile_misses: u64,
+    /// Compile requests served from the cache.
+    pub compile_hits: u64,
+    /// Simulate stages executed.
+    pub sim_jobs: u64,
+    /// Aggregate wall-clock nanoseconds in the profile stage.
+    pub profile_nanos: u64,
+    /// Aggregate wall-clock nanoseconds in the compile stage.
+    pub compile_nanos: u64,
+    /// Aggregate wall-clock nanoseconds in the simulate stage (summed
+    /// across workers, so this can exceed elapsed time).
+    pub sim_nanos: u64,
+}
+
+impl EngineStats {
+    /// Renders the per-stage timing/cache summary (one line per stage).
+    pub fn summary(&self) -> String {
+        fn ms(nanos: u64) -> f64 {
+            nanos as f64 / 1e6
+        }
+        format!(
+            "profile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
+             compile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
+             simulate: {:>4} jobs, {:>21.1} ms",
+            self.profile_misses,
+            self.profile_hits,
+            ms(self.profile_nanos),
+            self.compile_misses,
+            self.compile_hits,
+            ms(self.compile_nanos),
+            self.sim_jobs,
+            ms(self.sim_nanos),
+        )
+    }
+}
+
+/// One cell of a sweep matrix: a benchmark evaluated end-to-end (all
+/// REF inputs, both variants) on one machine with one predictor.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepCell {
+    /// Benchmark id from [`Engine::add_benchmark`].
+    pub bench: usize,
+    /// Machine configuration.
+    pub machine: MachineConfig,
+    /// Predictor rung.
+    pub predictor: PredictorKind,
+}
+
+type ProfileSlot = Arc<OnceLock<Result<Arc<Profile>, ExperimentError>>>;
+type CompileSlot = Arc<OnceLock<CompiledPair>>;
+
+/// The parallel, artifact-cached experiment engine. See the
+/// [module docs](self) for the execution model.
+pub struct Engine {
+    workers: usize,
+    benchmarks: Vec<ExperimentInput>,
+    observers: Vec<Arc<dyn ProgressObserver>>,
+    profiles: Mutex<HashMap<ProfileKey, ProfileSlot>>,
+    pairs: Mutex<HashMap<CompileKey, CompileSlot>>,
+    profile_misses: AtomicU64,
+    profile_hits: AtomicU64,
+    compile_misses: AtomicU64,
+    compile_hits: AtomicU64,
+    sim_jobs: AtomicU64,
+    profile_nanos: AtomicU64,
+    compile_nanos: AtomicU64,
+    sim_nanos: AtomicU64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .field("benchmarks", &self.benchmarks.len())
+            .field("observers", &self.observers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Worker count: `VANGUARD_THREADS` when set to a positive integer,
+/// else the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::env::var("VANGUARD_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with [`default_workers`].
+    pub fn new() -> Self {
+        Self::with_workers(default_workers())
+    }
+
+    /// An engine with an explicit worker count (≥ 1). `1` reproduces
+    /// strictly serial execution.
+    pub fn with_workers(workers: usize) -> Self {
+        Engine {
+            workers: workers.max(1),
+            benchmarks: Vec::new(),
+            observers: Vec::new(),
+            profiles: Mutex::new(HashMap::new()),
+            pairs: Mutex::new(HashMap::new()),
+            profile_misses: AtomicU64::new(0),
+            profile_hits: AtomicU64::new(0),
+            compile_misses: AtomicU64::new(0),
+            compile_hits: AtomicU64::new(0),
+            sim_jobs: AtomicU64::new(0),
+            profile_nanos: AtomicU64::new(0),
+            compile_nanos: AtomicU64::new(0),
+            sim_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Subscribes a progress observer.
+    pub fn observe(&mut self, observer: Arc<dyn ProgressObserver>) {
+        self.observers.push(observer);
+    }
+
+    /// Registers a benchmark, returning its id for [`SimJob::bench`] /
+    /// [`SweepCell::bench`]. Artifacts are cached per id, so register
+    /// each (program, input-set) once and reuse the id across sweeps.
+    pub fn add_benchmark(&mut self, input: ExperimentInput) -> usize {
+        self.benchmarks.push(input);
+        self.benchmarks.len() - 1
+    }
+
+    /// The registered benchmark for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Engine::add_benchmark`].
+    pub fn benchmark(&self, id: usize) -> &ExperimentInput {
+        &self.benchmarks[id]
+    }
+
+    /// Snapshot of cache and timing counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            profile_misses: self.profile_misses.load(Ordering::Relaxed),
+            profile_hits: self.profile_hits.load(Ordering::Relaxed),
+            compile_misses: self.compile_misses.load(Ordering::Relaxed),
+            compile_hits: self.compile_hits.load(Ordering::Relaxed),
+            sim_jobs: self.sim_jobs.load(Ordering::Relaxed),
+            profile_nanos: self.profile_nanos.load(Ordering::Relaxed),
+            compile_nanos: self.compile_nanos.load(Ordering::Relaxed),
+            sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Stages
+    // ----------------------------------------------------------------
+
+    /// Stage 1 — profile: the TRAIN-input profile for a benchmark under
+    /// a predictor, computed at most once per [`ProfileKey`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the profiling error (cached: re-requests see the same
+    /// error without re-running).
+    pub fn profile(
+        &self,
+        bench: usize,
+        predictor: PredictorKind,
+        max_steps: u64,
+    ) -> Result<Arc<Profile>, ExperimentError> {
+        let key = ProfileKey {
+            bench,
+            predictor,
+            max_steps,
+        };
+        let slot = {
+            let mut map = self.profiles.lock().expect("profile cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut computed = false;
+        let result = slot.get_or_init(|| {
+            computed = true;
+            let input = &self.benchmarks[bench];
+            let started = Instant::now();
+            let out = vanguard_compiler::profile_program(
+                &input.program,
+                input.train.memory.clone(),
+                &input.train.init_regs,
+                predictor.build(),
+                max_steps,
+            )
+            .map(Arc::new)
+            .map_err(ExperimentError::from);
+            let elapsed = started.elapsed();
+            self.profile_nanos
+                .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            for o in &self.observers {
+                o.stage_completed(Stage::Profile, &input.name, elapsed, false);
+            }
+            out
+        });
+        if computed {
+            self.profile_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.profile_hits.fetch_add(1, Ordering::Relaxed);
+            for o in &self.observers {
+                o.stage_completed(
+                    Stage::Profile,
+                    &self.benchmarks[bench].name,
+                    Duration::ZERO,
+                    true,
+                );
+            }
+        }
+        result.clone()
+    }
+
+    /// Stage 2 — compile-pair: the baseline and transformed programs
+    /// for a benchmark under a profile, machine width, and option set,
+    /// compiled at most once per [`CompileKey`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the profiling error if the guiding profile fails.
+    pub fn compile_pair(
+        &self,
+        bench: usize,
+        predictor: PredictorKind,
+        machine: MachineConfig,
+        options: &TransformOptions,
+        max_steps: u64,
+    ) -> Result<CompiledPair, ExperimentError> {
+        let profile = self.profile(bench, predictor, max_steps)?;
+        let key = CompileKey {
+            profile: ProfileKey {
+                bench,
+                predictor,
+                max_steps,
+            },
+            width: machine.width,
+            options: TransformKey::from_options(options),
+        };
+        let slot = {
+            let mut map = self.pairs.lock().expect("compile cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut computed = false;
+        let pair = slot.get_or_init(|| {
+            computed = true;
+            let input = &self.benchmarks[bench];
+            let started = Instant::now();
+            let exp = Experiment {
+                machine,
+                predictor,
+                transform: *options,
+                max_profile_steps: max_steps,
+            };
+            let (baseline, transformed, report) = exp.compile_pair(&input.program, &profile);
+            let elapsed = started.elapsed();
+            self.compile_nanos
+                .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            for o in &self.observers {
+                o.stage_completed(Stage::Compile, &input.name, elapsed, false);
+            }
+            CompiledPair {
+                baseline: Arc::new(baseline),
+                transformed: Arc::new(transformed),
+                report,
+            }
+        });
+        if computed {
+            self.compile_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.compile_hits.fetch_add(1, Ordering::Relaxed);
+            for o in &self.observers {
+                o.stage_completed(
+                    Stage::Compile,
+                    &self.benchmarks[bench].name,
+                    Duration::ZERO,
+                    true,
+                );
+            }
+        }
+        Ok(pair.clone())
+    }
+
+    /// Stage 3 — simulate-one-ref: runs one job through the cached
+    /// stages and one simulation. Deterministic for a given job.
+    ///
+    /// # Errors
+    ///
+    /// Returns profiling or simulation errors.
+    pub fn run_job(
+        &self,
+        job: &SimJob,
+        options: &TransformOptions,
+        max_steps: u64,
+    ) -> Result<JobResult, ExperimentError> {
+        let input = &self.benchmarks[job.bench];
+        let pair = self.compile_pair(job.bench, job.predictor, job.machine, options, max_steps)?;
+        let program = match job.variant {
+            Variant::Baseline => &pair.baseline,
+            Variant::Transformed => &pair.transformed,
+        };
+        let exp = Experiment {
+            machine: job.machine,
+            predictor: job.predictor,
+            transform: *options,
+            max_profile_steps: max_steps,
+        };
+        let started = Instant::now();
+        let stats = exp.simulate(program, &input.refs[job.ref_input])?;
+        let sim_elapsed = started.elapsed();
+        self.sim_jobs.fetch_add(1, Ordering::Relaxed);
+        self.sim_nanos
+            .fetch_add(sim_elapsed.as_nanos() as u64, Ordering::Relaxed);
+        Ok(JobResult {
+            job: *job,
+            stats,
+            sim_elapsed,
+        })
+    }
+
+    // ----------------------------------------------------------------
+    // Sweep execution
+    // ----------------------------------------------------------------
+
+    /// Executes a flat job list on the worker pool. Results come back
+    /// in **job-index order** regardless of worker count or completion
+    /// order; on error, the error of the lowest-indexed failing job is
+    /// returned (exactly what serial execution would have surfaced).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by job index) profiling or simulation error.
+    pub fn run_jobs(
+        &self,
+        jobs: &[SimJob],
+        options: &TransformOptions,
+        max_steps: u64,
+    ) -> Result<Vec<JobResult>, ExperimentError> {
+        let n = jobs.len();
+        let mut results: Vec<Option<Result<JobResult, ExperimentError>>> = Vec::new();
+        results.resize_with(n, || None);
+        let results = Mutex::new(results);
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(n.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let name = &self.benchmarks[job.bench].name;
+                    for o in &self.observers {
+                        o.job_started(i, job, name);
+                    }
+                    let outcome = self.run_job(job, options, max_steps);
+                    if let Ok(r) = &outcome {
+                        for o in &self.observers {
+                            o.job_finished(i, job, name, &r.stats, r.sim_elapsed);
+                        }
+                    }
+                    results.lock().expect("result vector poisoned")[i] = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("result vector poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every job index was executed"))
+            .collect()
+    }
+
+    /// The canonical job expansion of sweep cells: for each cell, every
+    /// REF input × {baseline, transformed}, in the nesting order the
+    /// serial loops used (refs outer, variants inner).
+    pub fn jobs_for_cells(&self, cells: &[SweepCell]) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for cell in cells {
+            for ref_input in 0..self.benchmarks[cell.bench].refs.len() {
+                for variant in [Variant::Baseline, Variant::Transformed] {
+                    jobs.push(SimJob {
+                        bench: cell.bench,
+                        ref_input,
+                        machine: cell.machine,
+                        predictor: cell.predictor,
+                        variant,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Runs a sweep matrix end-to-end: each cell becomes one
+    /// [`ExperimentOutcome`] (the Table 2 row shape), computed from
+    /// jobs executed on the pool with artifacts shared across cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by job index) error, or
+    /// [`ExperimentError::NoRefInputs`] if a cell's benchmark has no
+    /// REF inputs.
+    pub fn run_cells(
+        &self,
+        cells: &[SweepCell],
+        options: &TransformOptions,
+        max_steps: u64,
+    ) -> Result<Vec<ExperimentOutcome>, ExperimentError> {
+        for cell in cells {
+            if self.benchmarks[cell.bench].refs.is_empty() {
+                return Err(ExperimentError::NoRefInputs);
+            }
+        }
+        let jobs = self.jobs_for_cells(cells);
+        let results = self.run_jobs(&jobs, options, max_steps)?;
+        let mut outcomes = Vec::with_capacity(cells.len());
+        let mut cursor = 0usize;
+        for cell in cells {
+            let input = &self.benchmarks[cell.bench];
+            let n_refs = input.refs.len();
+            let mut runs = Vec::with_capacity(n_refs);
+            for _ in 0..n_refs {
+                let base = results[cursor].stats;
+                let exp = results[cursor + 1].stats;
+                cursor += 2;
+                runs.push(RefRun { base, exp });
+            }
+            // Cached: this re-fetch never recompiles or re-profiles.
+            let pair =
+                self.compile_pair(cell.bench, cell.predictor, cell.machine, options, max_steps)?;
+            let profile = self.profile(cell.bench, cell.predictor, max_steps)?;
+            outcomes.push(ExperimentOutcome {
+                name: input.name.clone(),
+                report: pair.report,
+                runs,
+                profile_dynamic_insts: profile.dynamic_insts,
+            });
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::tests::experiment_input;
+
+    fn engine_with(n: usize, workers: usize) -> (Engine, Vec<usize>) {
+        let mut engine = Engine::with_workers(workers);
+        let ids = (0..n)
+            .map(|i| {
+                let mut input = experiment_input(400 + 100 * i);
+                input.name = format!("bench{i}");
+                engine.add_benchmark(input)
+            })
+            .collect();
+        (engine, ids)
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let opts = TransformOptions::default();
+        let cells = |ids: &[usize]| -> Vec<SweepCell> {
+            ids.iter()
+                .flat_map(|&bench| {
+                    [MachineConfig::two_wide(), MachineConfig::four_wide()]
+                        .into_iter()
+                        .map(move |machine| SweepCell {
+                            bench,
+                            machine,
+                            predictor: PredictorKind::Combined24KB,
+                        })
+                })
+                .collect()
+        };
+        let (serial, ids_s) = engine_with(2, 1);
+        let serial_out = serial.run_cells(&cells(&ids_s), &opts, 1_000_000).unwrap();
+        let (parallel, ids_p) = engine_with(2, 4);
+        let parallel_out = parallel.run_cells(&cells(&ids_p), &opts, 1_000_000).unwrap();
+        assert_eq!(serial_out.len(), parallel_out.len());
+        for (s, p) in serial_out.iter().zip(&parallel_out) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.profile_dynamic_insts, p.profile_dynamic_insts);
+            assert_eq!(s.runs.len(), p.runs.len());
+            for (sr, pr) in s.runs.iter().zip(&p.runs) {
+                assert_eq!(sr.base, pr.base);
+                assert_eq!(sr.exp, pr.exp);
+            }
+        }
+    }
+
+    #[test]
+    fn artifacts_are_computed_once_per_key() {
+        let opts = TransformOptions::default();
+        let (mut engine, _) = engine_with(0, 4);
+        let b0 = engine.add_benchmark(experiment_input(500));
+        // 3 widths × 1 predictor: 1 profile, 3 compiles, regardless of
+        // how many REF sims reference them.
+        let cells: Vec<SweepCell> = MachineConfig::all_widths()
+            .into_iter()
+            .map(|machine| SweepCell {
+                bench: b0,
+                machine,
+                predictor: PredictorKind::Combined24KB,
+            })
+            .collect();
+        engine.run_cells(&cells, &opts, 1_000_000).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.profile_misses, 1, "{stats:?}");
+        assert_eq!(stats.compile_misses, 3, "{stats:?}");
+        assert_eq!(stats.sim_jobs, 6, "{stats:?}");
+        // Re-running the same cells is all hits.
+        engine.run_cells(&cells, &opts, 1_000_000).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.profile_misses, 1, "{stats:?}");
+        assert_eq!(stats.compile_misses, 3, "{stats:?}");
+    }
+
+    #[test]
+    fn observer_sees_every_job() {
+        #[derive(Default)]
+        struct Counter {
+            started: AtomicU64,
+            finished: AtomicU64,
+            stages: AtomicU64,
+        }
+        impl ProgressObserver for Counter {
+            fn job_started(&self, _: usize, _: &SimJob, _: &str) {
+                self.started.fetch_add(1, Ordering::Relaxed);
+            }
+            fn job_finished(&self, _: usize, _: &SimJob, _: &str, _: &SimStats, _: Duration) {
+                self.finished.fetch_add(1, Ordering::Relaxed);
+            }
+            fn stage_completed(&self, _: Stage, _: &str, _: Duration, _: bool) {
+                self.stages.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let counter = Arc::new(Counter::default());
+        let mut engine = Engine::with_workers(2);
+        let bench = engine.add_benchmark(experiment_input(300));
+        engine.observe(counter.clone());
+        let cells = [SweepCell {
+            bench,
+            machine: MachineConfig::four_wide(),
+            predictor: PredictorKind::Combined24KB,
+        }];
+        engine
+            .run_cells(&cells, &TransformOptions::default(), 1_000_000)
+            .unwrap();
+        assert_eq!(counter.started.load(Ordering::Relaxed), 2);
+        assert_eq!(counter.finished.load(Ordering::Relaxed), 2);
+        assert!(counter.stages.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn distinct_option_sets_get_distinct_compile_keys() {
+        let a = TransformOptions::default();
+        let mut b = TransformOptions::default();
+        b.max_hoist += 1;
+        let mut c = TransformOptions::default();
+        c.select.threshold += 0.01;
+        let pk = ProfileKey {
+            bench: 0,
+            predictor: PredictorKind::Combined24KB,
+            max_steps: 1,
+        };
+        let keys: Vec<CompileKey> = [&a, &b, &c]
+            .iter()
+            .map(|o| CompileKey {
+                profile: pk,
+                width: 4,
+                options: TransformKey::from_options(o),
+            })
+            .collect();
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
+    }
+}

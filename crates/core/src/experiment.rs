@@ -188,35 +188,50 @@ impl Experiment {
             machine,
             predictor: PredictorKind::Combined24KB,
             transform: TransformOptions::default(),
-            max_profile_steps: 100_000_000,
+            max_profile_steps: crate::engine::DEFAULT_MAX_PROFILE_STEPS,
         }
     }
 
     /// Profiles with TRAIN, builds baseline and transformed programs, and
     /// simulates both over every REF input.
     ///
+    /// Delegates to the [engine](crate::engine): jobs run on the worker
+    /// pool and artifacts are cached, but results are identical to the
+    /// historical serial loop (see DESIGN.md §6).
+    ///
     /// # Errors
     ///
     /// Returns an [`ExperimentError`] if profiling or simulation faults,
     /// or no REF inputs were supplied.
     pub fn run(&self, input: &ExperimentInput) -> Result<ExperimentOutcome, ExperimentError> {
-        if input.refs.is_empty() {
-            return Err(ExperimentError::NoRefInputs);
-        }
-        let profile = self.profile(input)?;
-        let (baseline, transformed, report) = self.compile_pair(&input.program, &profile);
-        let mut runs = Vec::with_capacity(input.refs.len());
-        for r in &input.refs {
-            let base = self.simulate(&baseline, r)?;
-            let exp = self.simulate(&transformed, r)?;
-            runs.push(RefRun { base, exp });
-        }
-        Ok(ExperimentOutcome {
-            name: input.name.clone(),
-            report,
-            runs,
-            profile_dynamic_insts: profile.dynamic_insts,
-        })
+        let mut outcomes = self.run_suite(std::slice::from_ref(input))?;
+        Ok(outcomes.remove(0))
+    }
+
+    /// Runs a whole suite of benchmarks under this experiment's machine,
+    /// predictor, and options, sharing the engine's worker pool and
+    /// artifact cache across all of them. Outcomes are returned in input
+    /// order regardless of worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by benchmark and REF-input order) profiling or
+    /// simulation error, or [`ExperimentError::NoRefInputs`] if any
+    /// benchmark has none.
+    pub fn run_suite(
+        &self,
+        inputs: &[ExperimentInput],
+    ) -> Result<Vec<ExperimentOutcome>, ExperimentError> {
+        let mut engine = crate::engine::Engine::new();
+        let cells: Vec<crate::engine::SweepCell> = inputs
+            .iter()
+            .map(|input| crate::engine::SweepCell {
+                bench: engine.add_benchmark(input.clone()),
+                machine: self.machine,
+                predictor: self.predictor,
+            })
+            .collect();
+        engine.run_cells(&cells, &self.transform, self.max_profile_steps)
     }
 
     /// Runs only the profiling step (TRAIN input).
@@ -278,7 +293,7 @@ impl Experiment {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use vanguard_isa::{AluOp, CmpKind, CondKind, Inst, Operand, ProgramBuilder};
 
@@ -390,7 +405,7 @@ mod tests {
         }
     }
 
-    fn experiment_input(n: usize) -> ExperimentInput {
+    pub(crate) fn experiment_input(n: usize) -> ExperimentInput {
         ExperimentInput {
             name: "fig6-kernel".into(),
             program: kernel(n as i64),

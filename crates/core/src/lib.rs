@@ -26,10 +26,15 @@
 //! * [`Experiment`] — end-to-end facade: profile → compile baseline and
 //!   transformed programs → simulate both → report speedup and the
 //!   Table 2 metrics.
+//! * [`engine`] — the parallel, artifact-cached sweep engine behind
+//!   [`Experiment::run`] and the bench harness: stages as cached
+//!   artifacts, flat [`engine::SimJob`] lists, a scoped worker pool,
+//!   and [`engine::ProgressObserver`] progress events.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
 mod experiment;
 mod report;
 mod select;

@@ -10,9 +10,9 @@
 //! cargo run --release --example predictor_sensitivity
 //! ```
 
-use vanguard_bench::{quick_spec, to_experiment_input, BenchScale};
+use vanguard_bench::{BenchScale, SuiteEngine};
 use vanguard_bpred::ladder;
-use vanguard_core::Experiment;
+use vanguard_core::engine::SweepCell;
 use vanguard_sim::MachineConfig;
 use vanguard_workloads::suite;
 
@@ -23,14 +23,23 @@ fn main() {
         .into_iter()
         .find(|s| s.name == "astar")
         .expect("astar in the suite");
-    let input = to_experiment_input(quick_spec(spec, BenchScale::Quick).build());
+    // The whole ladder runs as one engine sweep: per-rung profiles and
+    // compiled pairs are cached, and jobs execute on the worker pool.
+    let mut eng = SuiteEngine::new(BenchScale::Quick);
+    let bench = eng.bench_id(&spec);
+    let cells: Vec<SweepCell> = ladder()
+        .into_iter()
+        .map(|rung| SweepCell {
+            bench,
+            machine: MachineConfig::four_wide(),
+            predictor: rung,
+        })
+        .collect();
+    let outcomes = eng.run_cells(&cells).expect("runs cleanly");
 
     println!("{:<32} {:>10} {:>10}", "predictor", "miss-rate", "speedup");
     let mut prev: Option<(f64, f64)> = None;
-    for rung in ladder() {
-        let mut experiment = Experiment::new(MachineConfig::four_wide());
-        experiment.predictor = rung;
-        let out = experiment.run(&input).expect("runs cleanly");
+    for (rung, out) in ladder().into_iter().zip(&outcomes) {
         let miss = 1.0
             - out
                 .runs

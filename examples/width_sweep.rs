@@ -9,34 +9,46 @@
 //! cargo run --release --example width_sweep
 //! ```
 
-use vanguard_bench::{quick_spec, to_experiment_input, BenchScale};
-use vanguard_core::Experiment;
+use vanguard_bench::{BenchScale, SuiteEngine};
+use vanguard_core::engine::{PredictorKind, SweepCell};
 use vanguard_sim::MachineConfig;
 use vanguard_workloads::suite;
 
 fn main() {
     let names = ["h264ref", "omnetpp", "wrf"];
+    // One engine for the whole sweep: each benchmark is profiled once,
+    // and all 9 (bench × width) cells run on the worker pool.
+    let mut eng = SuiteEngine::new(BenchScale::Quick);
+    let cells: Vec<SweepCell> = names
+        .iter()
+        .flat_map(|name| {
+            let spec = suite::all_benchmarks()
+                .into_iter()
+                .find(|s| s.name == *name)
+                .expect("known benchmark");
+            let bench = eng.bench_id(&spec);
+            MachineConfig::all_widths().into_iter().map(move |machine| SweepCell {
+                bench,
+                machine,
+                predictor: PredictorKind::Combined24KB,
+            })
+        })
+        .collect();
+    let outcomes = eng.run_cells(&cells).expect("runs cleanly");
+
     println!(
         "{:<10} {:>7} {:>12} {:>12} {:>9}",
         "bench", "width", "base cyc", "exp cyc", "speedup"
     );
-    for name in names {
-        let spec = suite::all_benchmarks()
-            .into_iter()
-            .find(|s| s.name == name)
-            .expect("known benchmark");
-        let input = to_experiment_input(quick_spec(spec, BenchScale::Quick).build());
-        for machine in MachineConfig::all_widths() {
-            let out = Experiment::new(machine).run(&input).expect("runs cleanly");
-            let r = &out.runs[0];
-            println!(
-                "{:<10} {:>7} {:>12} {:>12} {:>8.2}%",
-                name,
-                machine.width,
-                r.base.cycles,
-                r.exp.cycles,
-                out.geomean_speedup_pct()
-            );
-        }
+    for (cell, out) in cells.iter().zip(&outcomes) {
+        let r = &out.runs[0];
+        println!(
+            "{:<10} {:>7} {:>12} {:>12} {:>8.2}%",
+            out.name,
+            cell.machine.width,
+            r.base.cycles,
+            r.exp.cycles,
+            out.geomean_speedup_pct()
+        );
     }
 }

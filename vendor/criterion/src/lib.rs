@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset this workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` (with `sample_size` /
+//! `throughput` / `finish`), `black_box`, `criterion_group!`, and
+//! `criterion_main!` — backed by a simple median-of-samples timer
+//! instead of criterion's statistical machinery. Each benchmark prints
+//! one line: median time per iteration and, when a throughput was set,
+//! elements per second.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.as_ref(), self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting the configured number of samples.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One warm-up iteration outside the timed region.
+        black_box(f());
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        target_samples: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples: bencher.iter was not called)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let rate = n as f64 / median.as_secs_f64();
+            format!("  {:>12.0} elem/s", rate)
+        }
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            let rate = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  {:>9.1} MiB/s", rate)
+        }
+        _ => String::new(),
+    };
+    println!("{id:<48} median {median:>12.3?}{extra}");
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        group.bench_function("t", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

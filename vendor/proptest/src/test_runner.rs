@@ -1,0 +1,99 @@
+//! Test-runner plumbing: configuration, per-case RNG, failure type.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (raised by `prop_assert!`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic per-case generator handed to strategies.
+///
+/// Case `n` of every property always sees the same stream, so failures
+/// replay exactly; there is no persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    /// The underlying generator (strategies sample from it directly).
+    pub rng: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// The generator for case number `case`.
+    pub fn for_case(case: u32) -> Self {
+        use rand::SeedableRng as _;
+        // Golden-ratio stride decorrelates neighbouring cases.
+        let seed = 0x005e_ed0f_9209_7e57_u64 ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        TestRng {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Minimal runner for driving strategies outside `proptest!` (upstream
+/// compatibility surface; rarely used directly).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` over `cases` generated inputs from `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing case's error.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestCaseError>
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::for_case(case);
+            test(strategy.generate(&mut rng))?;
+        }
+        Ok(())
+    }
+}
