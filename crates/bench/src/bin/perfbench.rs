@@ -1,0 +1,265 @@
+//! Host-side performance benchmark of the simulation engine.
+//!
+//! ```text
+//! cargo run --release -p vanguard-bench --bin perfbench           # writes BENCH_sim.json
+//! cargo run --release -p vanguard-bench --bin perfbench -- --check
+//! cargo run --release -p vanguard-bench --bin perfbench -- --out target/BENCH_sim.json
+//! ```
+//!
+//! Two measurements, written as JSON (hand-rolled; no serde dependency):
+//!
+//! 1. **Quick-suite throughput** — runs the full benchmark suite at
+//!    quick scale (the CI figure workload) through the experiment
+//!    engine and reports per-stage wall-clock plus simulated-instruction
+//!    throughput (committed MIPS per worker).
+//! 2. **Memory microbenchmark** — replays one deterministic
+//!    read/write sequence against the paged [`Memory`] and against
+//!    [`ReferenceMemory`] (the word-granular `HashMap` store the paged
+//!    implementation replaced, kept as the executable specification)
+//!    and reports the speedup ratio.
+//!
+//! `--check` exits non-zero unless the paged store beats the reference
+//! store by at least 3x on the microbenchmark — the regression gate CI
+//! applies alongside byte-identity of the figure output.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use vanguard_bench::{BenchScale, SuiteEngine};
+use vanguard_core::engine::{PredictorKind, SweepCell};
+use vanguard_isa::{Memory, ReferenceMemory};
+use vanguard_sim::MachineConfig;
+use vanguard_workloads::suite;
+
+/// Deterministic xorshift64* stream (no external randomness).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+}
+
+const REGIONS: usize = 8;
+const REGION_WORDS: u64 = 4096; // 32 KiB per region
+const OPS: usize = 2_000_000;
+const ROUNDS: usize = 3;
+
+fn region_base(i: usize) -> u64 {
+    0x1_0000 + i as u64 * 0x8_0000
+}
+
+/// One pre-generated access: word-aligned address plus read/write flag.
+fn access_sequence() -> Vec<(u64, bool)> {
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    let mut seq = Vec::with_capacity(OPS);
+    let mut region = 0usize;
+    let mut cursor = 0u64;
+    for _ in 0..OPS {
+        let r = rng.next();
+        // Occasional region switch, otherwise a local random walk —
+        // the locality the simulator's own traffic exhibits.
+        if r.is_multiple_of(64) {
+            region = (r >> 8) as usize % REGIONS;
+            cursor = (r >> 16) % REGION_WORDS;
+        } else {
+            cursor = (cursor + (r >> 8) % 32) % REGION_WORDS;
+        }
+        let addr = region_base(region) + cursor * 8;
+        let is_read = !r.is_multiple_of(3); // 2:1 read:write
+        seq.push((addr, is_read));
+    }
+    seq
+}
+
+/// Times the sequence against a store; generic over the two Memory
+/// implementations via small closures to keep the loop identical.
+fn time_sequence<M>(
+    seq: &[(u64, bool)],
+    mut fresh: impl FnMut() -> M,
+    read: impl Fn(&M, u64) -> Option<u64>,
+    write: impl Fn(&mut M, u64, u64),
+) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
+    for _ in 0..ROUNDS {
+        let mut mem = fresh();
+        let mut sum = 0u64;
+        let started = Instant::now();
+        for &(addr, is_read) in seq {
+            if is_read {
+                sum = sum.wrapping_add(read(&mem, addr).unwrap_or(0));
+            } else {
+                write(&mut mem, addr, addr ^ sum);
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        best = best.min(elapsed);
+        checksum = sum;
+    }
+    (best, checksum)
+}
+
+struct MemBenchResult {
+    paged_secs: f64,
+    reference_secs: f64,
+    speedup: f64,
+}
+
+fn memory_microbench() -> MemBenchResult {
+    let seq = access_sequence();
+    let (paged_secs, paged_sum) = time_sequence(
+        &seq,
+        || {
+            let mut m = Memory::new();
+            for i in 0..REGIONS {
+                m.map_region(region_base(i), REGION_WORDS * 8);
+            }
+            m
+        },
+        |m, a| m.read(a),
+        |m, a, v| m.write(a, v),
+    );
+    let (reference_secs, reference_sum) = time_sequence(
+        &seq,
+        || {
+            let mut m = ReferenceMemory::new();
+            for i in 0..REGIONS {
+                m.map_region(region_base(i), REGION_WORDS * 8);
+            }
+            m
+        },
+        |m, a| m.read(a),
+        |m, a, v| m.write(a, v),
+    );
+    assert_eq!(
+        paged_sum, reference_sum,
+        "paged and reference stores diverged on the benchmark sequence"
+    );
+    MemBenchResult {
+        paged_secs,
+        reference_secs,
+        speedup: reference_secs / paged_secs,
+    }
+}
+
+fn quick_suite() -> (vanguard_core::engine::EngineStats, usize, f64) {
+    let mut engine = SuiteEngine::new(BenchScale::Quick);
+    let specs = suite::all_benchmarks();
+    let cells: Vec<SweepCell> = specs
+        .iter()
+        .map(|spec| SweepCell {
+            bench: engine.bench_id(spec),
+            machine: MachineConfig::four_wide(),
+            predictor: PredictorKind::Combined24KB,
+        })
+        .collect();
+    let started = Instant::now();
+    engine.run_cells(&cells).expect("quick suite simulates cleanly");
+    let wall = started.elapsed().as_secs_f64();
+    (engine.engine().stats(), specs.len(), wall)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_sim.json", |s| s.as_str());
+
+    eprintln!("[perfbench] memory microbenchmark: {OPS} ops x {ROUNDS} rounds ...");
+    let mem = memory_microbench();
+    eprintln!(
+        "[perfbench] paged {:.1} ns/op, reference {:.1} ns/op, speedup {:.2}x",
+        mem.paged_secs * 1e9 / OPS as f64,
+        mem.reference_secs * 1e9 / OPS as f64,
+        mem.speedup
+    );
+
+    eprintln!("[perfbench] quick-suite sweep (4-wide, Combined24KB) ...");
+    let (stats, benchmarks, suite_wall) = quick_suite();
+    eprintln!(
+        "[perfbench] {} jobs, {:.1} ms wall, {:.2} MIPS/worker",
+        stats.sim_jobs,
+        suite_wall * 1e3,
+        stats.sim_mips()
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"vanguard-perfbench-v1\",");
+    let _ = writeln!(json, "  \"quick_suite\": {{");
+    let _ = writeln!(json, "    \"benchmarks\": {benchmarks},");
+    let _ = writeln!(json, "    \"wall_clock_ms\": {},", json_f(suite_wall * 1e3));
+    let _ = writeln!(json, "    \"profile_runs\": {},", stats.profile_misses);
+    let _ = writeln!(
+        json,
+        "    \"profile_wall_ms\": {},",
+        json_f(stats.profile_nanos as f64 / 1e6)
+    );
+    let _ = writeln!(json, "    \"compile_runs\": {},", stats.compile_misses);
+    let _ = writeln!(
+        json,
+        "    \"compile_wall_ms\": {},",
+        json_f(stats.compile_nanos as f64 / 1e6)
+    );
+    let _ = writeln!(json, "    \"sim_jobs\": {},", stats.sim_jobs);
+    let _ = writeln!(json, "    \"sim_insts\": {},", stats.sim_insts);
+    let _ = writeln!(
+        json,
+        "    \"sim_wall_ms_worker_summed\": {},",
+        json_f(stats.sim_nanos as f64 / 1e6)
+    );
+    let _ = writeln!(
+        json,
+        "    \"sim_mips_per_worker\": {}",
+        json_f(stats.sim_mips())
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"memory_microbench\": {{");
+    let _ = writeln!(json, "    \"ops\": {OPS},");
+    let _ = writeln!(json, "    \"rounds\": {ROUNDS},");
+    let _ = writeln!(
+        json,
+        "    \"paged_ns_per_op\": {},",
+        json_f(mem.paged_secs * 1e9 / OPS as f64)
+    );
+    let _ = writeln!(
+        json,
+        "    \"reference_ns_per_op\": {},",
+        json_f(mem.reference_secs * 1e9 / OPS as f64)
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_reference\": {}",
+        json_f(mem.speedup)
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(out_path, &json).expect("write BENCH_sim.json");
+    eprintln!("[perfbench] wrote {out_path}");
+
+    if check && mem.speedup < 3.0 {
+        eprintln!(
+            "[perfbench] FAIL: paged memory speedup {:.2}x below the 3x gate",
+            mem.speedup
+        );
+        std::process::exit(1);
+    }
+    if check {
+        eprintln!("[perfbench] check passed");
+    }
+}

@@ -68,7 +68,7 @@ fn render(label: &str, program: &Program, mem: Memory, window: u64) -> u64 {
     );
     let mut events: Vec<TraceEvent> = Vec::new();
     let result = sim
-        .run_traced(|e| events.push(e.clone()))
+        .run_traced(|e| events.push(*e))
         .expect("simulates cleanly");
     // Show a steady-state window starting at the 100th issue (past the
     // cold-I$ warmup, which is all stall); short programs fall back to

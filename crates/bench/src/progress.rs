@@ -63,13 +63,14 @@ impl ProgressObserver for StderrProgress {
                 Variant::Transformed => "xform",
             };
             eprintln!(
-                "[engine] sim #{done:<4} {:<12} {}-wide {:<5} ref{} {:>10} cyc {:>8.1} ms",
+                "[engine] sim #{done:<4} {:<12} {}-wide {:<5} ref{} {:>10} cyc {:>8.1} ms {:>7.2} MIPS",
                 bench_name,
                 job.machine.width,
                 variant,
                 job.ref_input,
                 stats.cycles,
-                elapsed.as_secs_f64() * 1e3
+                elapsed.as_secs_f64() * 1e3,
+                stats.mips(elapsed)
             );
         }
     }

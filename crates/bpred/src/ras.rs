@@ -52,6 +52,15 @@ impl Ras {
         Some(addr)
     }
 
+    /// Resets to power-on state (all entries zero, empty) without
+    /// reallocating — used by the front end's misprediction flush, which
+    /// rebuilds the RAS from the restored call stack every redirect.
+    pub fn clear(&mut self) {
+        self.entries.fill(0);
+        self.top = 0;
+        self.depth = 0;
+    }
+
     /// Current number of live entries.
     pub fn depth(&self) -> usize {
         self.depth

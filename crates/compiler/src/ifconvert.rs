@@ -144,7 +144,7 @@ fn rename_side(
         _ => block.insts().len(),
     };
     for inst in &block.insts()[..body_len] {
-        let mut inst = inst.clone();
+        let mut inst = *inst;
         // Rename reads of previously renamed registers.
         let remap = |r: Reg, map: &HashMap<Reg, Reg>| *map.get(&r).unwrap_or(&r);
         match &mut inst {

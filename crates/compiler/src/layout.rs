@@ -155,7 +155,7 @@ pub fn compact_program(program: &Program) -> Program {
         let new = remap[old.index()].expect("mapped");
         let block = program.block(old);
         for inst in block.insts() {
-            let mut inst = inst.clone();
+            let mut inst = *inst;
             if let Some(t) = inst.target() {
                 inst.set_target(remap[t.index()].expect("reachable target"));
             }

@@ -47,7 +47,7 @@ pub fn schedule_program(program: &mut Program, config: &SchedConfig) -> usize {
         if changed > 0 {
             moved += changed;
             let insts = block.insts().to_vec();
-            let reordered: Vec<Inst> = order.into_iter().map(|i| insts[i].clone()).collect();
+            let reordered: Vec<Inst> = order.into_iter().map(|i| insts[i]).collect();
             *program.block_mut(bid).insts_mut() = reordered;
         }
     }

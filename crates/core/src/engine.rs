@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use vanguard_ir::Profile;
-use vanguard_isa::Program;
+use vanguard_isa::{DecodedImage, Program};
 use vanguard_sim::{MachineConfig, SimStats};
 
 pub use vanguard_bpred::LadderRung as PredictorKind;
@@ -81,6 +81,14 @@ pub struct JobResult {
     /// Wall-clock time of the simulate stage alone (excludes cached or
     /// shared profile/compile work).
     pub sim_elapsed: Duration,
+}
+
+impl JobResult {
+    /// Host-side throughput of this job: millions of committed simulated
+    /// instructions per wall-clock second of its simulate stage.
+    pub fn sim_mips(&self) -> f64 {
+        self.stats.mips(self.sim_elapsed)
+    }
 }
 
 /// Cache key of a profiling run: a profile depends on the program and
@@ -147,12 +155,20 @@ pub struct CompileKey {
 }
 
 /// A cached compiled pair plus its transformation report.
+///
+/// Also carries the pre-decoded flat image of each side, built once at
+/// compile time and shared by every simulation of the pair (the
+/// simulator's fetch walks the image, not the nested program).
 #[derive(Clone, Debug)]
 pub struct CompiledPair {
     /// Laid-out, scheduled baseline.
     pub baseline: Arc<Program>,
     /// Laid-out, scheduled transformed program.
     pub transformed: Arc<Program>,
+    /// Pre-decoded image of the baseline.
+    pub baseline_image: Arc<DecodedImage>,
+    /// Pre-decoded image of the transformed program.
+    pub transformed_image: Arc<DecodedImage>,
     /// The transformation report (PBC, PISCS, hoist counts).
     pub report: TransformReport,
 }
@@ -227,6 +243,8 @@ pub struct EngineStats {
     pub compile_hits: u64,
     /// Simulate stages executed.
     pub sim_jobs: u64,
+    /// Committed simulated instructions, summed over simulate stages.
+    pub sim_insts: u64,
     /// Aggregate wall-clock nanoseconds in the profile stage.
     pub profile_nanos: u64,
     /// Aggregate wall-clock nanoseconds in the compile stage.
@@ -237,6 +255,16 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Host-side simulation throughput: millions of committed simulated
+    /// instructions per worker-summed wall-clock second of the simulate
+    /// stage (i.e. per-worker MIPS, independent of the pool size).
+    pub fn sim_mips(&self) -> f64 {
+        if self.sim_nanos == 0 {
+            return 0.0;
+        }
+        self.sim_insts as f64 / 1e6 / (self.sim_nanos as f64 / 1e9)
+    }
+
     /// Renders the per-stage timing/cache summary (one line per stage).
     pub fn summary(&self) -> String {
         fn ms(nanos: u64) -> f64 {
@@ -245,7 +273,7 @@ impl EngineStats {
         format!(
             "profile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
              compile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
-             simulate: {:>4} jobs, {:>21.1} ms",
+             simulate: {:>4} jobs, {:>21.1} ms, {:>7.2} MIPS/worker",
             self.profile_misses,
             self.profile_hits,
             ms(self.profile_nanos),
@@ -254,6 +282,7 @@ impl EngineStats {
             ms(self.compile_nanos),
             self.sim_jobs,
             ms(self.sim_nanos),
+            self.sim_mips(),
         )
     }
 }
@@ -286,6 +315,7 @@ pub struct Engine {
     compile_misses: AtomicU64,
     compile_hits: AtomicU64,
     sim_jobs: AtomicU64,
+    sim_insts: AtomicU64,
     profile_nanos: AtomicU64,
     compile_nanos: AtomicU64,
     sim_nanos: AtomicU64,
@@ -342,6 +372,7 @@ impl Engine {
             compile_misses: AtomicU64::new(0),
             compile_hits: AtomicU64::new(0),
             sim_jobs: AtomicU64::new(0),
+            sim_insts: AtomicU64::new(0),
             profile_nanos: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
             sim_nanos: AtomicU64::new(0),
@@ -383,6 +414,7 @@ impl Engine {
             compile_misses: self.compile_misses.load(Ordering::Relaxed),
             compile_hits: self.compile_hits.load(Ordering::Relaxed),
             sim_jobs: self.sim_jobs.load(Ordering::Relaxed),
+            sim_insts: self.sim_insts.load(Ordering::Relaxed),
             profile_nanos: self.profile_nanos.load(Ordering::Relaxed),
             compile_nanos: self.compile_nanos.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
@@ -494,6 +526,8 @@ impl Engine {
                 max_profile_steps: max_steps,
             };
             let (baseline, transformed, report) = exp.compile_pair(&input.program, &profile);
+            let baseline_image = Arc::new(DecodedImage::build(&baseline));
+            let transformed_image = Arc::new(DecodedImage::build(&transformed));
             let elapsed = started.elapsed();
             self.compile_nanos
                 .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
@@ -503,6 +537,8 @@ impl Engine {
             CompiledPair {
                 baseline: Arc::new(baseline),
                 transformed: Arc::new(transformed),
+                baseline_image,
+                transformed_image,
                 report,
             }
         });
@@ -536,9 +572,9 @@ impl Engine {
     ) -> Result<JobResult, ExperimentError> {
         let input = &self.benchmarks[job.bench];
         let pair = self.compile_pair(job.bench, job.predictor, job.machine, options, max_steps)?;
-        let program = match job.variant {
-            Variant::Baseline => &pair.baseline,
-            Variant::Transformed => &pair.transformed,
+        let image = match job.variant {
+            Variant::Baseline => &pair.baseline_image,
+            Variant::Transformed => &pair.transformed_image,
         };
         let exp = Experiment {
             machine: job.machine,
@@ -547,9 +583,10 @@ impl Engine {
             max_profile_steps: max_steps,
         };
         let started = Instant::now();
-        let stats = exp.simulate(program, &input.refs[job.ref_input])?;
+        let stats = exp.simulate_image(image, &input.refs[job.ref_input])?;
         let sim_elapsed = started.elapsed();
         self.sim_jobs.fetch_add(1, Ordering::Relaxed);
+        self.sim_insts.fetch_add(stats.committed(), Ordering::Relaxed);
         self.sim_nanos
             .fetch_add(sim_elapsed.as_nanos() as u64, Ordering::Relaxed);
         Ok(JobResult {

@@ -3,10 +3,11 @@
 use crate::report::TransformReport;
 use crate::transform::{decompose_branches, TransformOptions};
 use std::fmt;
+use std::sync::Arc;
 use vanguard_compiler::{
     compact_program, layout_program, profile_program, schedule_program, ProfileError, SchedConfig,
 };
-use vanguard_isa::{Memory, Program, Reg};
+use vanguard_isa::{DecodedImage, Memory, Program, Reg};
 use vanguard_ir::Profile;
 use vanguard_sim::{MachineConfig, SimError, SimStats, Simulator};
 
@@ -281,6 +282,30 @@ impl Experiment {
     pub fn simulate(&self, program: &Program, input: &RunInput) -> Result<SimStats, ExperimentError> {
         let mut sim = Simulator::new(
             program,
+            input.memory.clone(),
+            self.machine,
+            self.predictor.build(),
+        );
+        for &(r, v) in &input.init_regs {
+            sim.set_reg(r, v);
+        }
+        Ok(sim.run()?.stats)
+    }
+
+    /// Simulates a pre-decoded program image over one input on this
+    /// experiment's machine. The hot path of the engine: many simulations
+    /// of the same compiled program share one image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExperimentError`] on a committed-path fault.
+    pub fn simulate_image(
+        &self,
+        image: &Arc<DecodedImage>,
+        input: &RunInput,
+    ) -> Result<SimStats, ExperimentError> {
+        let mut sim = Simulator::with_image(
+            Arc::clone(image),
             input.memory.clone(),
             self.machine,
             self.predictor.build(),

@@ -137,7 +137,7 @@ fn hoist_prefix(
                 skipped_writes.insert(d);
             }
             skipped_reads.extend(inst.srcs());
-            remainder.push(inst.clone());
+            remainder.push(*inst);
         };
         if hoisted.len() >= max_hoist {
             skip(inst, &mut remainder, &mut skipped_writes, &mut skipped_reads);
@@ -167,7 +167,7 @@ fn hoist_prefix(
         }
         // A correction-path live-in clobber is fixable with a shadow temp
         // (§3): write the temp speculatively, commit in the resolve shadow.
-        let mut inst = inst.clone();
+        let mut inst = *inst;
         // Hoisted reads of previously-renamed registers use the temps.
         rewrite_reads(&mut inst, &rename);
         if let Some(d) = dst {
@@ -272,7 +272,7 @@ fn transform_site(
     let slice_insts: Vec<Inst> = slice
         .indices
         .iter()
-        .map(|&i| a_block.insts()[i].clone())
+        .map(|&i| a_block.insts()[i])
         .collect();
 
     let cfg = Cfg::build(program);
@@ -344,7 +344,7 @@ fn transform_site(
         nb.insts_mut().extend(split.remainder.iter().cloned());
         if let Some(t) = orig.terminator() {
             if t.is_control() {
-                nb.insts_mut().push(t.clone());
+                nb.insts_mut().push(*t);
             }
         }
         nb.set_fallthrough(orig.fallthrough());
@@ -437,7 +437,7 @@ fn dce_slice(a: &mut BasicBlock, slice_indices: &[usize]) -> usize {
         .iter()
         .enumerate()
         .filter(|&(i, _)| !removable[i])
-        .map(|(_, inst)| inst.clone())
+        .map(|(_, inst)| *inst)
         .collect();
     *a.insts_mut() = kept;
     removed

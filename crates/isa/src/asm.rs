@@ -366,7 +366,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     }
     for (id, pb) in &pendings {
         for inst in &pb.insts {
-            builder.push(*id, inst.clone());
+            builder.push(*id, *inst);
         }
         if let Some(ft) = pb.fallthrough {
             if ft.index() >= pendings.len() {

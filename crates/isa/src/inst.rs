@@ -182,7 +182,7 @@ pub enum FuClass {
 /// Control-transfer instructions (`Branch`, `Jump`, `Predict`, `Resolve`,
 /// `Call`, `Ret`, `Halt`) may only appear as the final instruction of a
 /// basic block; this is enforced by [`crate::ProgramBuilder::finish`].
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Inst {
     /// Integer ALU operation: `dst = op(a, b)`.
     Alu {

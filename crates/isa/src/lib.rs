@@ -37,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 mod asm;
+mod image;
 mod inst;
 mod interp;
 mod memory;
@@ -44,12 +45,13 @@ mod program;
 mod reg;
 
 pub use asm::{format_block, parse_program, ParseError};
+pub use image::{DecodedImage, DecodedInst, NO_INST};
 pub use inst::{AluOp, CmpKind, CondKind, FpOp, FuClass, Inst, Operand};
 pub use interp::{
     eval_alu, BranchRecord, ExecError, ExecEvent, InterpConfig, Interpreter, PredictionOracle,
     RunOutcome, StopReason, TakenOracle,
 };
-pub use memory::Memory;
+pub use memory::{Memory, ReferenceMemory};
 pub use program::{
     BasicBlock, BlockId, LayoutInfo, Program, ProgramBuilder, StaticSummary, ValidationError,
     CODE_BASE,

@@ -4,12 +4,13 @@
 use crate::config::MachineConfig;
 use crate::stats::SimStats;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use vanguard_bpred::{Btb, DecomposedBranchBuffer, DirectionPredictor, PredMeta, Ras};
-use vanguard_isa::{BlockId, Inst, LayoutInfo, Program};
+use vanguard_isa::{BlockId, DecodedImage, Inst, NO_INST};
 use vanguard_mem::{AccessKind, Level, MemSystem};
 
 /// Prediction state attached to a fetched conditional.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub enum PredInfo {
     /// A conventional branch: the predictor metadata and direction chosen
     /// at fetch.
@@ -27,21 +28,35 @@ pub enum PredInfo {
     },
 }
 
+/// One reversible call-stack mutation, recorded at fetch so a
+/// misprediction flush can restore the stack without snapshotting it.
+#[derive(Clone, Copy, Debug)]
+enum JournalOp {
+    /// A `call` pushed a frame.
+    Pushed,
+    /// A `ret` popped this return block.
+    Popped(BlockId),
+}
+
 /// Front-end state captured at the fetch of every conditional, restored on
 /// a misprediction re-steer (the paper notes branch history and the DBB
 /// tail are recovered by the same mechanism).
-#[derive(Clone, Debug)]
+///
+/// `Copy`: the call stack itself is not cloned per conditional; the flush
+/// path instead rewinds the undo journal to `journal_mark`.
+#[derive(Clone, Copy, Debug)]
 pub struct FetchSnapshot {
     /// DBB tail pointer.
     pub dbb_tail: usize,
-    /// Hardware RAS (top, depth).
-    pub ras: (usize, usize),
-    /// Architectural call stack (perfect; bounded by workload call depth).
-    pub call_stack: Vec<BlockId>,
+    /// Hardware RAS depth (the entry contents are re-derived from the
+    /// perfect call stack, modelling a checkpointed top-of-stack pointer).
+    pub ras_depth: usize,
+    /// Call-stack journal length at capture time.
+    pub journal_mark: usize,
 }
 
 /// An instruction waiting in the fetch buffer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct FetchedInst {
     /// The instruction.
     pub inst: Inst,
@@ -62,12 +77,15 @@ pub struct FetchedInst {
 /// The front end: fetch PC, fetch buffer, predictor, BTB, RAS, DBB, and
 /// the perfect call stack used to model a translated machine's precise
 /// return handling.
-pub struct FrontEnd<'p> {
-    program: &'p Program,
-    layout: LayoutInfo,
+///
+/// Fetch walks a shared pre-decoded [`DecodedImage`] — the fetch PC is a
+/// flat instruction index and fall-through chains cost nothing at run
+/// time.
+pub struct FrontEnd {
+    image: Arc<DecodedImage>,
     config: MachineConfig,
-    /// Next fetch position.
-    pc: (BlockId, usize),
+    /// Next fetch position: flat index into the decoded image.
+    pc: u32,
     /// Decoded instructions awaiting issue.
     pub(crate) buffer: VecDeque<FetchedInst>,
     pub(crate) predictor: Box<dyn DirectionPredictor>,
@@ -75,6 +93,12 @@ pub struct FrontEnd<'p> {
     btb: Btb,
     ras: Ras,
     call_stack: Vec<BlockId>,
+    /// Undo log of speculative call-stack mutations since the last
+    /// compaction; snapshots reference a position in it.
+    journal: Vec<JournalOp>,
+    /// Buffered instructions currently carrying a snapshot (compaction
+    /// is legal only when this is zero and no redirect is pending).
+    snapshots_in_buffer: usize,
     /// Fetch is blocked until this cycle (I$ miss or BTB bubble).
     stall_until: u64,
     /// Set when a `halt` (or an unresolvable wrong-path `ret`) was fetched.
@@ -86,7 +110,7 @@ pub struct FrontEnd<'p> {
     redirect_window: bool,
 }
 
-impl<'p> std::fmt::Debug for FrontEnd<'p> {
+impl std::fmt::Debug for FrontEnd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FrontEnd")
             .field("pc", &self.pc)
@@ -97,24 +121,25 @@ impl<'p> std::fmt::Debug for FrontEnd<'p> {
     }
 }
 
-impl<'p> FrontEnd<'p> {
+impl FrontEnd {
     /// Creates a front end positioned at the program entry.
     pub fn new(
-        program: &'p Program,
+        image: Arc<DecodedImage>,
         config: MachineConfig,
         predictor: Box<dyn DirectionPredictor>,
     ) -> Self {
         FrontEnd {
-            program,
-            layout: program.layout(),
+            pc: image.entry_index(),
+            image,
             config,
-            pc: (program.entry(), 0),
             buffer: VecDeque::with_capacity(config.fetch_buffer),
             predictor,
             dbb: DecomposedBranchBuffer::new(config.dbb_entries),
             btb: Btb::table1_default(),
             ras: Ras::table1_default(),
             call_stack: Vec::new(),
+            journal: Vec::new(),
+            snapshots_in_buffer: 0,
             stall_until: 0,
             halted: false,
             last_line: None,
@@ -122,9 +147,9 @@ impl<'p> FrontEnd<'p> {
         }
     }
 
-    /// The code layout (shared with the issue stage).
-    pub fn layout(&self) -> &LayoutInfo {
-        &self.layout
+    /// The decoded image fetch walks (shared with the issue stage).
+    pub fn image(&self) -> &DecodedImage {
+        &self.image
     }
 
     /// The oldest buffered instruction, if any.
@@ -134,14 +159,20 @@ impl<'p> FrontEnd<'p> {
 
     /// Removes and returns the oldest buffered instruction.
     pub fn pop(&mut self) -> Option<FetchedInst> {
-        self.buffer.pop_front()
+        let fi = self.buffer.pop_front();
+        if let Some(fi) = &fi {
+            if fi.snapshot.is_some() {
+                self.snapshots_in_buffer -= 1;
+            }
+        }
+        fi
     }
 
     fn snapshot(&self) -> FetchSnapshot {
         FetchSnapshot {
             dbb_tail: self.dbb.tail(),
-            ras: (0, self.ras.depth()),
-            call_stack: self.call_stack.clone(),
+            ras_depth: self.ras.depth(),
+            journal_mark: self.journal.len(),
         }
     }
 
@@ -157,19 +188,9 @@ impl<'p> FrontEnd<'p> {
         }
         let mut slots = self.config.width;
         while slots > 0 && self.buffer.len() < self.config.fetch_buffer {
-            let (block, idx) = self.pc;
-            let bb = self.program.block(block);
-            if idx >= bb.insts().len() {
-                // Implicit fall-through: pure next-PC logic, no slot cost.
-                self.pc = (
-                    bb.fallthrough()
-                        .expect("validated program: fall-through present"),
-                    0,
-                );
-                continue;
-            }
-            let inst = bb.insts()[idx].clone();
-            let pc = self.layout.inst_addr(block, idx);
+            assert!(self.pc != NO_INST, "validated program: fall-through present");
+            let di = *self.image.get(self.pc);
+            let pc = di.pc;
 
             // Instruction cache: one access per line transition.
             let line = pc >> 6;
@@ -192,7 +213,7 @@ impl<'p> FrontEnd<'p> {
             stats.fetched += 1;
             slots -= 1;
 
-            match inst {
+            match di.inst {
                 Inst::Predict { target } => {
                     stats.predicts += 1;
                     let meta = self.predictor.predict(pc);
@@ -204,55 +225,30 @@ impl<'p> FrontEnd<'p> {
                         }
                         break; // taken steer ends the fetch group
                     }
-                    self.pc = (
-                        bb.fallthrough().expect("validated: predict fall-through"),
-                        0,
-                    );
+                    self.pc = di.next;
                 }
                 Inst::Branch { target, .. } => {
                     let snapshot = self.snapshot();
                     let meta = self.predictor.predict(pc);
                     let predicted_taken = meta.taken;
-                    self.buffer.push_back(FetchedInst {
-                        inst,
-                        block,
-                        index: idx,
-                        pc,
-                        ready_cycle: cycle + self.config.fe_latency(),
-                        pred: Some(PredInfo::Branch {
-                            meta,
-                            predicted_taken,
-                        }),
-                        snapshot: Some(snapshot),
-                    });
+                    self.push_fetched(&di, cycle, Some(PredInfo::Branch {
+                        meta,
+                        predicted_taken,
+                    }), Some(snapshot));
                     if predicted_taken {
                         if self.steer(cycle, pc, target) {
                             return;
                         }
                         break;
                     }
-                    self.pc = (
-                        bb.fallthrough().expect("validated: branch fall-through"),
-                        0,
-                    );
+                    self.pc = di.next;
                 }
                 Inst::Resolve { .. } => {
                     // Always predicted not-taken; tagged with the DBB tail.
                     let snapshot = self.snapshot();
                     let dbb_index = self.dbb.tail();
-                    self.buffer.push_back(FetchedInst {
-                        inst,
-                        block,
-                        index: idx,
-                        pc,
-                        ready_cycle: cycle + self.config.fe_latency(),
-                        pred: Some(PredInfo::Resolve { dbb_index }),
-                        snapshot: Some(snapshot),
-                    });
-                    self.pc = (
-                        bb.fallthrough().expect("validated: resolve fall-through"),
-                        0,
-                    );
+                    self.push_fetched(&di, cycle, Some(PredInfo::Resolve { dbb_index }), Some(snapshot));
+                    self.pc = di.next;
                 }
                 Inst::Jump { target } => {
                     if self.steer(cycle, pc, target) {
@@ -262,7 +258,8 @@ impl<'p> FrontEnd<'p> {
                 }
                 Inst::Call { callee, ret_to } => {
                     self.call_stack.push(ret_to);
-                    self.ras.push(self.layout.block_start(ret_to));
+                    self.journal.push(JournalOp::Pushed);
+                    self.ras.push(self.image.block_start(ret_to));
                     if self.steer(cycle, pc, callee) {
                         return;
                     }
@@ -272,6 +269,7 @@ impl<'p> FrontEnd<'p> {
                     self.ras.pop();
                     match self.call_stack.pop() {
                         Some(ret) => {
+                            self.journal.push(JournalOp::Popped(ret));
                             if self.steer(cycle, pc, ret) {
                                 return;
                             }
@@ -285,40 +283,45 @@ impl<'p> FrontEnd<'p> {
                     break;
                 }
                 Inst::Halt => {
-                    self.buffer.push_back(FetchedInst {
-                        inst,
-                        block,
-                        index: idx,
-                        pc,
-                        ready_cycle: cycle + self.config.fe_latency(),
-                        pred: None,
-                        snapshot: None,
-                    });
+                    self.push_fetched(&di, cycle, None, None);
                     self.halted = true;
                     break;
                 }
-                other => {
-                    self.buffer.push_back(FetchedInst {
-                        inst: other,
-                        block,
-                        index: idx,
-                        pc,
-                        ready_cycle: cycle + self.config.fe_latency(),
-                        pred: None,
-                        snapshot: None,
-                    });
-                    self.pc = (block, idx + 1);
+                _ => {
+                    self.push_fetched(&di, cycle, None, None);
+                    self.pc = di.next;
                 }
             }
         }
     }
 
+    fn push_fetched(
+        &mut self,
+        di: &vanguard_isa::DecodedInst,
+        cycle: u64,
+        pred: Option<PredInfo>,
+        snapshot: Option<FetchSnapshot>,
+    ) {
+        if snapshot.is_some() {
+            self.snapshots_in_buffer += 1;
+        }
+        self.buffer.push_back(FetchedInst {
+            inst: di.inst,
+            block: di.block,
+            index: di.index as usize,
+            pc: di.pc,
+            ready_cycle: cycle + self.config.fe_latency(),
+            pred,
+            snapshot,
+        });
+    }
+
     /// Redirects fetch to `target`; returns `true` if a BTB miss inserted a
     /// one-cycle steer bubble (which ends the fetch cycle immediately).
     fn steer(&mut self, cycle: u64, from_pc: u64, target: BlockId) -> bool {
-        self.pc = (target, 0);
+        self.pc = self.image.block_entry(target);
         self.last_line = None;
-        let target_addr = self.layout.block_start(target);
+        let target_addr = self.image.block_start(target);
         if self.btb.lookup(from_pc) != Some(target_addr) {
             self.btb.insert(from_pc, target_addr);
             // Decode-stage steer: one bubble cycle.
@@ -330,23 +333,41 @@ impl<'p> FrontEnd<'p> {
 
     /// Squashes all buffered instructions and re-steers fetch after a
     /// misprediction, restoring the snapshot captured at the mispredicting
-    /// conditional's fetch.
-    pub fn flush(&mut self, target: (BlockId, usize), snap: &FetchSnapshot, resume_cycle: u64) {
+    /// conditional's fetch. The call stack is rewound by replaying the
+    /// undo journal in reverse down to the snapshot's mark.
+    pub fn flush(&mut self, target: BlockId, snap: &FetchSnapshot, resume_cycle: u64) {
         self.buffer.clear();
-        self.pc = target;
+        self.snapshots_in_buffer = 0;
+        self.pc = self.image.block_entry(target);
         self.dbb.recover_tail(snap.dbb_tail);
+        while self.journal.len() > snap.journal_mark {
+            match self.journal.pop().expect("journal longer than mark") {
+                JournalOp::Pushed => {
+                    self.call_stack.pop();
+                }
+                JournalOp::Popped(b) => self.call_stack.push(b),
+            }
+        }
         // Rebuild the hardware RAS to the snapshot depth (entry contents
         // are re-derived from the perfect stack, modelling a checkpointed
         // top-of-stack pointer).
-        self.call_stack = snap.call_stack.clone();
-        self.ras = Ras::table1_default();
+        self.ras.clear();
         for &b in &self.call_stack {
-            self.ras.push(self.layout.block_start(b));
+            self.ras.push(self.image.block_start(b));
         }
         self.stall_until = resume_cycle;
         self.halted = false;
         self.last_line = None;
         self.redirect_window = true;
+    }
+
+    /// Discards the dead journal prefix. Legal only when no live snapshot
+    /// references it: the caller must ensure no redirect is pending; the
+    /// buffered-snapshot count is checked here.
+    pub(crate) fn compact_journal(&mut self) {
+        if self.snapshots_in_buffer == 0 {
+            self.journal.clear();
+        }
     }
 
     /// True when fetch has stopped at a `halt`.
@@ -360,12 +381,12 @@ mod tests {
     use super::*;
     use crate::stats::SimStats;
     use vanguard_bpred::Combined;
-    use vanguard_isa::{CondKind, ProgramBuilder, Reg};
-    use vanguard_mem::MemConfig;
+    use vanguard_isa::{CondKind, Program, ProgramBuilder, Reg};
+    use vanguard_mem::{MemConfig, MemSystem};
 
-    fn front_for(p: &Program) -> (FrontEnd<'_>, MemSystem, SimStats) {
+    fn front_for(p: &Program) -> (FrontEnd, MemSystem, SimStats) {
         let fe = FrontEnd::new(
-            p,
+            Arc::new(DecodedImage::build(p)),
             MachineConfig::four_wide(),
             Box::new(Combined::ptlsim_default()),
         );
@@ -452,10 +473,10 @@ mod tests {
         assert!(!fe.buffer.is_empty());
         let snap = FetchSnapshot {
             dbb_tail: 0,
-            ras: (0, 0),
-            call_stack: Vec::new(),
+            ras_depth: 0,
+            journal_mark: 0,
         };
-        fe.flush((p.entry(), 0), &snap, 300);
+        fe.flush(p.entry(), &snap, 300);
         assert!(fe.buffer.is_empty());
         assert!(!fe.is_halted());
         // Fetch resumes at the redirect cycle, not before.
@@ -483,5 +504,77 @@ mod tests {
             fe.fetch_cycle(c, &mut mem, &mut stats);
         }
         assert!(fe.buffer.len() <= MachineConfig::four_wide().fetch_buffer);
+    }
+
+    #[test]
+    fn flush_rewinds_the_call_stack_via_the_journal() {
+        // entry: call f; f: branch (snapshot) then ret; after: halt.
+        // Fetch past the call, snapshot at the branch, keep fetching
+        // through the ret (journal records the pop), then flush back to
+        // the snapshot: the call stack must again hold the frame.
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let f = b.block("callee");
+        let t = b.block("t");
+        let r = b.block("after");
+        b.push(e, Inst::Call { callee: f, ret_to: r });
+        b.push(
+            f,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: t,
+            },
+        );
+        b.fallthrough(f, t);
+        b.push(t, Inst::Ret);
+        b.push(r, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let (mut fe, mut mem, mut stats) = front_for(&p);
+        // Drive fetch until the ret's return block has been entered
+        // (the halt after the ret marks it).
+        for c in 0..2000 {
+            fe.fetch_cycle(c, &mut mem, &mut stats);
+            if fe.is_halted() {
+                break;
+            }
+        }
+        assert!(fe.is_halted(), "fetch must reach the halt after ret");
+        assert_eq!(fe.call_stack.len(), 0);
+        let snap = fe
+            .buffer
+            .iter()
+            .find_map(|fi| fi.snapshot)
+            .expect("branch captured a snapshot");
+        fe.flush(f, &snap, 0);
+        // The ret's pop was rewound: the frame pushed by the call is live.
+        assert_eq!(fe.call_stack, vec![r]);
+        assert_eq!(fe.ras.depth(), 1);
+        assert_eq!(fe.journal.len(), snap.journal_mark);
+    }
+
+    #[test]
+    fn journal_compacts_when_no_snapshots_are_live() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let f = b.block("callee");
+        let r = b.block("after");
+        b.push(e, Inst::Call { callee: f, ret_to: r });
+        b.push(f, Inst::Ret);
+        b.push(r, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        let (mut fe, mut mem, mut stats) = front_for(&p);
+        for c in 0..2000 {
+            fe.fetch_cycle(c, &mut mem, &mut stats);
+            if fe.is_halted() {
+                break;
+            }
+        }
+        assert!(!fe.journal.is_empty(), "call/ret journalled");
+        assert_eq!(fe.snapshots_in_buffer, 0);
+        fe.compact_journal();
+        assert!(fe.journal.is_empty());
     }
 }

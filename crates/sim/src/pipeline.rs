@@ -6,8 +6,10 @@ use crate::front::{FetchSnapshot, FrontEnd, PredInfo};
 use crate::stats::SimStats;
 use crate::store_buffer::StoreBuffer;
 use std::fmt;
+use std::sync::Arc;
 use vanguard_isa::{
-    eval_alu, BlockId, FpOp, FuClass, Inst, Memory, Operand, Program, NUM_ARCH_REGS,
+    eval_alu, BlockId, DecodedImage, FpOp, FuClass, Inst, Memory, Operand, Program,
+    NUM_ARCH_REGS,
 };
 use vanguard_mem::{AccessKind, MemSystem};
 
@@ -55,7 +57,7 @@ impl std::error::Error for SimError {}
 /// A pipeline trace event, delivered to [`Simulator::run_traced`]'s sink
 /// in cycle order. Intended for debugging schedules and for pipeline
 /// visualisation; the no-trace path pays nothing.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// An instruction issued.
     Issue {
@@ -98,11 +100,11 @@ pub struct SimResult {
 }
 
 /// Trace sink type (see [`Simulator::run_traced`]).
-type TraceSink<'p> = Box<dyn FnMut(&TraceEvent) + 'p>;
+type TraceSink<'t> = Box<dyn FnMut(&TraceEvent) + 't>;
 
 struct PendingRedirect {
     redirect_cycle: u64,
-    target: (BlockId, usize),
+    target: BlockId,
     regs: [u64; NUM_ARCH_REGS],
     reg_ready: [u64; NUM_ARCH_REGS],
     store_seq: u64,
@@ -116,11 +118,11 @@ struct PendingRedirect {
 ///
 /// See the crate docs for the pipeline model. Construct with a program, an
 /// initial memory image, a [`MachineConfig`], and a direction predictor;
-/// drive with [`run`](Self::run).
-pub struct Simulator<'p> {
-    program: &'p Program,
+/// drive with [`run`](Self::run). Simulations of the same program can share
+/// one pre-decoded image via [`with_image`](Self::with_image).
+pub struct Simulator<'t> {
     config: MachineConfig,
-    front: FrontEnd<'p>,
+    front: FrontEnd,
     mem_sys: MemSystem,
     memory: Memory,
     regs: [u64; NUM_ARCH_REGS],
@@ -131,10 +133,10 @@ pub struct Simulator<'p> {
     next_seq: u64,
     pending: Option<PendingRedirect>,
     halted: bool,
-    trace: Option<TraceSink<'p>>,
+    trace: Option<TraceSink<'t>>,
 }
 
-impl<'p> fmt::Debug for Simulator<'p> {
+impl<'t> fmt::Debug for Simulator<'t> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulator")
             .field("cycle", &self.cycle)
@@ -144,19 +146,37 @@ impl<'p> fmt::Debug for Simulator<'p> {
     }
 }
 
-impl<'p> Simulator<'p> {
+impl<'t> Simulator<'t> {
     /// Creates a simulator over `program` with the given initial data
     /// memory, machine configuration, and direction predictor.
+    ///
+    /// Decodes the program into a private flat image; callers running many
+    /// simulations of one program should decode once and use
+    /// [`with_image`](Self::with_image).
     pub fn new(
-        program: &'p Program,
+        program: &Program,
+        memory: Memory,
+        config: MachineConfig,
+        predictor: Box<dyn vanguard_bpred::DirectionPredictor>,
+    ) -> Self {
+        Simulator::with_image(
+            Arc::new(DecodedImage::build(program)),
+            memory,
+            config,
+            predictor,
+        )
+    }
+
+    /// Creates a simulator over a shared pre-decoded program image.
+    pub fn with_image(
+        image: Arc<DecodedImage>,
         memory: Memory,
         config: MachineConfig,
         predictor: Box<dyn vanguard_bpred::DirectionPredictor>,
     ) -> Self {
         Simulator {
-            program,
             config,
-            front: FrontEnd::new(program, config, predictor),
+            front: FrontEnd::new(image, config, predictor),
             mem_sys: MemSystem::new(config.mem),
             memory,
             regs: [0; NUM_ARCH_REGS],
@@ -183,7 +203,7 @@ impl<'p> Simulator<'p> {
     /// Returns a [`SimError`] on a committed-path architectural fault.
     pub fn run_traced(
         mut self,
-        sink: impl FnMut(&TraceEvent) + 'p,
+        sink: impl FnMut(&TraceEvent) + 't,
     ) -> Result<SimResult, SimError> {
         self.trace = Some(Box::new(sink));
         self.run()
@@ -216,10 +236,15 @@ impl<'p> Simulator<'p> {
                     if let Some(t) = self.trace.as_mut() {
                         t(&TraceEvent::Flush {
                             cycle: self.cycle,
-                            target: p.target.0,
+                            target: p.target,
                         });
                     }
                 }
+            }
+            // With no redirect in flight and no snapshot buffered, the
+            // call-stack undo journal has no live reference: drop it.
+            if self.pending.is_none() {
+                self.front.compact_journal();
             }
             // 2. Fetch.
             self.front
@@ -250,9 +275,9 @@ impl<'p> Simulator<'p> {
     }
 
     fn fallthrough_of(&self, block: BlockId) -> BlockId {
-        self.program
-            .block(block)
-            .fallthrough()
+        self.front
+            .image()
+            .fall_of(block)
             .expect("validated program: conditional has fall-through")
     }
 
@@ -347,7 +372,7 @@ impl<'p> Simulator<'p> {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            match fi.inst.clone() {
+            match fi.inst {
                 Inst::Alu { op, dst, a, b } => {
                     let av = self.operand(a);
                     let bv = self.operand(b);
@@ -418,9 +443,9 @@ impl<'p> Simulator<'p> {
                         if taken != predicted_taken {
                             self.stats.branch_mispredicts += 1;
                             let dest = if taken {
-                                (target, 0)
+                                target
                             } else {
-                                (self.fallthrough_of(fi.block), 0)
+                                self.fallthrough_of(fi.block)
                             };
                             self.schedule_redirect(dest, seq + 1, fi.snapshot, Some((meta, taken)));
                         }
@@ -454,7 +479,7 @@ impl<'p> Simulator<'p> {
                                 .dbb
                                 .get(dbb_index)
                                 .map(|e| (e.meta, e.meta.taken ^ mispredicted));
-                            self.schedule_redirect((target, 0), seq + 1, fi.snapshot, repair);
+                            self.schedule_redirect(target, seq + 1, fi.snapshot, repair);
                         }
                     }
                 }
@@ -473,7 +498,7 @@ impl<'p> Simulator<'p> {
 
     fn schedule_redirect(
         &mut self,
-        target: (BlockId, usize),
+        target: BlockId,
         store_seq: u64,
         snapshot: Option<FetchSnapshot>,
         repair: Option<(vanguard_bpred::PredMeta, bool)>,
@@ -1083,7 +1108,7 @@ bb0 <entry>:
             Box::new(Combined::ptlsim_default()),
         );
         let mut events = Vec::new();
-        sim.run_traced(|e| events.push(e.clone())).unwrap();
+        sim.run_traced(|e| events.push(*e)).unwrap();
         let issues: Vec<_> = events
             .iter()
             .filter_map(|e| match e {

@@ -93,6 +93,16 @@ impl SimStats {
         self.resolve_stall_cycles as f64 / self.resolves as f64
     }
 
+    /// Host-side simulation throughput: millions of committed simulated
+    /// instructions per wall-clock second of `elapsed`.
+    pub fn mips(&self, elapsed: std::time::Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.committed() as f64 / 1e6 / secs
+    }
+
     /// Overall conditional-prediction accuracy on the committed path.
     pub fn prediction_accuracy(&self) -> f64 {
         let total = self.branches + self.resolves;
@@ -126,6 +136,8 @@ mod tests {
         assert!((s.wrong_path_fraction() - 200.0 / 2200.0).abs() < 1e-12);
         assert!((s.stalls_per_resolve() - 3.0).abs() < 1e-12);
         assert!((s.prediction_accuracy() - (1.0 - 10.0 / 150.0)).abs() < 1e-12);
+        let mips = s.mips(std::time::Duration::from_millis(500));
+        assert!((mips - 2000.0 / 1e6 / 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -136,5 +148,6 @@ mod tests {
         assert_eq!(s.wrong_path_fraction(), 0.0);
         assert_eq!(s.stalls_per_resolve(), 0.0);
         assert_eq!(s.prediction_accuracy(), 1.0);
+        assert_eq!(s.mips(std::time::Duration::ZERO), 0.0);
     }
 }

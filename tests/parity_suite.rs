@@ -1,0 +1,85 @@
+//! Committed-state parity across the whole quick suite: every benchmark's
+//! compiled baseline and transformed programs run through both the
+//! functional interpreter and the cycle simulator (which fetches from the
+//! shared pre-decoded image), and the architecturally observable results
+//! must agree — the cycle model may stall, speculate, and roll back, but
+//! it must commit exactly the interpreter's state.
+
+use std::sync::Arc;
+use vanguard_bench::{quick_spec, BenchScale};
+use vanguard_bpred::Combined;
+use vanguard_core::Experiment;
+use vanguard_isa::{
+    DecodedImage, Interpreter, Memory, Program, Reg, StopReason, TakenOracle,
+};
+use vanguard_sim::{MachineConfig, SimResult, Simulator, StopCause};
+use vanguard_workloads::suite;
+
+fn interp_state(
+    program: &Program,
+    memory: Memory,
+    init: &[(Reg, u64)],
+) -> (Vec<u64>, Vec<(u64, u64)>) {
+    let mut i = Interpreter::new(program, memory);
+    for &(r, v) in init {
+        i.set_reg(r, v);
+    }
+    // Committed state is oracle-independent (the equivalence suite proves
+    // it); not-taken matches the resolve's static prediction.
+    let out = i.run(&mut TakenOracle::AlwaysNotTaken).expect("interprets cleanly");
+    assert_eq!(out.stop, StopReason::Halted);
+    (i.regs().to_vec(), i.memory().written_words())
+}
+
+fn sim_result(image: &Arc<DecodedImage>, memory: Memory, init: &[(Reg, u64)]) -> SimResult {
+    let mut sim = Simulator::with_image(
+        Arc::clone(image),
+        memory,
+        MachineConfig::four_wide(),
+        Box::new(Combined::ptlsim_default()),
+    );
+    for &(r, v) in init {
+        sim.set_reg(r, v);
+    }
+    let res = sim.run().expect("simulates cleanly");
+    assert_eq!(res.stop, StopCause::Halted);
+    res
+}
+
+#[test]
+fn quick_suite_commits_interpreter_state() {
+    for spec in suite::all_benchmarks() {
+        let mut spec = quick_spec(spec, BenchScale::Quick);
+        // Debug-build sized: parity needs every control-flow shape, not
+        // quick-scale statistics.
+        spec.iterations = spec.iterations.min(150);
+        spec.train_iterations = spec.train_iterations.min(150);
+        let name = spec.name.clone();
+        let w = spec.build();
+
+        let exp = Experiment::new(MachineConfig::four_wide());
+        let input = vanguard_bench::to_experiment_input(w.clone());
+        let profile = exp.profile(&input).expect("profiles cleanly");
+        let (baseline, transformed, _) = exp.compile_pair(&input.program, &profile);
+
+        for (variant, program) in [("baseline", &baseline), ("transformed", &transformed)] {
+            let (regs, written) = interp_state(
+                program,
+                w.refs[0].memory.clone(),
+                &w.refs[0].init_regs,
+            );
+            let image = Arc::new(DecodedImage::build(program));
+            let res = sim_result(&image, w.refs[0].memory.clone(), &w.refs[0].init_regs);
+            assert_eq!(
+                res.regs.to_vec(),
+                regs,
+                "{name}/{variant}: committed registers"
+            );
+            assert_eq!(
+                res.memory.written_words(),
+                written,
+                "{name}/{variant}: committed memory"
+            );
+        }
+    }
+}
