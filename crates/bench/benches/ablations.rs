@@ -127,9 +127,18 @@ fn versus_if_conversion(c: &mut Criterion) {
     };
     eprintln!("\n== ablation: decomposition across Figure 1's quadrants ==");
     for (label, model) in [
-        ("predictable-unbiased (ours)", OutcomeModel::markov(0.58, 0.95)),
-        ("unpredictable-unbiased (predication's)", OutcomeModel::Random { taken_prob: 0.5 }),
-        ("highly-biased (superblocks')", OutcomeModel::markov(0.96, 0.99)),
+        (
+            "predictable-unbiased (ours)",
+            OutcomeModel::markov(0.58, 0.95),
+        ),
+        (
+            "unpredictable-unbiased (predication's)",
+            OutcomeModel::Random { taken_prob: 0.5 },
+        ),
+        (
+            "highly-biased (superblocks')",
+            OutcomeModel::markov(0.96, 0.99),
+        ),
     ] {
         let input = to_experiment_input(mk("quadrant", model).build());
         let opts = TransformOptions {
@@ -139,7 +148,10 @@ fn versus_if_conversion(c: &mut Criterion) {
             },
             ..TransformOptions::default()
         };
-        eprintln!("  {label:<40} speedup {:>6.2}%", speedup_with(&input, opts, 16));
+        eprintln!(
+            "  {label:<40} speedup {:>6.2}%",
+            speedup_with(&input, opts, 16)
+        );
     }
     let input = to_experiment_input(mk("quadrant", OutcomeModel::markov(0.58, 0.95)).build());
     c.bench_function("ablation/quadrant_predictable_unbiased", |b| {

@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vanguard_bpred::{
-    Bimodal, Combined, DecomposedBranchBuffer, DirectionPredictor, Gshare, IslTage, PredMeta,
-    Tage, TageConfig, TwoLevel,
+    Bimodal, Combined, DecomposedBranchBuffer, DirectionPredictor, Gshare, IslTage, PredMeta, Tage,
+    TageConfig, TwoLevel,
 };
 
 /// A deterministic branch stream mixing patterns and bias.
@@ -44,9 +44,21 @@ fn bench_predict_update<P: DirectionPredictor>(c: &mut Criterion, name: &str, mu
 fn predictors(c: &mut Criterion) {
     bench_predict_update(c, "predict_update/bimodal", Bimodal::new(8192));
     bench_predict_update(c, "predict_update/gshare", Gshare::new(32 * 1024, 15));
-    bench_predict_update(c, "predict_update/combined_24kb", Combined::ptlsim_default());
-    bench_predict_update(c, "predict_update/two_level", TwoLevel::new(2048, 12, 32 * 1024));
-    bench_predict_update(c, "predict_update/tage_32kb", Tage::new(TageConfig::storage_32kb()));
+    bench_predict_update(
+        c,
+        "predict_update/combined_24kb",
+        Combined::ptlsim_default(),
+    );
+    bench_predict_update(
+        c,
+        "predict_update/two_level",
+        TwoLevel::new(2048, 12, 32 * 1024),
+    );
+    bench_predict_update(
+        c,
+        "predict_update/tage_32kb",
+        Tage::new(TageConfig::storage_32kb()),
+    );
     bench_predict_update(c, "predict_update/isl_tage_64kb", IslTage::storage_64kb());
 }
 

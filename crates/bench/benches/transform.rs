@@ -28,7 +28,11 @@ fn transform(c: &mut Criterion) {
     group.bench_function("decompose_branches", |b| {
         b.iter(|| {
             let mut p = w.program.clone();
-            black_box(decompose_branches(&mut p, &profile, &TransformOptions::default()))
+            black_box(decompose_branches(
+                &mut p,
+                &profile,
+                &TransformOptions::default(),
+            ))
         })
     });
     group.bench_function("schedule_program", |b| {

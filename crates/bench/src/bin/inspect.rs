@@ -9,8 +9,14 @@ use vanguard_workloads::suite;
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".into());
     let Some(spec) = suite::all_benchmarks().into_iter().find(|s| s.name == name) else {
-        let names: Vec<String> = suite::all_benchmarks().into_iter().map(|s| s.name).collect();
-        eprintln!("unknown benchmark `{name}`; choose one of: {}", names.join(", "));
+        let names: Vec<String> = suite::all_benchmarks()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        eprintln!(
+            "unknown benchmark `{name}`; choose one of: {}",
+            names.join(", ")
+        );
         std::process::exit(1);
     };
     let mut eng = SuiteEngine::new(BenchScale::Quick);
@@ -18,7 +24,12 @@ fn main() {
     let out = eng.outcome(&spec, MachineConfig::four_wide());
     let r = &out.runs[0];
     println!("== {name} ==");
-    println!("speedup: {:.2}%   PBC {:.1}  PISCS {:.1}", out.geomean_speedup_pct(), out.report.pbc(), out.report.piscs());
+    println!(
+        "speedup: {:.2}%   PBC {:.1}  PISCS {:.1}",
+        out.geomean_speedup_pct(),
+        out.report.pbc(),
+        out.report.piscs()
+    );
     println!("skipped sites: {:?}", out.report.skipped);
     for (label, s) in [("base", &r.base), ("exp ", &r.exp)] {
         println!(

@@ -157,7 +157,9 @@ fn quick_suite() -> (vanguard_core::engine::EngineStats, usize, f64) {
         })
         .collect();
     let started = Instant::now();
-    engine.run_cells(&cells).expect("quick suite simulates cleanly");
+    engine
+        .run_cells(&cells)
+        .expect("quick suite simulates cleanly");
     let wall = started.elapsed().as_secs_f64();
     (engine.engine().stats(), specs.len(), wall)
 }

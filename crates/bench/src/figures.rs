@@ -376,7 +376,11 @@ mod harness_tests {
         assert_eq!(eng.engine().stats().compile_misses, 1);
         let r = &rows[0];
         // Tiny kernels: shrinking the I$ cannot slow them down much.
-        assert!(r.slowdown_pct().abs() < 2.0, "slowdown {:.2}%", r.slowdown_pct());
+        assert!(
+            r.slowdown_pct().abs() < 2.0,
+            "slowdown {:.2}%",
+            r.slowdown_pct()
+        );
         // But the miss-under-mispredict fraction is measurable.
         assert!((0.0..=1.0).contains(&r.miss_under_mispredict));
     }

@@ -7,8 +7,9 @@ use std::sync::Arc;
 use vanguard_core::engine::{
     Engine, PredictorKind, ProgressObserver, SimJob, SweepCell, DEFAULT_MAX_PROFILE_STEPS,
 };
-use vanguard_core::{ExperimentError, ExperimentInput, ExperimentOutcome, RunInput,
-                    TransformOptions};
+use vanguard_core::{
+    ExperimentError, ExperimentInput, ExperimentOutcome, RunInput, TransformOptions,
+};
 use vanguard_ir::Profile;
 use vanguard_sim::MachineConfig;
 use vanguard_workloads::{BenchmarkSpec, BuiltWorkload};
@@ -76,7 +77,9 @@ impl BenchScale {
 pub fn quick_spec(mut spec: BenchmarkSpec, scale: BenchScale) -> BenchmarkSpec {
     if scale == BenchScale::Quick {
         spec.iterations = spec.iterations.min(BenchScale::QUICK_REF_ITERATIONS);
-        spec.train_iterations = spec.train_iterations.min(BenchScale::QUICK_TRAIN_ITERATIONS);
+        spec.train_iterations = spec
+            .train_iterations
+            .min(BenchScale::QUICK_TRAIN_ITERATIONS);
         spec.ref_inputs = BenchScale::QUICK_REF_INPUTS;
     }
     spec
@@ -155,7 +158,8 @@ impl SuiteEngine {
         predictor: PredictorKind,
     ) -> Result<Arc<Profile>, ExperimentError> {
         let id = self.bench_id(spec);
-        self.engine.profile(id, predictor, DEFAULT_MAX_PROFILE_STEPS)
+        self.engine
+            .profile(id, predictor, DEFAULT_MAX_PROFILE_STEPS)
     }
 
     /// Runs a sweep matrix with the paper's default transform options.
@@ -167,8 +171,11 @@ impl SuiteEngine {
         &self,
         cells: &[SweepCell],
     ) -> Result<Vec<ExperimentOutcome>, ExperimentError> {
-        self.engine
-            .run_cells(cells, &TransformOptions::default(), DEFAULT_MAX_PROFILE_STEPS)
+        self.engine.run_cells(
+            cells,
+            &TransformOptions::default(),
+            DEFAULT_MAX_PROFILE_STEPS,
+        )
     }
 
     /// Runs a flat job list with the paper's default transform options.
@@ -180,8 +187,11 @@ impl SuiteEngine {
         &self,
         jobs: &[SimJob],
     ) -> Result<Vec<vanguard_core::engine::JobResult>, ExperimentError> {
-        self.engine
-            .run_jobs(jobs, &TransformOptions::default(), DEFAULT_MAX_PROFILE_STEPS)
+        self.engine.run_jobs(
+            jobs,
+            &TransformOptions::default(),
+            DEFAULT_MAX_PROFILE_STEPS,
+        )
     }
 
     /// Convenience: one spec, one machine, baseline predictor — the old

@@ -19,7 +19,10 @@ impl Bimodal {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Bimodal {
             table: vec![SaturatingCounter::new(2); entries],
             mask: (entries - 1) as u64,
@@ -106,7 +109,10 @@ mod tests {
             correct += (m.taken == taken) as u32;
             p.update(0x40, &m, taken);
         }
-        assert!(correct <= 600, "bimodal should not learn alternation, got {correct}");
+        assert!(
+            correct <= 600,
+            "bimodal should not learn alternation, got {correct}"
+        );
     }
 
     #[test]

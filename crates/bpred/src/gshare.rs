@@ -24,7 +24,10 @@ impl Gshare {
     ///
     /// Panics if `entries` is not a power of two or `hist_bits > 63`.
     pub fn new(entries: usize, hist_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         assert!(hist_bits <= 63, "history too long");
         Gshare {
             table: vec![SaturatingCounter::new(2); entries],
@@ -107,7 +110,10 @@ impl Combined {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize, hist_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         assert!(hist_bits <= 63, "history too long");
         Combined {
             bimodal: vec![SaturatingCounter::new(2); entries],
@@ -181,8 +187,7 @@ impl DirectionPredictor for Combined {
     }
 
     fn storage_bits(&self) -> usize {
-        (self.bimodal.len() + self.global.len() + self.chooser.len()) * 2
-            + self.hist_bits as usize
+        (self.bimodal.len() + self.global.len() + self.chooser.len()) * 2 + self.hist_bits as usize
     }
 
     fn reset(&mut self) {

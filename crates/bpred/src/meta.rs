@@ -144,7 +144,6 @@ pub(crate) fn fold_pc(pc: u64) -> u64 {
     pc ^ (pc >> 17) ^ (pc >> 31)
 }
 
-
 impl DirectionPredictor for Box<dyn DirectionPredictor> {
     fn predict(&mut self, pc: u64) -> PredMeta {
         (**self).predict(pc)

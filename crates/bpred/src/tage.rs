@@ -60,8 +60,8 @@ impl TageConfig {
 #[derive(Clone, Copy, Debug, Default)]
 struct TageEntry {
     tag: u16,
-    ctr: u8,     // 3-bit signed-style counter, 0..7, >=4 means taken
-    useful: u8,  // 2-bit
+    ctr: u8,    // 3-bit signed-style counter, 0..7, >=4 means taken
+    useful: u8, // 2-bit
 }
 
 const NO_PROVIDER: u32 = 0xff;
@@ -523,12 +523,7 @@ impl DirectionPredictor for IslTage {
 mod tests {
     use super::*;
 
-    fn late_accuracy<P: DirectionPredictor>(
-        p: &mut P,
-        pc: u64,
-        pattern: &[bool],
-        n: usize,
-    ) -> f64 {
+    fn late_accuracy<P: DirectionPredictor>(p: &mut P, pc: u64, pattern: &[bool], n: usize) -> f64 {
         let mut correct = 0usize;
         let tail = n - n / 4;
         for i in 0..n {
@@ -690,9 +685,7 @@ mod tests {
         }
         // After in-order updates, history low bits must equal the outcome
         // stream regardless of prediction correctness.
-        let want = outcomes
-            .iter()
-            .fold(0u64, |acc, &t| (acc << 1) | t as u64);
+        let want = outcomes.iter().fold(0u64, |acc, &t| (acc << 1) | t as u64);
         assert_eq!(a.hist[0] & 0x7f, want);
     }
 

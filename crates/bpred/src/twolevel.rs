@@ -30,8 +30,14 @@ impl TwoLevel {
     /// Panics unless both table sizes are powers of two and
     /// `hist_bits <= 16`.
     pub fn new(l1_entries: usize, hist_bits: u32, pht_entries: usize) -> Self {
-        assert!(l1_entries.is_power_of_two(), "table size must be a power of two");
-        assert!(pht_entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            l1_entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        assert!(
+            pht_entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         assert!(hist_bits <= 16, "local history too long");
         TwoLevel {
             histories: vec![0; l1_entries],
@@ -79,8 +85,7 @@ impl DirectionPredictor for TwoLevel {
     }
 
     fn storage_bits(&self) -> usize {
-        self.histories.len() * (self.hist_mask.count_ones() as usize)
-            + self.pht.len() * 2
+        self.histories.len() * (self.hist_mask.count_ones() as usize) + self.pht.len() * 2
     }
 
     fn reset(&mut self) {
@@ -95,12 +100,7 @@ impl DirectionPredictor for TwoLevel {
 mod tests {
     use super::*;
 
-    fn late_accuracy<P: DirectionPredictor>(
-        p: &mut P,
-        pc: u64,
-        pattern: &[bool],
-        n: usize,
-    ) -> f64 {
+    fn late_accuracy<P: DirectionPredictor>(p: &mut P, pc: u64, pattern: &[bool], n: usize) -> f64 {
         let mut correct = 0usize;
         let tail = n - n / 4;
         for i in 0..n {

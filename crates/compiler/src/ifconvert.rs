@@ -1,8 +1,8 @@
 //! Cmov-style if-conversion (predication baseline).
 
 use std::collections::HashMap;
-use vanguard_isa::{AluOp, BlockId, CmpKind, CondKind, Inst, Operand, Program, Reg};
 use vanguard_ir::{Cfg, RegSet};
+use vanguard_isa::{AluOp, BlockId, CmpKind, CondKind, Inst, Operand, Program, Reg};
 
 /// Outcome of [`if_convert`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -215,7 +215,12 @@ fn convert_site(program: &mut Program, c: Candidate) -> isize {
         a: src,
         b: Operand::Imm(0),
     });
-    insts.push(Inst::alu(AluOp::Sub, mask, Operand::Imm(0), Operand::Reg(mask)));
+    insts.push(Inst::alu(
+        AluOp::Sub,
+        mask,
+        Operand::Imm(0),
+        Operand::Reg(mask),
+    ));
     insts.push(Inst::alu(
         AluOp::Xor,
         notmask,

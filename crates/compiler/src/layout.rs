@@ -1,7 +1,7 @@
 //! Profile-guided code layout.
 
-use vanguard_isa::{BlockId, Inst, Program};
 use vanguard_ir::{Cfg, Profile};
+use vanguard_isa::{BlockId, Inst, Program};
 
 /// Lays out `program` for the profile:
 ///
@@ -22,7 +22,9 @@ pub fn layout_program(program: &mut Program, profile: &Profile) {
 fn invert_unlikely_branches(program: &mut Program, profile: &Profile) {
     let ids: Vec<_> = program.iter().map(|(b, _)| b).collect();
     for bid in ids {
-        let Some(stats) = profile.site(bid) else { continue };
+        let Some(stats) = profile.site(bid) else {
+            continue;
+        };
         if !stats.majority_taken() || stats.executed == 0 {
             continue;
         }
@@ -63,8 +65,7 @@ fn chain_layout(program: &mut Program, profile: &Profile) {
             order.push(cur);
             // Follow the likely successor: prefer the fall-through, which
             // branch inversion has already made the hot edge.
-            let next = likely_successor(program, profile, cur)
-                .filter(|s| !placed[s.index()]);
+            let next = likely_successor(program, profile, cur).filter(|s| !placed[s.index()]);
             match next {
                 Some(s) => cur = s,
                 None => break,
@@ -175,8 +176,9 @@ pub fn compact_program(program: &Program) -> Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vanguard_isa::{AluOp, CondKind, Interpreter, Memory, Operand, ProgramBuilder,
-                       Reg, TakenOracle};
+    use vanguard_isa::{
+        AluOp, CondKind, Interpreter, Memory, Operand, ProgramBuilder, Reg, TakenOracle,
+    };
 
     /// entry branches to `hot` 90% of the time; `cold` otherwise.
     fn biased_program() -> (Program, BlockId, BlockId, BlockId) {

@@ -3,8 +3,8 @@
 use crate::oracle::PredictorOracle;
 use std::fmt;
 use vanguard_bpred::DirectionPredictor;
-use vanguard_isa::{ExecError, ExecEvent, InterpConfig, Interpreter, Memory, Program, Reg};
 use vanguard_ir::Profile;
+use vanguard_isa::{ExecError, ExecEvent, InterpConfig, Interpreter, Memory, Program, Reg};
 
 /// Errors from the profiling run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,8 +44,7 @@ pub fn profile_program<P: DirectionPredictor>(
     predictor: P,
     max_steps: u64,
 ) -> Result<Profile, ProfileError> {
-    let mut interp =
-        Interpreter::new(program, memory).with_config(InterpConfig { max_steps });
+    let mut interp = Interpreter::new(program, memory).with_config(InterpConfig { max_steps });
     for &(r, v) in init_regs {
         interp.set_reg(r, v);
     }

@@ -1,7 +1,7 @@
 //! In-order-aware list scheduling.
 
-use vanguard_isa::{FuClass, Inst, Program};
 use vanguard_ir::{DepDag, DepKind};
+use vanguard_isa::{FuClass, Inst, Program};
 
 /// Resource model the scheduler targets (mirrors the machine's issue
 /// constraints so the static schedule and the dynamic pipeline agree).
@@ -210,7 +210,12 @@ mod tests {
         b.push(e, Inst::load(Reg(2), Reg(9), 0));
         b.push(
             e,
-            Inst::alu(AluOp::Mul, Reg(3), Operand::Reg(Reg(1)), Operand::Reg(Reg(2))),
+            Inst::alu(
+                AluOp::Mul,
+                Reg(3),
+                Operand::Reg(Reg(1)),
+                Operand::Reg(Reg(2)),
+            ),
         );
         b.push(e, Inst::Halt);
         b.set_entry(e);

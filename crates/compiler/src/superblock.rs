@@ -1,7 +1,7 @@
 //! Superblock formation via tail duplication for highly-biased branches.
 
-use vanguard_isa::{BlockId, Inst, Program};
 use vanguard_ir::{BranchDirection, Cfg, Profile};
+use vanguard_isa::{BlockId, Inst, Program};
 
 /// Outcome of [`form_superblocks`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -83,9 +83,7 @@ pub fn form_superblocks(
             let join = program.block(next).clone();
             // Only duplicate joins with real work; pure control blocks
             // (e.g. a bare halt/ret) gain nothing from duplication.
-            if join.insts().len() > budget
-                || !join.insts().iter().any(|i| !i.is_control())
-            {
+            if join.insts().len() > budget || !join.insts().iter().any(|i| !i.is_control()) {
                 break;
             }
             budget -= join.insts().len();
@@ -121,8 +119,9 @@ pub fn form_superblocks(
 mod tests {
     use super::*;
     use crate::layout::{compact_program, merge_straightline};
-    use vanguard_isa::{AluOp, CondKind, Interpreter, Memory, Operand, ProgramBuilder, Reg,
-                       TakenOracle};
+    use vanguard_isa::{
+        AluOp, CondKind, Interpreter, Memory, Operand, ProgramBuilder, Reg, TakenOracle,
+    };
 
     /// entry --(90% taken)--> hot -> join <- cold; join -> exit.
     fn hammock() -> (Program, BlockId) {
@@ -153,7 +152,12 @@ mod tests {
         b.push(hot, Inst::Jump { target: join });
         b.push(
             join,
-            Inst::alu(AluOp::Add, Reg(4), Operand::Reg(Reg(3)), Operand::Reg(Reg(2))),
+            Inst::alu(
+                AluOp::Add,
+                Reg(4),
+                Operand::Reg(Reg(3)),
+                Operand::Reg(Reg(2)),
+            ),
         );
         b.fallthrough(join, x);
         b.push(x, Inst::Halt);
@@ -219,7 +223,11 @@ mod tests {
             })
             .max()
             .unwrap_or(0);
-        assert!(max_adds >= 2, "merged hot path too short:\n{}", p1.disassemble());
+        assert!(
+            max_adds >= 2,
+            "merged hot path too short:\n{}",
+            p1.disassemble()
+        );
     }
 
     #[test]

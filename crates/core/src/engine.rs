@@ -23,9 +23,7 @@
 //! Worker count defaults to the machine's available parallelism and can
 //! be overridden with the `VANGUARD_THREADS` environment variable.
 
-use crate::experiment::{
-    Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, RefRun,
-};
+use crate::experiment::{Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, RefRun};
 use crate::report::TransformReport;
 use crate::transform::TransformOptions;
 use std::collections::HashMap;
@@ -586,7 +584,8 @@ impl Engine {
         let stats = exp.simulate_image(image, &input.refs[job.ref_input])?;
         let sim_elapsed = started.elapsed();
         self.sim_jobs.fetch_add(1, Ordering::Relaxed);
-        self.sim_insts.fetch_add(stats.committed(), Ordering::Relaxed);
+        self.sim_insts
+            .fetch_add(stats.committed(), Ordering::Relaxed);
         self.sim_nanos
             .fetch_add(sim_elapsed.as_nanos() as u64, Ordering::Relaxed);
         Ok(JobResult {
@@ -756,7 +755,9 @@ mod tests {
         let (serial, ids_s) = engine_with(2, 1);
         let serial_out = serial.run_cells(&cells(&ids_s), &opts, 1_000_000).unwrap();
         let (parallel, ids_p) = engine_with(2, 4);
-        let parallel_out = parallel.run_cells(&cells(&ids_p), &opts, 1_000_000).unwrap();
+        let parallel_out = parallel
+            .run_cells(&cells(&ids_p), &opts, 1_000_000)
+            .unwrap();
         assert_eq!(serial_out.len(), parallel_out.len());
         for (s, p) in serial_out.iter().zip(&parallel_out) {
             assert_eq!(s.name, p.name);

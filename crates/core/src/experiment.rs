@@ -7,8 +7,8 @@ use std::sync::Arc;
 use vanguard_compiler::{
     compact_program, layout_program, profile_program, schedule_program, ProfileError, SchedConfig,
 };
-use vanguard_isa::{DecodedImage, Memory, Program, Reg};
 use vanguard_ir::Profile;
+use vanguard_isa::{DecodedImage, Memory, Program, Reg};
 use vanguard_sim::{MachineConfig, SimError, SimStats, Simulator};
 
 pub use vanguard_bpred::LadderRung as PredictorKind;
@@ -144,7 +144,11 @@ impl ExperimentOutcome {
         if self.runs.is_empty() {
             return 0.0;
         }
-        self.runs.iter().map(|r| r.exp.stalls_per_resolve()).sum::<f64>() / self.runs.len() as f64
+        self.runs
+            .iter()
+            .map(|r| r.exp.stalls_per_resolve())
+            .sum::<f64>()
+            / self.runs.len() as f64
     }
 
     /// MPPKI of the baseline runs (Table 2).
@@ -279,7 +283,11 @@ impl Experiment {
     /// # Errors
     ///
     /// Returns an [`ExperimentError`] on a committed-path fault.
-    pub fn simulate(&self, program: &Program, input: &RunInput) -> Result<SimStats, ExperimentError> {
+    pub fn simulate(
+        &self,
+        program: &Program,
+        input: &RunInput,
+    ) -> Result<SimStats, ExperimentError> {
         let mut sim = Simulator::new(
             program,
             input.memory.clone(),
@@ -365,7 +373,12 @@ pub(crate) mod tests {
             b.push(bb, Inst::load(Reg(7), Reg(10), off + 16));
             b.push(
                 bb,
-                Inst::alu(AluOp::Add, Reg(8), Operand::Reg(Reg(6)), Operand::Reg(Reg(7))),
+                Inst::alu(
+                    AluOp::Add,
+                    Reg(8),
+                    Operand::Reg(Reg(6)),
+                    Operand::Reg(Reg(7)),
+                ),
             );
             b.push(
                 bb,
@@ -421,7 +434,9 @@ pub(crate) mod tests {
             .map(|i| u64::from(matches!(i % 5, 0 | 1 | 3)))
             .collect();
         memory.load_words(0x10000, &cond);
-        let data: Vec<u64> = (0..4 * n).map(|i| (i as u64).wrapping_mul(7) % 100).collect();
+        let data: Vec<u64> = (0..4 * n)
+            .map(|i| (i as u64).wrapping_mul(7) % 100)
+            .collect();
         memory.load_words(0x20000, &data);
         memory.map_region(0x80000, (2 * n) as u64 * 8);
         RunInput {
@@ -443,7 +458,12 @@ pub(crate) mod tests {
     fn transformed_kernel_beats_baseline_on_the_4wide() {
         let exp = Experiment::new(MachineConfig::four_wide());
         let out = exp.run(&experiment_input(3000)).unwrap();
-        assert_eq!(out.report.converted.len(), 1, "skipped {:?}", out.report.skipped);
+        assert_eq!(
+            out.report.converted.len(),
+            1,
+            "skipped {:?}",
+            out.report.skipped
+        );
         let spd = out.geomean_speedup_pct();
         assert!(
             spd > 3.0,

@@ -1,7 +1,7 @@
 //! Profile-guided candidate selection (§5 of the paper).
 
-use vanguard_isa::{BlockId, Inst, Program};
 use vanguard_ir::{BranchDirection, Cfg, Profile};
+use vanguard_isa::{BlockId, Inst, Program};
 
 /// Selection heuristic parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -65,7 +65,9 @@ pub fn select_candidates(
         {
             continue;
         }
-        let Some(stats) = profile.site(bid) else { continue };
+        let Some(stats) = profile.site(bid) else {
+            continue;
+        };
         if stats.executed < options.min_executions {
             continue;
         }

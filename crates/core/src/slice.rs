@@ -1,7 +1,7 @@
 //! Backward condition slices within a block.
 
-use vanguard_isa::{BasicBlock, Inst, Reg};
 use vanguard_ir::RegSet;
+use vanguard_isa::{BasicBlock, Inst, Reg};
 
 /// Why a condition slice cannot be pushed down into resolution blocks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -3,8 +3,8 @@
 use crate::report::{SiteOutcome, TransformReport};
 use crate::select::{select_candidates, SelectOptions};
 use crate::slice::condition_slice;
-use vanguard_isa::{BasicBlock, BlockId, Inst, Program};
 use vanguard_ir::{BranchDirection, Cfg, Liveness, Profile, RegSet};
+use vanguard_isa::{BasicBlock, BlockId, Inst, Program};
 
 /// Parameters of [`decompose_branches`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -130,9 +130,9 @@ fn hoist_prefix(
 
     for inst in body {
         let skip = |inst: &Inst,
-                        remainder: &mut Vec<Inst>,
-                        skipped_writes: &mut RegSet,
-                        skipped_reads: &mut RegSet| {
+                    remainder: &mut Vec<Inst>,
+                    skipped_writes: &mut RegSet,
+                    skipped_reads: &mut RegSet| {
             if let Some(d) = inst.dst() {
                 skipped_writes.insert(d);
             }
@@ -140,7 +140,12 @@ fn hoist_prefix(
             remainder.push(*inst);
         };
         if hoisted.len() >= max_hoist {
-            skip(inst, &mut remainder, &mut skipped_writes, &mut skipped_reads);
+            skip(
+                inst,
+                &mut remainder,
+                &mut skipped_writes,
+                &mut skipped_reads,
+            );
             continue;
         }
         let hoistable_kind = match inst {
@@ -153,7 +158,12 @@ fn hoist_prefix(
             _ => false,
         };
         if !hoistable_kind {
-            skip(inst, &mut remainder, &mut skipped_writes, &mut skipped_reads);
+            skip(
+                inst,
+                &mut remainder,
+                &mut skipped_writes,
+                &mut skipped_reads,
+            );
             continue;
         }
         let reads: RegSet = inst.srcs().into_iter().collect();
@@ -162,7 +172,12 @@ fn hoist_prefix(
         let order_blocked = !reads.intersection(&skipped_writes).is_empty()
             || dst.is_some_and(|d| skipped_writes.contains(d) || skipped_reads.contains(d));
         if order_blocked {
-            skip(inst, &mut remainder, &mut skipped_writes, &mut skipped_reads);
+            skip(
+                inst,
+                &mut remainder,
+                &mut skipped_writes,
+                &mut skipped_reads,
+            );
             continue;
         }
         // A correction-path live-in clobber is fixable with a shadow temp
@@ -177,7 +192,12 @@ fn hoist_prefix(
                     // reads may already be renamed to temps — still correct,
                     // because the temps hold exactly the hoisted values and
                     // are never reused.
-                    skip(&inst, &mut remainder, &mut skipped_writes, &mut skipped_reads);
+                    skip(
+                        &inst,
+                        &mut remainder,
+                        &mut skipped_writes,
+                        &mut skipped_reads,
+                    );
                     continue;
                 };
                 rename.insert(d, t);
@@ -269,11 +289,7 @@ fn transform_site(
     }
 
     let slice = condition_slice(a_block).map_err(|e| format!("slice: {e:?}"))?;
-    let slice_insts: Vec<Inst> = slice
-        .indices
-        .iter()
-        .map(|&i| a_block.insts()[i])
-        .collect();
+    let slice_insts: Vec<Inst> = slice.indices.iter().map(|&i| a_block.insts()[i]).collect();
 
     let cfg = Cfg::build(program);
     let liveness = Liveness::build(program, &cfg);
@@ -329,27 +345,24 @@ fn transform_site(
     );
 
     // Suffix blocks B' (Figure 5d): the successor minus its hoisted prefix.
-    let make_suffix = |program: &mut Program,
-                       orig: &BasicBlock,
-                       split: &HoistSplit,
-                       label: &str|
-     -> BlockId {
-        let mut nb = BasicBlock::new(format!("{}.{label}", orig.name()));
-        // Commit moves first: they sit in the resolve's shadow, executing
-        // only on the correctly-predicted path (§3).
-        for &(arch, temp) in &split.commits {
-            nb.insts_mut()
-                .push(Inst::mov(arch, vanguard_isa::Operand::Reg(temp)));
-        }
-        nb.insts_mut().extend(split.remainder.iter().cloned());
-        if let Some(t) = orig.terminator() {
-            if t.is_control() {
-                nb.insts_mut().push(*t);
+    let make_suffix =
+        |program: &mut Program, orig: &BasicBlock, split: &HoistSplit, label: &str| -> BlockId {
+            let mut nb = BasicBlock::new(format!("{}.{label}", orig.name()));
+            // Commit moves first: they sit in the resolve's shadow, executing
+            // only on the correctly-predicted path (§3).
+            for &(arch, temp) in &split.commits {
+                nb.insts_mut()
+                    .push(Inst::mov(arch, vanguard_isa::Operand::Reg(temp)));
             }
-        }
-        nb.set_fallthrough(orig.fallthrough());
-        program.add_block(nb)
-    };
+            nb.insts_mut().extend(split.remainder.iter().cloned());
+            if let Some(t) = orig.terminator() {
+                if t.is_control() {
+                    nb.insts_mut().push(*t);
+                }
+            }
+            nb.set_fallthrough(orig.fallthrough());
+            program.add_block(nb)
+        };
     let taken_suffix = make_suffix(program, &taken_block, &taken_split, "suffix");
     let fall_suffix = make_suffix(program, &fall_block, &fall_split, "suffix");
 
@@ -359,7 +372,9 @@ fn transform_site(
     let a_name = program.block(site).name().to_string();
     let mut res_taken = BasicBlock::new(format!("{a_name}.resolve_t"));
     res_taken.insts_mut().extend(slice_insts.iter().cloned());
-    res_taken.insts_mut().extend(taken_split.hoisted.iter().cloned());
+    res_taken
+        .insts_mut()
+        .extend(taken_split.hoisted.iter().cloned());
     res_taken.insts_mut().push(Inst::Resolve {
         cond: cond.negate(), // mispredict iff the branch was NOT taken
         src,
@@ -370,7 +385,9 @@ fn transform_site(
 
     let mut res_fall = BasicBlock::new(format!("{a_name}.resolve_nt"));
     res_fall.insts_mut().extend(slice_insts.iter().cloned());
-    res_fall.insts_mut().extend(fall_split.hoisted.iter().cloned());
+    res_fall
+        .insts_mut()
+        .extend(fall_split.hoisted.iter().cloned());
     res_fall.insts_mut().push(Inst::Resolve {
         cond, // mispredict iff the branch WAS taken
         src,
@@ -452,8 +469,10 @@ fn reads(inst: &Inst, r: vanguard_isa::Reg) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vanguard_isa::{AluOp, CmpKind, CondKind, Interpreter, Memory, Operand, ProgramBuilder,
-                       Reg, StopReason, TakenOracle};
+    use vanguard_isa::{
+        AluOp, CmpKind, CondKind, Interpreter, Memory, Operand, ProgramBuilder, Reg, StopReason,
+        TakenOracle,
+    };
 
     /// The Figure 6 shape: a loop over a condition array with loads on
     /// both sides of a predictable-but-unbiased forward branch.
@@ -588,7 +607,11 @@ mod tests {
         assert_eq!(report.converted.len(), 1, "skipped: {:?}", report.skipped);
         let site = &report.converted[0];
         assert_eq!(site.slice_insts, 2, "ld + cmp pushed down");
-        assert!(site.hoisted_taken >= 2, "load+add hoisted, got {}", site.hoisted_taken);
+        assert!(
+            site.hoisted_taken >= 2,
+            "load+add hoisted, got {}",
+            site.hoisted_taken
+        );
         assert!(site.hoisted_fallthrough >= 2);
         assert_eq!(site.removed_from_block, 2, "slice DCE'd from head");
         // A predict and two resolves now exist.
@@ -618,7 +641,10 @@ mod tests {
         let n = 64usize;
         let (p0, p1, _) = transform_fig6(n as i64);
         for (name, pattern) in [
-            ("all-taken", Box::new(|_: usize| true) as Box<dyn Fn(usize) -> bool>),
+            (
+                "all-taken",
+                Box::new(|_: usize| true) as Box<dyn Fn(usize) -> bool>,
+            ),
             ("all-not", Box::new(|_| false)),
             ("alternating", Box::new(|i| i % 2 == 0)),
             ("pattern", Box::new(|i| i % 5 != 3)),
@@ -703,7 +729,13 @@ mod tests {
         // r6 load and r7 add hoist; store stays; r8 load barred by the
         // store; r9 add blocked by the clobber set.
         assert_eq!(split.hoisted.len(), 2);
-        assert!(matches!(split.hoisted[0], Inst::Load { speculative: true, .. }));
+        assert!(matches!(
+            split.hoisted[0],
+            Inst::Load {
+                speculative: true,
+                ..
+            }
+        ));
         assert_eq!(split.remainder.len(), 3);
         assert!(reads(&split.hoisted[1], Reg(6)));
     }
@@ -882,9 +914,8 @@ mod tests {
         let run = |p: &Program, oracle: &mut TakenOracle| {
             let mut i = Interpreter::new(p, mem());
             i.run(oracle).unwrap();
-            let snap: Vec<Option<u64>> = (0..256)
-                .map(|k| i.memory().read(0x30000 + k * 8))
-                .collect();
+            let snap: Vec<Option<u64>> =
+                (0..256).map(|k| i.memory().read(0x30000 + k * 8)).collect();
             (i.reg(Reg(9)), snap)
         };
         let want = run(&p0, &mut TakenOracle::AlwaysTaken);

@@ -203,8 +203,8 @@ mod tests {
     use super::*;
     use crate::transform::{decompose_branches, TransformOptions};
     use crate::SelectOptions;
-    use vanguard_isa::parse_program;
     use vanguard_ir::Profile;
+    use vanguard_isa::parse_program;
 
     const KERNEL: &str = r"
 .entry bb0

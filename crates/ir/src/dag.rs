@@ -62,7 +62,15 @@ impl DepDag {
             let b = &insts[j];
             for (i, a) in insts.iter().enumerate().take(j) {
                 if let Some(kind) = dependence(a, b) {
-                    add(&mut succs, &mut in_degree, DepEdge { from: i, to: j, kind });
+                    add(
+                        &mut succs,
+                        &mut in_degree,
+                        DepEdge {
+                            from: i,
+                            to: j,
+                            kind,
+                        },
+                    );
                 }
             }
         }
@@ -178,7 +186,14 @@ mod tests {
             Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(1)), Operand::Imm(3)),
         ]);
         let dag = DepDag::build(&b);
-        assert_eq!(dag.succs(0), &[DepEdge { from: 0, to: 1, kind: DepKind::Raw }]);
+        assert_eq!(
+            dag.succs(0),
+            &[DepEdge {
+                from: 0,
+                to: 1,
+                kind: DepKind::Raw
+            }]
+        );
         assert_eq!(dag.in_degree(1), 1);
     }
 
@@ -205,8 +220,14 @@ mod tests {
         // load↔load: no edge.
         assert!(dag.succs(0).iter().all(|e| e.to != 1));
         // load→store and load→store: Mem edges.
-        assert!(dag.succs(0).iter().any(|e| e.to == 2 && e.kind == DepKind::Mem));
-        assert!(dag.succs(1).iter().any(|e| e.to == 2 && e.kind == DepKind::Mem));
+        assert!(dag
+            .succs(0)
+            .iter()
+            .any(|e| e.to == 2 && e.kind == DepKind::Mem));
+        assert!(dag
+            .succs(1)
+            .iter()
+            .any(|e| e.to == 2 && e.kind == DepKind::Mem));
     }
 
     #[test]
@@ -221,8 +242,14 @@ mod tests {
             },
         ]);
         let dag = DepDag::build(&b);
-        assert!(dag.succs(0).iter().any(|e| e.to == 2 && e.kind == DepKind::Control));
-        assert!(dag.succs(1).iter().any(|e| e.to == 2 && e.kind == DepKind::Raw));
+        assert!(dag
+            .succs(0)
+            .iter()
+            .any(|e| e.to == 2 && e.kind == DepKind::Control));
+        assert!(dag
+            .succs(1)
+            .iter()
+            .any(|e| e.to == 2 && e.kind == DepKind::Raw));
     }
 
     #[test]

@@ -111,7 +111,12 @@ mod tests {
         pb.fallthrough(e, x);
         pb.push(
             x,
-            Inst::alu(AluOp::Add, Reg(3), Operand::Reg(Reg(1)), Operand::Reg(Reg(4))),
+            Inst::alu(
+                AluOp::Add,
+                Reg(3),
+                Operand::Reg(Reg(1)),
+                Operand::Reg(Reg(4)),
+            ),
         );
         pb.push(x, Inst::Halt);
         pb.set_entry(e);
@@ -190,7 +195,10 @@ mod tests {
         let lv = Liveness::build(&p, &cfg);
         assert!(lv.live_in(body).contains(Reg(1)));
         assert!(lv.live_out(body).contains(Reg(1)));
-        assert!(lv.live_in(e).contains(Reg(1)), "upward-exposed through loop");
+        assert!(
+            lv.live_in(e).contains(Reg(1)),
+            "upward-exposed through loop"
+        );
     }
 
     #[test]

@@ -78,9 +78,7 @@ impl LoopForest {
 
     /// Whether the edge `from → to` is a back edge of some loop.
     pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
-        self.loops
-            .iter()
-            .any(|l| l.latch == from && l.header == to)
+        self.loops.iter().any(|l| l.latch == from && l.header == to)
     }
 }
 
@@ -178,10 +176,7 @@ bb5 <exit>:
         let l = &forest.loops()[0];
         assert_eq!(l.header, BlockId(1));
         assert_eq!(l.latch, BlockId(4));
-        assert_eq!(
-            l.body,
-            vec![BlockId(1), BlockId(2), BlockId(3), BlockId(4)]
-        );
+        assert_eq!(l.body, vec![BlockId(1), BlockId(2), BlockId(3), BlockId(4)]);
         assert!(!l.contains(BlockId(0)));
         assert!(!l.contains(BlockId(5)));
     }

@@ -72,7 +72,9 @@ impl RegSet {
     /// Iterates members in index order.
     pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
         let bits = self.0;
-        (0..NUM_ARCH_REGS as u8).filter(move |i| bits & (1 << i) != 0).map(Reg)
+        (0..NUM_ARCH_REGS as u8)
+            .filter(move |i| bits & (1 << i) != 0)
+            .map(Reg)
     }
 
     /// The lowest-numbered register *not* in the set, if any (temporary

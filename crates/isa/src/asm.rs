@@ -174,7 +174,10 @@ fn parse_inst(mnemonic: &str, rest: &str, line: usize) -> Result<Inst, ParseErro
         }
         "mov" => {
             need(2)?;
-            Ok(Inst::mov(parse_reg(ops[0], line)?, parse_operand(ops[1], line)?))
+            Ok(Inst::mov(
+                parse_reg(ops[0], line)?,
+                parse_operand(ops[1], line)?,
+            ))
         }
         "fadd" | "fsub" | "fmul" | "fdiv" => {
             need(3)?;
@@ -250,7 +253,9 @@ fn parse_inst(mnemonic: &str, rest: &str, line: usize) -> Result<Inst, ParseErro
             need(1)?;
             let mut parts = ops[0].split_whitespace();
             let callee = parse_block_ref(
-                parts.next().ok_or_else(|| err(line, "call needs a callee"))?,
+                parts
+                    .next()
+                    .ok_or_else(|| err(line, "call needs a callee"))?,
                 line,
             )?;
             let ret = parts
@@ -320,7 +325,9 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             // `bbN <name>` or `bbN`
             let mut parts = header.split_whitespace();
             let id = parse_block_ref(
-                parts.next().ok_or_else(|| err(lineno, "empty block header"))?,
+                parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "empty block header"))?,
                 lineno,
             )?;
             let name = parts
@@ -350,7 +357,11 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             None => (line, ""),
         };
         let inst = parse_inst(mnemonic, rest, lineno)?;
-        blocks[cur].as_mut().expect("current exists").insts.push(inst);
+        blocks[cur]
+            .as_mut()
+            .expect("current exists")
+            .insts
+            .push(inst);
     }
 
     // Materialise: every declared id becomes a block; holes are errors.
@@ -358,7 +369,10 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     let mut pendings = Vec::with_capacity(blocks.len());
     for (i, b) in blocks.iter().enumerate() {
         let Some(pb) = b else {
-            return Err(err(0, format!("bb{i} referenced by numbering but never defined")));
+            return Err(err(
+                0,
+                format!("bb{i} referenced by numbering but never defined"),
+            ));
         };
         let id = builder.block(pb.name.clone());
         debug_assert_eq!(id.index(), i);

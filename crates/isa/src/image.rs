@@ -160,7 +160,10 @@ impl DecodedImage {
     /// (the same walk in a nested program representation would panic on
     /// its missing fall-through).
     pub fn entry_index(&self) -> u32 {
-        assert!(self.entry != NO_INST, "validated program: fall-through present");
+        assert!(
+            self.entry != NO_INST,
+            "validated program: fall-through present"
+        );
         self.entry
     }
 
@@ -202,7 +205,10 @@ mod tests {
         let e = b.block("entry");
         let empty = b.block("empty");
         let body = b.block("body");
-        b.push(e, Inst::alu(AluOp::Add, Reg(1), Operand::Imm(1), Operand::Imm(2)));
+        b.push(
+            e,
+            Inst::alu(AluOp::Add, Reg(1), Operand::Imm(1), Operand::Imm(2)),
+        );
         b.fallthrough(e, empty);
         b.fallthrough(empty, body);
         b.push(body, Inst::Nop);

@@ -468,7 +468,10 @@ impl Inst {
             Inst::Branch { .. } | Inst::Resolve { .. } => FuClass::Int,
             // Nop occupies an issue slot on the INT side.
             Inst::Nop => FuClass::Int,
-            Inst::Jump { .. } | Inst::Predict { .. } | Inst::Call { .. } | Inst::Ret
+            Inst::Jump { .. }
+            | Inst::Predict { .. }
+            | Inst::Call { .. }
+            | Inst::Ret
             | Inst::Halt => FuClass::None,
         }
     }
@@ -499,18 +502,13 @@ impl Inst {
     /// feeds the static-code-size (PISCS) accounting and the I$ model.
     pub fn encoded_size(&self) -> u64 {
         match self {
-            Inst::Alu { a, b, .. }
-                if (a.needs_long_encoding() || b.needs_long_encoding()) => {
-                    8
-                }
-            Inst::Cmp { b, .. }
-                if b.needs_long_encoding() => {
-                    8
-                }
+            Inst::Alu { a, b, .. } if (a.needs_long_encoding() || b.needs_long_encoding()) => 8,
+            Inst::Cmp { b, .. } if b.needs_long_encoding() => 8,
             Inst::Load { offset, .. } | Inst::Store { offset, .. }
-                if Operand::Imm(*offset).needs_long_encoding() => {
-                    8
-                }
+                if Operand::Imm(*offset).needs_long_encoding() =>
+            {
+                8
+            }
             _ => 4,
         }
     }
@@ -667,7 +665,10 @@ mod tests {
 
     #[test]
     fn predict_is_front_end_only() {
-        assert_eq!(Inst::Predict { target: BlockId(0) }.fu_class(), FuClass::None);
+        assert_eq!(
+            Inst::Predict { target: BlockId(0) }.fu_class(),
+            FuClass::None
+        );
         assert_eq!(
             Inst::Resolve {
                 cond: CondKind::Nz,

@@ -59,9 +59,7 @@ pub enum TakenOracle {
 impl TakenOracle {
     /// A deterministic pseudo-random oracle from a non-zero seed.
     pub fn random(seed: u64) -> TakenOracle {
-        TakenOracle::Random {
-            state: seed.max(1),
-        }
+        TakenOracle::Random { state: seed.max(1) }
     }
 
     /// A fresh last-direction oracle.
@@ -297,7 +295,11 @@ impl<'p> Interpreter<'p> {
     /// # Errors
     ///
     /// Returns an [`ExecError`] on an architectural fault.
-    pub fn run_with<O, F>(&mut self, oracle: &mut O, mut visitor: F) -> Result<RunOutcome, ExecError>
+    pub fn run_with<O, F>(
+        &mut self,
+        oracle: &mut O,
+        mut visitor: F,
+    ) -> Result<RunOutcome, ExecError>
     where
         O: PredictionOracle + ?Sized,
         F: FnMut(&ExecEvent),
@@ -572,7 +574,8 @@ mod tests {
         b.push(e, Inst::Jump { target: e });
         b.set_entry(e);
         let p = b.finish().unwrap();
-        let mut i = Interpreter::new(&p, Memory::new()).with_config(InterpConfig { max_steps: 100 });
+        let mut i =
+            Interpreter::new(&p, Memory::new()).with_config(InterpConfig { max_steps: 100 });
         let out = i.run(&mut TakenOracle::AlwaysTaken).unwrap();
         assert_eq!(out.stop, StopReason::MaxSteps);
         assert_eq!(out.steps, 100);
@@ -716,7 +719,13 @@ mod tests {
         let r = b.block("after");
         b.push(f, Inst::mov(Reg(3), Operand::Imm(9)));
         b.push(f, Inst::Ret);
-        b.push(e, Inst::Call { callee: f, ret_to: r });
+        b.push(
+            e,
+            Inst::Call {
+                callee: f,
+                ret_to: r,
+            },
+        );
         b.push(r, Inst::Halt);
         b.set_entry(e);
         let p = b.finish().unwrap();

@@ -152,7 +152,10 @@ impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidationError::ControlNotLast { block, index } => {
-                write!(f, "control instruction not last in {block} at index {index}")
+                write!(
+                    f,
+                    "control instruction not last in {block} at index {index}"
+                )
             }
             ValidationError::MissingFallthrough(b) => {
                 write!(f, "block {b} has no terminator and no fall-through")
@@ -165,7 +168,10 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::NoEntry => write!(f, "program entry block not set"),
             ValidationError::ConditionalWithoutFallthrough(b) => {
-                write!(f, "conditional terminator in {b} lacks a fall-through successor")
+                write!(
+                    f,
+                    "conditional terminator in {b} lacks a fall-through successor"
+                )
             }
         }
     }
@@ -274,7 +280,11 @@ impl Program {
     /// Panics if `order` is not a permutation of all block ids.
     pub fn set_layout_order(&mut self, order: Vec<BlockId>) {
         let seen: HashSet<BlockId> = order.iter().copied().collect();
-        assert_eq!(seen.len(), self.blocks.len(), "layout order must cover every block once");
+        assert_eq!(
+            seen.len(),
+            self.blocks.len(),
+            "layout order must cover every block once"
+        );
         assert_eq!(order.len(), self.blocks.len());
         self.layout_order = order;
     }
@@ -318,11 +328,17 @@ impl Program {
             let n = block.insts().len();
             for (j, inst) in block.insts().iter().enumerate() {
                 if inst.is_control() && j + 1 != n {
-                    return Err(ValidationError::ControlNotLast { block: bid, index: j });
+                    return Err(ValidationError::ControlNotLast {
+                        block: bid,
+                        index: j,
+                    });
                 }
                 if let Some(t) = inst.target() {
                     if t.index() >= self.blocks.len() {
-                        return Err(ValidationError::DanglingTarget { block: bid, target: t });
+                        return Err(ValidationError::DanglingTarget {
+                            block: bid,
+                            target: t,
+                        });
                     }
                 }
                 if let Inst::Call { ret_to, .. } = inst {
@@ -341,12 +357,17 @@ impl Program {
             }
             if let Some(ft) = block.fallthrough() {
                 if ft.index() >= self.blocks.len() {
-                    return Err(ValidationError::DanglingTarget { block: bid, target: ft });
+                    return Err(ValidationError::DanglingTarget {
+                        block: bid,
+                        target: ft,
+                    });
                 }
             }
             let needs_ft = match block.terminator() {
                 None => true,
-                Some(Inst::Jump { .. }) | Some(Inst::Halt) | Some(Inst::Ret)
+                Some(Inst::Jump { .. })
+                | Some(Inst::Halt)
+                | Some(Inst::Ret)
                 | Some(Inst::Call { .. }) => false,
                 Some(t) if t.is_control() => {
                     // Conditional forms: Branch / Predict / Resolve.

@@ -99,7 +99,10 @@ impl Cache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Accesses `addr`; returns `true` on hit. A miss allocates the line,
@@ -209,7 +212,10 @@ mod tests {
 
     #[test]
     fn miss_rate_math() {
-        let s = CacheStats { hits: 75, misses: 25 };
+        let s = CacheStats {
+            hits: 75,
+            misses: 25,
+        };
         assert!((s.miss_rate() - 0.25).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_rate(), 0.0);
     }
@@ -217,8 +223,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = small(); // 1 KB
-        // 4 KB working set, repeatedly streamed: everything misses after
-        // the first pass too (LRU streaming pathology).
+                             // 4 KB working set, repeatedly streamed: everything misses after
+                             // the first pass too (LRU streaming pathology).
         for _ in 0..3 {
             for i in 0..64u64 {
                 c.access(i * 64);

@@ -188,7 +188,10 @@ impl FrontEnd {
         }
         let mut slots = self.config.width;
         while slots > 0 && self.buffer.len() < self.config.fetch_buffer {
-            assert!(self.pc != NO_INST, "validated program: fall-through present");
+            assert!(
+                self.pc != NO_INST,
+                "validated program: fall-through present"
+            );
             let di = *self.image.get(self.pc);
             let pc = di.pc;
 
@@ -231,10 +234,15 @@ impl FrontEnd {
                     let snapshot = self.snapshot();
                     let meta = self.predictor.predict(pc);
                     let predicted_taken = meta.taken;
-                    self.push_fetched(&di, cycle, Some(PredInfo::Branch {
-                        meta,
-                        predicted_taken,
-                    }), Some(snapshot));
+                    self.push_fetched(
+                        &di,
+                        cycle,
+                        Some(PredInfo::Branch {
+                            meta,
+                            predicted_taken,
+                        }),
+                        Some(snapshot),
+                    );
                     if predicted_taken {
                         if self.steer(cycle, pc, target) {
                             return;
@@ -247,7 +255,12 @@ impl FrontEnd {
                     // Always predicted not-taken; tagged with the DBB tail.
                     let snapshot = self.snapshot();
                     let dbb_index = self.dbb.tail();
-                    self.push_fetched(&di, cycle, Some(PredInfo::Resolve { dbb_index }), Some(snapshot));
+                    self.push_fetched(
+                        &di,
+                        cycle,
+                        Some(PredInfo::Resolve { dbb_index }),
+                        Some(snapshot),
+                    );
                     self.pc = di.next;
                 }
                 Inst::Jump { target } => {
@@ -390,7 +403,11 @@ mod tests {
             MachineConfig::four_wide(),
             Box::new(Combined::ptlsim_default()),
         );
-        (fe, MemSystem::new(MemConfig::table1_default()), SimStats::default())
+        (
+            fe,
+            MemSystem::new(MemConfig::table1_default()),
+            SimStats::default(),
+        )
     }
 
     fn straightline() -> Program {
@@ -517,7 +534,13 @@ mod tests {
         let f = b.block("callee");
         let t = b.block("t");
         let r = b.block("after");
-        b.push(e, Inst::Call { callee: f, ret_to: r });
+        b.push(
+            e,
+            Inst::Call {
+                callee: f,
+                ret_to: r,
+            },
+        );
         b.push(
             f,
             Inst::Branch {
@@ -560,7 +583,13 @@ mod tests {
         let e = b.block("entry");
         let f = b.block("callee");
         let r = b.block("after");
-        b.push(e, Inst::Call { callee: f, ret_to: r });
+        b.push(
+            e,
+            Inst::Call {
+                callee: f,
+                ret_to: r,
+            },
+        );
         b.push(f, Inst::Ret);
         b.push(r, Inst::Halt);
         b.set_entry(e);

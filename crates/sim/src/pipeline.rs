@@ -8,8 +8,7 @@ use crate::store_buffer::StoreBuffer;
 use std::fmt;
 use std::sync::Arc;
 use vanguard_isa::{
-    eval_alu, BlockId, DecodedImage, FpOp, FuClass, Inst, Memory, Operand, Program,
-    NUM_ARCH_REGS,
+    eval_alu, BlockId, DecodedImage, FpOp, FuClass, Inst, Memory, Operand, Program, NUM_ARCH_REGS,
 };
 use vanguard_mem::{AccessKind, MemSystem};
 
@@ -201,10 +200,7 @@ impl<'t> Simulator<'t> {
     /// # Errors
     ///
     /// Returns a [`SimError`] on a committed-path architectural fault.
-    pub fn run_traced(
-        mut self,
-        sink: impl FnMut(&TraceEvent) + 't,
-    ) -> Result<SimResult, SimError> {
+    pub fn run_traced(mut self, sink: impl FnMut(&TraceEvent) + 't) -> Result<SimResult, SimError> {
         self.trace = Some(Box::new(sink));
         self.run()
     }
@@ -345,7 +341,10 @@ impl<'t> Simulator<'t> {
                 FuClass::None => {
                     // Front-end-only instructions never reach issue; Halt is
                     // handled above. Nothing else should appear.
-                    unreachable!("front-end-only instruction in fetch buffer: {:?}", head.inst)
+                    unreachable!(
+                        "front-end-only instruction in fetch buffer: {:?}",
+                        head.inst
+                    )
                 }
             };
             if *slot == 0 {
@@ -377,8 +376,7 @@ impl<'t> Simulator<'t> {
                     let av = self.operand(a);
                     let bv = self.operand(b);
                     self.regs[dst.index()] = eval_alu(op, av, bv);
-                    self.reg_ready[dst.index()] =
-                        self.cycle + u64::from(fi.inst.base_latency());
+                    self.reg_ready[dst.index()] = self.cycle + u64::from(fi.inst.base_latency());
                 }
                 Inst::Fp { op, dst, a, b } => {
                     let av = f64::from_bits(self.regs[a.index()]);
@@ -390,8 +388,7 @@ impl<'t> Simulator<'t> {
                         FpOp::Div => av / bv,
                     };
                     self.regs[dst.index()] = r.to_bits();
-                    self.reg_ready[dst.index()] =
-                        self.cycle + u64::from(fi.inst.base_latency());
+                    self.reg_ready[dst.index()] = self.cycle + u64::from(fi.inst.base_latency());
                 }
                 Inst::Cmp { kind, dst, a, b } => {
                     let av = self.regs[a.index()];
@@ -748,7 +745,11 @@ mod tests {
         assert_eq!(&r.regs[..8], &interp.regs()[..8]);
         for i in 0..50u64 {
             let addr = 0x8000 + i * 8;
-            assert_eq!(r.memory.read(addr), interp.memory().read(addr), "@{addr:#x}");
+            assert_eq!(
+                r.memory.read(addr),
+                interp.memory().read(addr),
+                "@{addr:#x}"
+            );
         }
     }
 
@@ -992,7 +993,10 @@ mod tests {
             r.stats.resolve_mispredicts
         );
         assert!(r.stats.resolve_mispredicts > 0);
-        assert_eq!(r.stats.predicts, u64::from(r.stats.predicts > 0) * r.stats.predicts);
+        assert_eq!(
+            r.stats.predicts,
+            u64::from(r.stats.predicts > 0) * r.stats.predicts
+        );
     }
 
     #[test]
@@ -1003,7 +1007,13 @@ mod tests {
         let r = b.block("after");
         b.push(f, Inst::mov(Reg(3), Operand::Imm(9)));
         b.push(f, Inst::Ret);
-        b.push(e, Inst::Call { callee: f, ret_to: r });
+        b.push(
+            e,
+            Inst::Call {
+                callee: f,
+                ret_to: r,
+            },
+        );
         b.push(r, Inst::Halt);
         b.set_entry(e);
         let p = b.finish().unwrap();
@@ -1044,16 +1054,11 @@ mod tests {
     fn wider_machines_are_not_slower() {
         let p = independent_adds(128);
         let run_width = |cfg: MachineConfig| {
-            Simulator::new(
-                &p,
-                Memory::new(),
-                cfg,
-                Box::new(Combined::ptlsim_default()),
-            )
-            .run()
-            .unwrap()
-            .stats
-            .cycles
+            Simulator::new(&p, Memory::new(), cfg, Box::new(Combined::ptlsim_default()))
+                .run()
+                .unwrap()
+                .stats
+                .cycles
         };
         let c2 = run_width(MachineConfig::two_wide());
         let c4 = run_width(MachineConfig::four_wide());
@@ -1080,7 +1085,11 @@ mod tests {
         let p = b.finish().unwrap();
         let r = run_sim(&p, Memory::new(), &[]);
         assert_eq!(r.regs[3], 0x9001);
-        assert!(r.stats.operand_stall_cycles >= 3, "stalls {}", r.stats.operand_stall_cycles);
+        assert!(
+            r.stats.operand_stall_cycles >= 3,
+            "stalls {}",
+            r.stats.operand_stall_cycles
+        );
     }
 }
 
@@ -1112,7 +1121,9 @@ bb0 <entry>:
         let issues: Vec<_> = events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Issue { cycle, mnemonic, .. } => Some((*cycle, *mnemonic)),
+                TraceEvent::Issue {
+                    cycle, mnemonic, ..
+                } => Some((*cycle, *mnemonic)),
                 _ => None,
             })
             .collect();
@@ -1177,7 +1188,9 @@ bb5 <exit>:
         let r = sim
             .run_traced(|e| match e {
                 TraceEvent::Flush { .. } => flushes += 1,
-                TraceEvent::Issue { wrong_path: true, .. } => wrong_path_issues += 1,
+                TraceEvent::Issue {
+                    wrong_path: true, ..
+                } => wrong_path_issues += 1,
                 _ => {}
             })
             .unwrap();

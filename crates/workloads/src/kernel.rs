@@ -258,7 +258,12 @@ impl BenchmarkSpec {
                 );
                 b.push(
                     head,
-                    Inst::alu(AluOp::Add, R_CDEP, Operand::Reg(R_CDEP), Operand::Reg(R_CONDP)),
+                    Inst::alu(
+                        AluOp::Add,
+                        R_CDEP,
+                        Operand::Reg(R_CDEP),
+                        Operand::Reg(R_CONDP),
+                    ),
                 );
                 b.push(head, Inst::load(R_CVAL, R_CDEP, site_off));
             } else {
@@ -285,13 +290,26 @@ impl BenchmarkSpec {
 
             // Two successor sides with disjoint load offsets.
             self.emit_side(&mut b, fall, 0, s, 0, join);
-            self.emit_side(&mut b, taken, 1, s, (self.loads_per_block as i64) * 64, join);
+            self.emit_side(
+                &mut b,
+                taken,
+                1,
+                s,
+                (self.loads_per_block as i64) * 64,
+                join,
+            );
 
             // join: FP work (inline or behind a call), then on to the next
             // site or the latch.
             let next = if s + 1 < s_count { heads[s + 1] } else { latch };
             if let Some(h) = helper {
-                b.push(join, Inst::Call { callee: h, ret_to: next });
+                b.push(
+                    join,
+                    Inst::Call {
+                        callee: h,
+                        ret_to: next,
+                    },
+                );
             } else {
                 for _ in 0..self.fp_ops {
                     b.push(
@@ -316,15 +334,30 @@ impl BenchmarkSpec {
         );
         b.push(
             latch,
-            Inst::alu(AluOp::And, R_CIDX, Operand::Reg(R_CIDX), Operand::Imm(cond_mask)),
+            Inst::alu(
+                AluOp::And,
+                R_CIDX,
+                Operand::Reg(R_CIDX),
+                Operand::Imm(cond_mask),
+            ),
         );
         b.push(
             latch,
-            Inst::alu(AluOp::Add, R_CONDP, Operand::Reg(R_CIDX), Operand::Imm(COND_BASE)),
+            Inst::alu(
+                AluOp::Add,
+                R_CONDP,
+                Operand::Reg(R_CIDX),
+                Operand::Imm(COND_BASE),
+            ),
         );
         b.push(
             latch,
-            Inst::alu(AluOp::Add, R_DIDX, Operand::Reg(R_DIDX), Operand::Imm(DATA_STRIDE)),
+            Inst::alu(
+                AluOp::Add,
+                R_DIDX,
+                Operand::Reg(R_DIDX),
+                Operand::Imm(DATA_STRIDE),
+            ),
         );
         b.push(
             latch,
@@ -337,7 +370,12 @@ impl BenchmarkSpec {
         );
         b.push(
             latch,
-            Inst::alu(AluOp::Add, R_DATAP, Operand::Reg(R_DIDX), Operand::Imm(DATA_BASE)),
+            Inst::alu(
+                AluOp::Add,
+                R_DATAP,
+                Operand::Reg(R_DIDX),
+                Operand::Imm(DATA_BASE),
+            ),
         );
         b.push(
             latch,
@@ -345,11 +383,21 @@ impl BenchmarkSpec {
         );
         b.push(
             latch,
-            Inst::alu(AluOp::And, R_OIDX, Operand::Reg(R_OIDX), Operand::Imm(0xfff)),
+            Inst::alu(
+                AluOp::And,
+                R_OIDX,
+                Operand::Reg(R_OIDX),
+                Operand::Imm(0xfff),
+            ),
         );
         b.push(
             latch,
-            Inst::alu(AluOp::Add, R_OUTP, Operand::Reg(R_OIDX), Operand::Imm(OUT_BASE)),
+            Inst::alu(
+                AluOp::Add,
+                R_OUTP,
+                Operand::Reg(R_OIDX),
+                Operand::Imm(OUT_BASE),
+            ),
         );
         b.push(
             latch,
@@ -407,7 +455,12 @@ impl BenchmarkSpec {
             );
             b.push(
                 block,
-                Inst::alu(AluOp::Add, addr, Operand::Reg(addr), Operand::Imm(DATA_BASE)),
+                Inst::alu(
+                    AluOp::Add,
+                    addr,
+                    Operand::Reg(addr),
+                    Operand::Imm(DATA_BASE),
+                ),
             );
             for k in 0..loads {
                 b.push(
@@ -424,9 +477,9 @@ impl BenchmarkSpec {
             }
         }
         let mut val = Reg(40); // last value feeding the store
-        // Pointer-chase levels: each address depends on the previous
-        // loaded value (wrapped into the data region), so the whole chain
-        // serialises behind the branch in the baseline.
+                               // Pointer-chase levels: each address depends on the previous
+                               // loaded value (wrapped into the data region), so the whole chain
+                               // serialises behind the branch in the baseline.
         for c in 0..self.chase_loads {
             // r36/r37: disjoint from the independent-load dsts (r40..r45).
             let dst = Reg(36 + c as u8);
@@ -481,7 +534,10 @@ impl BenchmarkSpec {
             let model = jitter_model(&site.model, bias_jitter);
             let stream = model.generate(COND_ENTRIES, rng);
             let words: Vec<u64> = stream.into_iter().map(u64::from).collect();
-            memory.load_words(COND_BASE as u64 + (s as u64) * COND_SITE_BYTES as u64, &words);
+            memory.load_words(
+                COND_BASE as u64 + (s as u64) * COND_SITE_BYTES as u64,
+                &words,
+            );
         }
         // Data region: footprint plus slack for the per-block offsets.
         let slack = (2 * self.loads_per_block as u64 + 2) * 64 + 128;
@@ -574,8 +630,11 @@ mod tests {
         assert_eq!(w.refs.len(), 2);
         let a = w.train.memory.read(COND_BASE as u64).unwrap();
         let _ = a; // first words may coincide; compare a window instead
-        let window =
-            |m: &Memory| (0..64).map(|k| m.read(COND_BASE as u64 + k * 8).unwrap()).collect::<Vec<_>>();
+        let window = |m: &Memory| {
+            (0..64)
+                .map(|k| m.read(COND_BASE as u64 + k * 8).unwrap())
+                .collect::<Vec<_>>()
+        };
         assert_ne!(window(&w.train.memory), window(&w.refs[0].memory));
         assert_ne!(window(&w.refs[0].memory), window(&w.refs[1].memory));
     }

@@ -266,10 +266,7 @@ mod tests {
     #[test]
     fn nominal_values() {
         assert_eq!(OutcomeModel::markov(0.6, 0.9).nominal_bias(), 0.6);
-        assert_eq!(
-            OutcomeModel::Random { taken_prob: 0.3 }.nominal_bias(),
-            0.7
-        );
+        assert_eq!(OutcomeModel::Random { taken_prob: 0.3 }.nominal_bias(), 0.7);
         assert_eq!(
             OutcomeModel::Periodic {
                 pattern: vec![true, false]

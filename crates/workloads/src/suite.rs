@@ -107,20 +107,200 @@ fn raw_spec2006_int() -> Vec<BenchmarkSpec> {
     vec![
         // High performers: many qualifying branches, data-dependent
         // conditions worth overlapping, good MLP, small D$ footprints.
-        bm("h264ref", S, Pop { quals: q(&[(0.62, 0.96), (0.58, 0.95), (0.66, 0.97), (0.70, 0.96)]), biased: 2, random: 1 }, 3, 2, 1, 0, 16, true, 101),
-        bm("perlbench", S, Pop { quals: q(&[(0.60, 0.97), (0.56, 0.96), (0.64, 0.95), (0.68, 0.97)]), biased: 3, random: 1 }, 2, 2, 1, 0, 8, true, 102),
-        bm("astar", S, Pop { quals: q(&[(0.58, 0.89), (0.55, 0.87), (0.64, 0.91)]), biased: 2, random: 1 }, 3, 3, 1, 0, 32, true, 103),
+        bm(
+            "h264ref",
+            S,
+            Pop {
+                quals: q(&[(0.62, 0.96), (0.58, 0.95), (0.66, 0.97), (0.70, 0.96)]),
+                biased: 2,
+                random: 1,
+            },
+            3,
+            2,
+            1,
+            0,
+            16,
+            true,
+            101,
+        ),
+        bm(
+            "perlbench",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.97), (0.56, 0.96), (0.64, 0.95), (0.68, 0.97)]),
+                biased: 3,
+                random: 1,
+            },
+            2,
+            2,
+            1,
+            0,
+            8,
+            true,
+            102,
+        ),
+        bm(
+            "astar",
+            S,
+            Pop {
+                quals: q(&[(0.58, 0.89), (0.55, 0.87), (0.64, 0.91)]),
+                biased: 2,
+                random: 1,
+            },
+            3,
+            3,
+            1,
+            0,
+            32,
+            true,
+            103,
+        ),
         // Mid: MLP-rich but D$-challenged or mispredict-prone.
-        bm("omnetpp", S, Pop { quals: q(&[(0.60, 0.95), (0.57, 0.94)]), biased: 4, random: 2 }, 3, 2, 1, 0, 512, true, 104),
-        bm("xalancbmk", S, Pop { quals: q(&[(0.61, 0.94), (0.58, 0.92)]), biased: 4, random: 2 }, 3, 1, 1, 0, 256, true, 105),
-        bm("sjeng", S, Pop { quals: q(&[(0.60, 0.88), (0.63, 0.89)]), biased: 3, random: 3 }, 2, 2, 1, 0, 16, true, 106),
-        bm("gobmk", S, Pop { quals: q(&[(0.60, 0.90)]), biased: 3, random: 3 }, 2, 2, 1, 0, 32, true, 107),
-        bm("gcc", S, Pop { quals: q(&[(0.60, 0.93), (0.62, 0.91)]), biased: 4, random: 2 }, 1, 0, 2, 0, 64, true, 108),
-        bm("mcf", S, Pop { quals: q(&[(0.58, 0.80), (0.61, 0.82)]), biased: 4, random: 3 }, 1, 1, 1, 0, 8192, true, 109),
+        bm(
+            "omnetpp",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95), (0.57, 0.94)]),
+                biased: 4,
+                random: 2,
+            },
+            3,
+            2,
+            1,
+            0,
+            512,
+            true,
+            104,
+        ),
+        bm(
+            "xalancbmk",
+            S,
+            Pop {
+                quals: q(&[(0.61, 0.94), (0.58, 0.92)]),
+                biased: 4,
+                random: 2,
+            },
+            3,
+            1,
+            1,
+            0,
+            256,
+            true,
+            105,
+        ),
+        bm(
+            "sjeng",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.88), (0.63, 0.89)]),
+                biased: 3,
+                random: 3,
+            },
+            2,
+            2,
+            1,
+            0,
+            16,
+            true,
+            106,
+        ),
+        bm(
+            "gobmk",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.90)]),
+                biased: 3,
+                random: 3,
+            },
+            2,
+            2,
+            1,
+            0,
+            32,
+            true,
+            107,
+        ),
+        bm(
+            "gcc",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.93), (0.62, 0.91)]),
+                biased: 4,
+                random: 2,
+            },
+            1,
+            0,
+            2,
+            0,
+            64,
+            true,
+            108,
+        ),
+        bm(
+            "mcf",
+            S,
+            Pop {
+                quals: q(&[(0.58, 0.80), (0.61, 0.82)]),
+                biased: 4,
+                random: 3,
+            },
+            1,
+            1,
+            1,
+            0,
+            8192,
+            true,
+            109,
+        ),
         // Low end: few candidates or little hoistable work.
-        bm("bzip2", S, Pop { quals: q(&[(0.60, 0.90)]), biased: 4, random: 2 }, 2, 1, 1, 0, 64, true, 110),
-        bm("hmmer", S, Pop { quals: q(&[(0.60, 0.98)]), biased: 7, random: 0 }, 3, 1, 2, 0, 8, false, 111),
-        bm("libquantum", S, Pop { quals: q(&[(0.58, 0.96)]), biased: 8, random: 0 }, 1, 0, 2, 0, 4096, false, 112),
+        bm(
+            "bzip2",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.90)]),
+                biased: 4,
+                random: 2,
+            },
+            2,
+            1,
+            1,
+            0,
+            64,
+            true,
+            110,
+        ),
+        bm(
+            "hmmer",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.98)]),
+                biased: 7,
+                random: 0,
+            },
+            3,
+            1,
+            2,
+            0,
+            8,
+            false,
+            111,
+        ),
+        bm(
+            "libquantum",
+            S,
+            Pop {
+                quals: q(&[(0.58, 0.96)]),
+                biased: 8,
+                random: 0,
+            },
+            1,
+            0,
+            2,
+            0,
+            4096,
+            false,
+            112,
+        ),
     ]
 }
 
@@ -133,23 +313,278 @@ fn raw_spec2006_fp() -> Vec<BenchmarkSpec> {
     use Suite::Fp2006 as S;
     let q = |v: &'static [(f64, f64)]| v;
     vec![
-        bm("wrf", S, Pop { quals: q(&[(0.60, 0.97), (0.58, 0.98), (0.64, 0.97)]), biased: 4, random: 0 }, 3, 3, 1, 2, 64, true, 201),
-        bm("povray", S, Pop { quals: q(&[(0.62, 0.97), (0.59, 0.96), (0.65, 0.97)]), biased: 5, random: 0 }, 2, 3, 1, 2, 32, true, 202),
-        bm("tonto", S, Pop { quals: q(&[(0.60, 0.96), (0.63, 0.97)]), biased: 4, random: 0 }, 2, 2, 1, 2, 32, true, 203),
-        bm("gamess", S, Pop { quals: q(&[(0.61, 0.96), (0.58, 0.95)]), biased: 3, random: 0 }, 2, 2, 1, 2, 16, true, 204),
-        bm("calculix", S, Pop { quals: q(&[(0.60, 0.95), (0.62, 0.96)]), biased: 5, random: 0 }, 2, 2, 1, 2, 64, true, 205),
-        bm("milc", S, Pop { quals: q(&[(0.59, 0.97), (0.62, 0.96)]), biased: 5, random: 0 }, 3, 2, 1, 3, 256, false, 206),
-        bm("soplex", S, Pop { quals: q(&[(0.60, 0.95)]), biased: 5, random: 1 }, 2, 2, 1, 2, 256, false, 207),
-        bm("namd", S, Pop { quals: q(&[(0.61, 0.96)]), biased: 5, random: 0 }, 2, 2, 2, 3, 32, true, 208),
-        bm("lbm", S, Pop { quals: q(&[(0.60, 0.96)]), biased: 5, random: 0 }, 3, 1, 2, 3, 1024, true, 209),
-        bm("gromacs", S, Pop { quals: q(&[(0.62, 0.95)]), biased: 6, random: 0 }, 2, 1, 2, 3, 64, false, 210),
-        bm("sphinx3", S, Pop { quals: q(&[(0.60, 0.95)]), biased: 7, random: 0 }, 2, 1, 2, 2, 256, false, 211),
-        bm("bwaves", S, Pop { quals: q(&[(0.61, 0.96)]), biased: 8, random: 0 }, 2, 1, 2, 3, 512, false, 212),
-        bm("GemsFDTD", S, Pop { quals: q(&[(0.60, 0.95)]), biased: 9, random: 0 }, 2, 1, 2, 3, 512, false, 213),
-        bm("zeusmp", S, Pop { quals: q(&[(0.62, 0.95)]), biased: 9, random: 0 }, 2, 0, 2, 3, 256, false, 214),
-        bm("dealII", S, Pop { quals: q(&[(0.60, 0.94)]), biased: 10, random: 0 }, 1, 0, 2, 2, 64, false, 215),
-        bm("cactusADM", S, Pop { quals: q(&[(0.61, 0.94)]), biased: 11, random: 0 }, 1, 0, 2, 3, 128, false, 216),
-        bm("leslie3d", S, Pop { quals: q(&[(0.60, 0.94)]), biased: 11, random: 0 }, 1, 0, 2, 3, 256, false, 217),
+        bm(
+            "wrf",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.97), (0.58, 0.98), (0.64, 0.97)]),
+                biased: 4,
+                random: 0,
+            },
+            3,
+            3,
+            1,
+            2,
+            64,
+            true,
+            201,
+        ),
+        bm(
+            "povray",
+            S,
+            Pop {
+                quals: q(&[(0.62, 0.97), (0.59, 0.96), (0.65, 0.97)]),
+                biased: 5,
+                random: 0,
+            },
+            2,
+            3,
+            1,
+            2,
+            32,
+            true,
+            202,
+        ),
+        bm(
+            "tonto",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.96), (0.63, 0.97)]),
+                biased: 4,
+                random: 0,
+            },
+            2,
+            2,
+            1,
+            2,
+            32,
+            true,
+            203,
+        ),
+        bm(
+            "gamess",
+            S,
+            Pop {
+                quals: q(&[(0.61, 0.96), (0.58, 0.95)]),
+                biased: 3,
+                random: 0,
+            },
+            2,
+            2,
+            1,
+            2,
+            16,
+            true,
+            204,
+        ),
+        bm(
+            "calculix",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95), (0.62, 0.96)]),
+                biased: 5,
+                random: 0,
+            },
+            2,
+            2,
+            1,
+            2,
+            64,
+            true,
+            205,
+        ),
+        bm(
+            "milc",
+            S,
+            Pop {
+                quals: q(&[(0.59, 0.97), (0.62, 0.96)]),
+                biased: 5,
+                random: 0,
+            },
+            3,
+            2,
+            1,
+            3,
+            256,
+            false,
+            206,
+        ),
+        bm(
+            "soplex",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95)]),
+                biased: 5,
+                random: 1,
+            },
+            2,
+            2,
+            1,
+            2,
+            256,
+            false,
+            207,
+        ),
+        bm(
+            "namd",
+            S,
+            Pop {
+                quals: q(&[(0.61, 0.96)]),
+                biased: 5,
+                random: 0,
+            },
+            2,
+            2,
+            2,
+            3,
+            32,
+            true,
+            208,
+        ),
+        bm(
+            "lbm",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.96)]),
+                biased: 5,
+                random: 0,
+            },
+            3,
+            1,
+            2,
+            3,
+            1024,
+            true,
+            209,
+        ),
+        bm(
+            "gromacs",
+            S,
+            Pop {
+                quals: q(&[(0.62, 0.95)]),
+                biased: 6,
+                random: 0,
+            },
+            2,
+            1,
+            2,
+            3,
+            64,
+            false,
+            210,
+        ),
+        bm(
+            "sphinx3",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95)]),
+                biased: 7,
+                random: 0,
+            },
+            2,
+            1,
+            2,
+            2,
+            256,
+            false,
+            211,
+        ),
+        bm(
+            "bwaves",
+            S,
+            Pop {
+                quals: q(&[(0.61, 0.96)]),
+                biased: 8,
+                random: 0,
+            },
+            2,
+            1,
+            2,
+            3,
+            512,
+            false,
+            212,
+        ),
+        bm(
+            "GemsFDTD",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95)]),
+                biased: 9,
+                random: 0,
+            },
+            2,
+            1,
+            2,
+            3,
+            512,
+            false,
+            213,
+        ),
+        bm(
+            "zeusmp",
+            S,
+            Pop {
+                quals: q(&[(0.62, 0.95)]),
+                biased: 9,
+                random: 0,
+            },
+            2,
+            0,
+            2,
+            3,
+            256,
+            false,
+            214,
+        ),
+        bm(
+            "dealII",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.94)]),
+                biased: 10,
+                random: 0,
+            },
+            1,
+            0,
+            2,
+            2,
+            64,
+            false,
+            215,
+        ),
+        bm(
+            "cactusADM",
+            S,
+            Pop {
+                quals: q(&[(0.61, 0.94)]),
+                biased: 11,
+                random: 0,
+            },
+            1,
+            0,
+            2,
+            3,
+            128,
+            false,
+            216,
+        ),
+        bm(
+            "leslie3d",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.94)]),
+                biased: 11,
+                random: 0,
+            },
+            1,
+            0,
+            2,
+            3,
+            256,
+            false,
+            217,
+        ),
     ]
 }
 
@@ -163,18 +598,198 @@ fn raw_spec2000_int() -> Vec<BenchmarkSpec> {
     use Suite::Int2000 as S;
     let q = |v: &'static [(f64, f64)]| v;
     vec![
-        bm("vortex", S, Pop { quals: q(&[(0.60, 0.97), (0.57, 0.97), (0.66, 0.96), (0.62, 0.97)]), biased: 2, random: 0 }, 3, 2, 1, 0, 16, true, 301),
-        bm("crafty", S, Pop { quals: q(&[(0.60, 0.95), (0.63, 0.96), (0.58, 0.95)]), biased: 3, random: 1 }, 2, 2, 1, 0, 16, true, 302),
-        bm("eon", S, Pop { quals: q(&[(0.61, 0.96), (0.59, 0.95), (0.64, 0.96)]), biased: 3, random: 0 }, 2, 2, 1, 0, 8, true, 303),
-        bm("gap", S, Pop { quals: q(&[(0.60, 0.96), (0.62, 0.95), (0.57, 0.96)]), biased: 3, random: 1 }, 2, 2, 1, 0, 32, true, 304),
-        bm("parser", S, Pop { quals: q(&[(0.60, 0.95), (0.58, 0.94), (0.63, 0.95)]), biased: 3, random: 1 }, 2, 2, 1, 0, 32, true, 305),
-        bm("perlbmk", S, Pop { quals: q(&[(0.60, 0.96), (0.64, 0.96)]), biased: 3, random: 1 }, 2, 2, 1, 0, 16, true, 306),
-        bm("gcc2000", S, Pop { quals: q(&[(0.60, 0.96), (0.62, 0.95)]), biased: 4, random: 1 }, 2, 1, 1, 0, 64, true, 307),
-        bm("mcf2000", S, Pop { quals: q(&[(0.58, 0.92), (0.61, 0.93)]), biased: 4, random: 1 }, 1, 1, 1, 0, 4096, true, 308),
-        bm("bzip2_2000", S, Pop { quals: q(&[(0.60, 0.93)]), biased: 5, random: 1 }, 2, 1, 1, 0, 64, true, 309),
-        bm("gzip", S, Pop { quals: q(&[(0.60, 0.94), (0.62, 0.93), (0.58, 0.94)]), biased: 3, random: 1 }, 2, 1, 1, 0, 256, true, 310),
-        bm("twolf", S, Pop { quals: q(&[(0.60, 0.92)]), biased: 6, random: 1 }, 2, 1, 1, 0, 128, false, 311),
-        bm("vpr", S, Pop { quals: q(&[(0.60, 0.92)]), biased: 7, random: 1 }, 2, 1, 1, 0, 128, false, 312),
+        bm(
+            "vortex",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.97), (0.57, 0.97), (0.66, 0.96), (0.62, 0.97)]),
+                biased: 2,
+                random: 0,
+            },
+            3,
+            2,
+            1,
+            0,
+            16,
+            true,
+            301,
+        ),
+        bm(
+            "crafty",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95), (0.63, 0.96), (0.58, 0.95)]),
+                biased: 3,
+                random: 1,
+            },
+            2,
+            2,
+            1,
+            0,
+            16,
+            true,
+            302,
+        ),
+        bm(
+            "eon",
+            S,
+            Pop {
+                quals: q(&[(0.61, 0.96), (0.59, 0.95), (0.64, 0.96)]),
+                biased: 3,
+                random: 0,
+            },
+            2,
+            2,
+            1,
+            0,
+            8,
+            true,
+            303,
+        ),
+        bm(
+            "gap",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.96), (0.62, 0.95), (0.57, 0.96)]),
+                biased: 3,
+                random: 1,
+            },
+            2,
+            2,
+            1,
+            0,
+            32,
+            true,
+            304,
+        ),
+        bm(
+            "parser",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95), (0.58, 0.94), (0.63, 0.95)]),
+                biased: 3,
+                random: 1,
+            },
+            2,
+            2,
+            1,
+            0,
+            32,
+            true,
+            305,
+        ),
+        bm(
+            "perlbmk",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.96), (0.64, 0.96)]),
+                biased: 3,
+                random: 1,
+            },
+            2,
+            2,
+            1,
+            0,
+            16,
+            true,
+            306,
+        ),
+        bm(
+            "gcc2000",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.96), (0.62, 0.95)]),
+                biased: 4,
+                random: 1,
+            },
+            2,
+            1,
+            1,
+            0,
+            64,
+            true,
+            307,
+        ),
+        bm(
+            "mcf2000",
+            S,
+            Pop {
+                quals: q(&[(0.58, 0.92), (0.61, 0.93)]),
+                biased: 4,
+                random: 1,
+            },
+            1,
+            1,
+            1,
+            0,
+            4096,
+            true,
+            308,
+        ),
+        bm(
+            "bzip2_2000",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.93)]),
+                biased: 5,
+                random: 1,
+            },
+            2,
+            1,
+            1,
+            0,
+            64,
+            true,
+            309,
+        ),
+        bm(
+            "gzip",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.94), (0.62, 0.93), (0.58, 0.94)]),
+                biased: 3,
+                random: 1,
+            },
+            2,
+            1,
+            1,
+            0,
+            256,
+            true,
+            310,
+        ),
+        bm(
+            "twolf",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.92)]),
+                biased: 6,
+                random: 1,
+            },
+            2,
+            1,
+            1,
+            0,
+            128,
+            false,
+            311,
+        ),
+        bm(
+            "vpr",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.92)]),
+                biased: 7,
+                random: 1,
+            },
+            2,
+            1,
+            1,
+            0,
+            128,
+            false,
+            312,
+        ),
     ]
 }
 
@@ -188,19 +803,214 @@ fn raw_spec2000_fp() -> Vec<BenchmarkSpec> {
     use Suite::Fp2000 as S;
     let q = |v: &'static [(f64, f64)]| v;
     vec![
-        bm("art", S, Pop { quals: q(&[(0.60, 0.98), (0.62, 0.97)]), biased: 8, random: 0 }, 3, 2, 1, 2, 256, true, 401),
-        bm("ammp", S, Pop { quals: q(&[(0.60, 0.97), (0.58, 0.97)]), biased: 8, random: 0 }, 2, 2, 1, 2, 128, true, 402),
-        bm("mesa", S, Pop { quals: q(&[(0.61, 0.97), (0.63, 0.98)]), biased: 8, random: 0 }, 2, 2, 1, 2, 32, true, 403),
-        bm("wupwise", S, Pop { quals: q(&[(0.60, 0.97)]), biased: 6, random: 0 }, 2, 2, 1, 3, 64, true, 404),
-        bm("facerec", S, Pop { quals: q(&[(0.61, 0.96)]), biased: 6, random: 0 }, 2, 1, 1, 3, 128, false, 405),
-        bm("equake", S, Pop { quals: q(&[(0.60, 0.96)]), biased: 9, random: 0 }, 2, 1, 2, 2, 256, false, 406),
-        bm("apsi", S, Pop { quals: q(&[(0.60, 0.96)]), biased: 9, random: 0 }, 2, 1, 2, 3, 128, false, 407),
-        bm("applu", S, Pop { quals: q(&[(0.60, 0.95)]), biased: 10, random: 0 }, 2, 0, 2, 3, 512, false, 408),
-        bm("mgrid", S, Pop { quals: q(&[(0.60, 0.95)]), biased: 10, random: 0 }, 2, 0, 2, 3, 512, false, 409),
-        bm("swim", S, Pop { quals: q(&[(0.60, 0.95)]), biased: 11, random: 0 }, 2, 0, 2, 3, 1024, false, 410),
-        bm("lucas", S, Pop { quals: q(&[(0.60, 0.95)]), biased: 11, random: 0 }, 1, 0, 2, 3, 256, false, 411),
-        bm("fma3d", S, Pop { quals: q(&[(0.60, 0.94)]), biased: 11, random: 0 }, 1, 0, 2, 3, 128, false, 412),
-        bm("sixtrack", S, Pop { quals: q(&[(0.60, 0.94)]), biased: 11, random: 0 }, 1, 0, 2, 3, 64, false, 413),
+        bm(
+            "art",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.98), (0.62, 0.97)]),
+                biased: 8,
+                random: 0,
+            },
+            3,
+            2,
+            1,
+            2,
+            256,
+            true,
+            401,
+        ),
+        bm(
+            "ammp",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.97), (0.58, 0.97)]),
+                biased: 8,
+                random: 0,
+            },
+            2,
+            2,
+            1,
+            2,
+            128,
+            true,
+            402,
+        ),
+        bm(
+            "mesa",
+            S,
+            Pop {
+                quals: q(&[(0.61, 0.97), (0.63, 0.98)]),
+                biased: 8,
+                random: 0,
+            },
+            2,
+            2,
+            1,
+            2,
+            32,
+            true,
+            403,
+        ),
+        bm(
+            "wupwise",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.97)]),
+                biased: 6,
+                random: 0,
+            },
+            2,
+            2,
+            1,
+            3,
+            64,
+            true,
+            404,
+        ),
+        bm(
+            "facerec",
+            S,
+            Pop {
+                quals: q(&[(0.61, 0.96)]),
+                biased: 6,
+                random: 0,
+            },
+            2,
+            1,
+            1,
+            3,
+            128,
+            false,
+            405,
+        ),
+        bm(
+            "equake",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.96)]),
+                biased: 9,
+                random: 0,
+            },
+            2,
+            1,
+            2,
+            2,
+            256,
+            false,
+            406,
+        ),
+        bm(
+            "apsi",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.96)]),
+                biased: 9,
+                random: 0,
+            },
+            2,
+            1,
+            2,
+            3,
+            128,
+            false,
+            407,
+        ),
+        bm(
+            "applu",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95)]),
+                biased: 10,
+                random: 0,
+            },
+            2,
+            0,
+            2,
+            3,
+            512,
+            false,
+            408,
+        ),
+        bm(
+            "mgrid",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95)]),
+                biased: 10,
+                random: 0,
+            },
+            2,
+            0,
+            2,
+            3,
+            512,
+            false,
+            409,
+        ),
+        bm(
+            "swim",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95)]),
+                biased: 11,
+                random: 0,
+            },
+            2,
+            0,
+            2,
+            3,
+            1024,
+            false,
+            410,
+        ),
+        bm(
+            "lucas",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.95)]),
+                biased: 11,
+                random: 0,
+            },
+            1,
+            0,
+            2,
+            3,
+            256,
+            false,
+            411,
+        ),
+        bm(
+            "fma3d",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.94)]),
+                biased: 11,
+                random: 0,
+            },
+            1,
+            0,
+            2,
+            3,
+            128,
+            false,
+            412,
+        ),
+        bm(
+            "sixtrack",
+            S,
+            Pop {
+                quals: q(&[(0.60, 0.94)]),
+                biased: 11,
+                random: 0,
+            },
+            1,
+            0,
+            2,
+            3,
+            64,
+            false,
+            413,
+        ),
     ]
 }
 
@@ -221,7 +1031,8 @@ fn apply_chase(mut specs: Vec<BenchmarkSpec>) -> Vec<BenchmarkSpec> {
             // under ~9-way interleaving, and a trip-32 loop branch that
             // only the ISL-TAGE loop predictor captures. Periods divide
             // the 512-entry condition-stream wrap (no seam glitches).
-            spec.sites.retain(|s| !matches!(s.model, OutcomeModel::Random { .. }));
+            spec.sites
+                .retain(|s| !matches!(s.model, OutcomeModel::Random { .. }));
             spec.sites.push(SiteSpec {
                 model: OutcomeModel::Periodic {
                     pattern: vec![true, true, false, true, false, false, true, false],
@@ -246,9 +1057,9 @@ fn apply_chase(mut specs: Vec<BenchmarkSpec>) -> Vec<BenchmarkSpec> {
         );
         spec.chase_loads = match spec.name.as_str() {
             "h264ref" | "astar" | "omnetpp" | "wrf" | "vortex" | "art" => 2,
-            "perlbench" | "xalancbmk" | "sjeng" | "povray" | "tonto" | "crafty" | "eon"
-            | "gap" | "parser" | "perlbmk" | "gzip" | "ammp" | "mesa" | "wupwise"
-            | "gamess" | "calculix" | "gobmk" => 1,
+            "perlbench" | "xalancbmk" | "sjeng" | "povray" | "tonto" | "crafty" | "eon" | "gap"
+            | "parser" | "perlbmk" | "gzip" | "ammp" | "mesa" | "wupwise" | "gamess"
+            | "calculix" | "gobmk" => 1,
             _ => 0,
         };
     }

@@ -48,7 +48,11 @@ impl Perceptron {
         let mut y = i32::from(w[0]);
         for j in 0..Self::HIST {
             let bit = (hist >> j) & 1 == 1;
-            y += if bit { i32::from(w[j + 1]) } else { -i32::from(w[j + 1]) };
+            y += if bit {
+                i32::from(w[j + 1])
+            } else {
+                -i32::from(w[j + 1])
+            };
         }
         y
     }
@@ -134,7 +138,10 @@ fn main() {
     let base = simulate(&baseline);
     let exp = simulate(&transformed);
 
-    println!("predictor: perceptron-24h ({} bits)", Perceptron::new(512).storage_bits());
+    println!(
+        "predictor: perceptron-24h ({} bits)",
+        Perceptron::new(512).storage_bits()
+    );
     println!("converted sites: {}", report.converted.len());
     println!(
         "baseline:    {} cycles (accuracy {:.1}%)",

@@ -13,9 +13,7 @@
 use vanguard_bpred::Combined;
 use vanguard_compiler::profile_program;
 use vanguard_core::{decompose_branches, TransformOptions};
-use vanguard_isa::{
-    AluOp, CmpKind, CondKind, Inst, Memory, Operand, Program, ProgramBuilder, Reg,
-};
+use vanguard_isa::{AluOp, CmpKind, CondKind, Inst, Memory, Operand, Program, ProgramBuilder, Reg};
 use vanguard_sim::{MachineConfig, Simulator};
 
 /// Builds the Figure 6(a) kernel: a loop calling the simplified
@@ -67,7 +65,12 @@ fn carray_add_kernel(iterations: i64) -> Program {
     );
     b.push(
         fast,
-        Inst::alu(AluOp::Add, Reg(7), Operand::Reg(Reg(7)), Operand::Reg(Reg(6))),
+        Inst::alu(
+            AluOp::Add,
+            Reg(7),
+            Operand::Reg(Reg(7)),
+            Operand::Reg(Reg(6)),
+        ),
     );
     b.push(fast, Inst::store(Reg(20), Reg(7), 0));
     b.push(
@@ -83,7 +86,12 @@ fn carray_add_kernel(iterations: i64) -> Program {
     b.push(grow, Inst::load(Reg(6), Reg(1), 16)); // items ptr
     b.push(
         grow,
-        Inst::alu(AluOp::Add, Reg(9), Operand::Reg(Reg(8)), Operand::Reg(Reg(3))),
+        Inst::alu(
+            AluOp::Add,
+            Reg(9),
+            Operand::Reg(Reg(8)),
+            Operand::Reg(Reg(3)),
+        ),
     );
     b.push(
         grow,
@@ -96,7 +104,12 @@ fn carray_add_kernel(iterations: i64) -> Program {
     );
     b.push(
         grow,
-        Inst::alu(AluOp::Add, Reg(7), Operand::Reg(Reg(7)), Operand::Reg(Reg(6))),
+        Inst::alu(
+            AluOp::Add,
+            Reg(7),
+            Operand::Reg(Reg(7)),
+            Operand::Reg(Reg(6)),
+        ),
     );
     b.push(grow, Inst::store(Reg(20), Reg(7), 0));
     b.push(
@@ -195,7 +208,11 @@ fn main() {
     };
     let base = run(&program);
     let exp = run(&transformed);
-    println!("\nbaseline:   {} cycles (IPC {:.3})", base.cycles, base.ipc());
+    println!(
+        "\nbaseline:   {} cycles (IPC {:.3})",
+        base.cycles,
+        base.ipc()
+    );
     println!("decomposed: {} cycles (IPC {:.3})", exp.cycles, exp.ipc());
     println!(
         "speedup: {:.2}%",

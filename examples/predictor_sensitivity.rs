@@ -48,12 +48,7 @@ fn main() {
                 .sum::<f64>()
                 / out.runs.len() as f64;
         let spd = out.geomean_speedup_pct();
-        print!(
-            "{:<32} {:>9.2}% {:>9.2}%",
-            rung.label(),
-            miss * 100.0,
-            spd
-        );
+        print!("{:<32} {:>9.2}% {:>9.2}%", rung.label(), miss * 100.0, spd);
         if let Some((pm, ps)) = prev {
             if pm > miss && miss > 0.0 {
                 // The paper's headline: ~0.3% extra speedup per 1% of

@@ -55,7 +55,10 @@ fn main() {
     for site in &out.report.converted {
         println!(
             "  {}: slice pushed down = {} insts, hoisted = {}/{} (taken/fall), executions = {}",
-            site.block, site.slice_insts, site.hoisted_taken, site.hoisted_fallthrough,
+            site.block,
+            site.slice_insts,
+            site.hoisted_taken,
+            site.hoisted_fallthrough,
             site.executed
         );
     }

@@ -27,11 +27,13 @@ fn main() {
                 .find(|s| s.name == *name)
                 .expect("known benchmark");
             let bench = eng.bench_id(&spec);
-            MachineConfig::all_widths().into_iter().map(move |machine| SweepCell {
-                bench,
-                machine,
-                predictor: PredictorKind::Combined24KB,
-            })
+            MachineConfig::all_widths()
+                .into_iter()
+                .map(move |machine| SweepCell {
+                    bench,
+                    machine,
+                    predictor: PredictorKind::Combined24KB,
+                })
         })
         .collect();
     let outcomes = eng.run_cells(&cells).expect("runs cleanly");

@@ -75,12 +75,7 @@ fn arb_program() -> impl Strategy<Value = Program> {
                 b.push_all(blocks[i], body);
                 // Conditional to the final block, falling through to next.
                 if use_predicts {
-                    b.push(
-                        blocks[i],
-                        Inst::Predict {
-                            target: blocks[n],
-                        },
-                    );
+                    b.push(blocks[i], Inst::Predict { target: blocks[n] });
                 } else {
                     b.push(
                         blocks[i],

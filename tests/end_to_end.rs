@@ -34,7 +34,10 @@ fn weak_candidates_show_small_speedups() {
     let out = run_one("hmmer", MachineConfig::four_wide());
     let spd = out.geomean_speedup_pct();
     assert!(spd < 8.0, "hmmer should be a low performer, got {spd:.2}%");
-    assert!(spd > -2.0, "the transformation must never badly regress, got {spd:.2}%");
+    assert!(
+        spd > -2.0,
+        "the transformation must never badly regress, got {spd:.2}%"
+    );
 }
 
 #[test]

@@ -122,15 +122,21 @@ fn suite_sweep_computes_each_artifact_once() {
         .iter()
         .flat_map(|input| {
             let bench = engine.add_benchmark(input.clone());
-            MachineConfig::all_widths().into_iter().map(move |machine| SweepCell {
-                bench,
-                machine,
-                predictor: PredictorKind::Combined24KB,
-            })
+            MachineConfig::all_widths()
+                .into_iter()
+                .map(move |machine| SweepCell {
+                    bench,
+                    machine,
+                    predictor: PredictorKind::Combined24KB,
+                })
         })
         .collect();
     engine
-        .run_cells(&cells, &TransformOptions::default(), DEFAULT_MAX_PROFILE_STEPS)
+        .run_cells(
+            &cells,
+            &TransformOptions::default(),
+            DEFAULT_MAX_PROFILE_STEPS,
+        )
         .expect("engine runs cleanly");
     let stats = engine.stats();
     assert_eq!(stats.profile_misses, 2, "{stats:?}");
@@ -157,16 +163,22 @@ fn four_workers_beat_serial_when_cores_allow() {
             .iter()
             .flat_map(|input| {
                 let bench = engine.add_benchmark(input.clone());
-                MachineConfig::all_widths().into_iter().map(move |machine| SweepCell {
-                    bench,
-                    machine,
-                    predictor: PredictorKind::Combined24KB,
-                })
+                MachineConfig::all_widths()
+                    .into_iter()
+                    .map(move |machine| SweepCell {
+                        bench,
+                        machine,
+                        predictor: PredictorKind::Combined24KB,
+                    })
             })
             .collect();
         let started = std::time::Instant::now();
         engine
-            .run_cells(&cells, &TransformOptions::default(), DEFAULT_MAX_PROFILE_STEPS)
+            .run_cells(
+                &cells,
+                &TransformOptions::default(),
+                DEFAULT_MAX_PROFILE_STEPS,
+            )
             .expect("engine runs cleanly");
         started.elapsed()
     };
@@ -182,8 +194,8 @@ fn four_workers_beat_serial_when_cores_allow() {
 
 fn arb_options() -> impl Strategy<Value = TransformOptions> {
     (
-        0u64..200,  // threshold in hundredths
-        1u64..512,  // min_executions
+        0u64..200, // threshold in hundredths
+        1u64..512, // min_executions
         any::<bool>(),
         0usize..32, // max_hoist
         any::<bool>(),

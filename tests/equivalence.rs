@@ -112,7 +112,11 @@ fn simulator_commits_the_interpreter_state() {
         }
         let res = sim.run().expect("simulates cleanly");
         assert_eq!(res.stop, StopCause::Halted);
-        assert_eq!(output_window(&res.memory), reference, "{name}: baseline sim");
+        assert_eq!(
+            output_window(&res.memory),
+            reference,
+            "{name}: baseline sim"
+        );
 
         // Transformed program through the pipeline (wrong paths, rollbacks,
         // resolve redirects — committed state must still be identical).

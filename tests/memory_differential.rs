@@ -65,7 +65,9 @@ fn apply(paged: &mut Memory, reference: &mut ReferenceMemory, op: &Op) {
             reference.write(addr, value);
         }
         Op::LoadWords { start, count } => {
-            let words: Vec<u64> = (0..count as u64).map(|i| i.wrapping_mul(0x9e37) ^ start).collect();
+            let words: Vec<u64> = (0..count as u64)
+                .map(|i| i.wrapping_mul(0x9e37) ^ start)
+                .collect();
             paged.load_words(start, &words);
             reference.load_words(start, &words);
         }

@@ -9,9 +9,7 @@ use std::sync::Arc;
 use vanguard_bench::{quick_spec, BenchScale};
 use vanguard_bpred::Combined;
 use vanguard_core::Experiment;
-use vanguard_isa::{
-    DecodedImage, Interpreter, Memory, Program, Reg, StopReason, TakenOracle,
-};
+use vanguard_isa::{DecodedImage, Interpreter, Memory, Program, Reg, StopReason, TakenOracle};
 use vanguard_sim::{MachineConfig, SimResult, Simulator, StopCause};
 use vanguard_workloads::suite;
 
@@ -26,7 +24,9 @@ fn interp_state(
     }
     // Committed state is oracle-independent (the equivalence suite proves
     // it); not-taken matches the resolve's static prediction.
-    let out = i.run(&mut TakenOracle::AlwaysNotTaken).expect("interprets cleanly");
+    let out = i
+        .run(&mut TakenOracle::AlwaysNotTaken)
+        .expect("interprets cleanly");
     assert_eq!(out.stop, StopReason::Halted);
     (i.regs().to_vec(), i.memory().written_words())
 }
@@ -63,11 +63,8 @@ fn quick_suite_commits_interpreter_state() {
         let (baseline, transformed, _) = exp.compile_pair(&input.program, &profile);
 
         for (variant, program) in [("baseline", &baseline), ("transformed", &transformed)] {
-            let (regs, written) = interp_state(
-                program,
-                w.refs[0].memory.clone(),
-                &w.refs[0].init_regs,
-            );
+            let (regs, written) =
+                interp_state(program, w.refs[0].memory.clone(), &w.refs[0].init_regs);
             let image = Arc::new(DecodedImage::build(program));
             let res = sim_result(&image, w.refs[0].memory.clone(), &w.refs[0].init_regs);
             assert_eq!(
