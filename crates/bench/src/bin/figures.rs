@@ -4,7 +4,13 @@
 //! cargo run --release -p vanguard-bench --bin figures -- all
 //! cargo run --release -p vanguard-bench --bin figures -- table2 --quick
 //! cargo run --release -p vanguard-bench --bin figures -- fig8 fig9 sensitivity
+//! cargo run --release -p vanguard-bench --bin figures -- fig8 --quick --assert-shape
 //! ```
+//!
+//! `--assert-shape` (CI's paper-shape job) re-checks the qualitative
+//! claims of Figure 8 — positive geomean speedup at every width, the
+//! paper's high-opportunity benchmarks leading the low-opportunity ones —
+//! and exits non-zero on any violation.
 //!
 //! All items share one experiment engine: profiles and compiled pairs
 //! are computed once per distinct (benchmark, predictor, width) and
@@ -17,18 +23,24 @@
 use std::sync::Arc;
 use std::time::Instant;
 use vanguard_bench::{
-    fig14_rows, fig2_fig3_series, format_speedups, format_table2, geomean_pct, icache_ablation,
-    sensitivity_rows, suite_speedups, table1_text, table2_rows, BenchScale, StderrProgress,
-    SuiteEngine,
+    check_fig8_shape, fig14_rows, fig2_fig3_series, format_speedups, format_table2, geomean_pct,
+    icache_ablation, sensitivity_rows, suite_speedups, table1_text, table2_rows, BenchScale,
+    StderrProgress, SuiteEngine,
 };
 use vanguard_workloads::suite;
 
 fn main() {
     let mut bad_item = false;
+    let mut shape_violated = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let verbose = args.iter().any(|a| a == "--verbose");
-    let scale = if quick { BenchScale::Quick } else { BenchScale::Full };
+    let assert_shape = args.iter().any(|a| a == "--assert-shape");
+    let scale = if quick {
+        BenchScale::Quick
+    } else {
+        BenchScale::Full
+    };
     let mut what: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -36,8 +48,19 @@ fn main() {
         .collect();
     if what.is_empty() || what.contains(&"all") {
         what = vec![
-            "table1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "table2", "fig14", "sensitivity", "icache",
+            "table1",
+            "fig2",
+            "fig3",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "table2",
+            "fig14",
+            "sensitivity",
+            "icache",
         ];
     }
 
@@ -59,14 +82,21 @@ fn main() {
             }
             "fig2" | "fig3" => {
                 let (label, specs) = if item == "fig2" {
-                    ("Figure 2: SPEC 2006 INT predictability vs bias (top 75 fwd branches)",
-                     suite::spec2006_int())
+                    (
+                        "Figure 2: SPEC 2006 INT predictability vs bias (top 75 fwd branches)",
+                        suite::spec2006_int(),
+                    )
                 } else {
-                    ("Figure 3: SPEC 2006 FP predictability vs bias (top 75 fwd branches)",
-                     suite::spec2006_fp())
+                    (
+                        "Figure 3: SPEC 2006 FP predictability vs bias (top 75 fwd branches)",
+                        suite::spec2006_fp(),
+                    )
                 };
                 println!("== {label} ==");
-                println!("{:>4} {:>8} {:>14} {:>10}", "rank", "bias", "predictability", "execs");
+                println!(
+                    "{:>4} {:>8} {:>14} {:>10}",
+                    "rank", "bias", "predictability", "execs"
+                );
                 for p in fig2_fig3_series(&mut eng, &specs, 75) {
                     println!(
                         "{:>4} {:>8.3} {:>14.3} {:>10}",
@@ -77,16 +107,51 @@ fn main() {
             }
             "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" => {
                 let (label, specs, best) = match item {
-                    "fig8" => ("Figure 8: SPEC06 INT speedup, all REF inputs", suite::spec2006_int(), false),
-                    "fig9" => ("Figure 9: SPEC06 INT speedup, best REF input", suite::spec2006_int(), true),
-                    "fig10" => ("Figure 10: SPEC00 INT speedup, all REF inputs", suite::spec2000_int(), false),
-                    "fig11" => ("Figure 11: SPEC00 INT speedup, best REF input", suite::spec2000_int(), true),
-                    "fig12" => ("Figure 12: SPEC06 FP speedup, all REF inputs", suite::spec2006_fp(), false),
-                    _ => ("Figure 13: SPEC00 FP speedup, all REF inputs", suite::spec2000_fp(), false),
+                    "fig8" => (
+                        "Figure 8: SPEC06 INT speedup, all REF inputs",
+                        suite::spec2006_int(),
+                        false,
+                    ),
+                    "fig9" => (
+                        "Figure 9: SPEC06 INT speedup, best REF input",
+                        suite::spec2006_int(),
+                        true,
+                    ),
+                    "fig10" => (
+                        "Figure 10: SPEC00 INT speedup, all REF inputs",
+                        suite::spec2000_int(),
+                        false,
+                    ),
+                    "fig11" => (
+                        "Figure 11: SPEC00 INT speedup, best REF input",
+                        suite::spec2000_int(),
+                        true,
+                    ),
+                    "fig12" => (
+                        "Figure 12: SPEC06 FP speedup, all REF inputs",
+                        suite::spec2006_fp(),
+                        false,
+                    ),
+                    _ => (
+                        "Figure 13: SPEC00 FP speedup, all REF inputs",
+                        suite::spec2000_fp(),
+                        false,
+                    ),
                 };
                 println!("== {label} ==");
                 let rows = suite_speedups(&mut eng, &specs);
                 println!("{}", format_speedups(&rows, best));
+                if assert_shape && item == "fig8" {
+                    match check_fig8_shape(&rows) {
+                        Ok(()) => eprintln!("[shape] fig8 shape assertions hold"),
+                        Err(violations) => {
+                            shape_violated = true;
+                            for v in &violations {
+                                eprintln!("[shape] VIOLATION: {v}");
+                            }
+                        }
+                    }
+                }
             }
             "table2" => {
                 println!("== Table 2: SPEC 2006 INT+FP metrics, 4-wide (sorted by SPD) ==");
@@ -104,8 +169,7 @@ fn main() {
                 for r in &rows {
                     println!("{:<12} {:>6.2}%", r.name, r.increase_pct);
                 }
-                let avg: f64 =
-                    rows.iter().map(|r| r.increase_pct).sum::<f64>() / rows.len() as f64;
+                let avg: f64 = rows.iter().map(|r| r.increase_pct).sum::<f64>() / rows.len() as f64;
                 println!("{:<12} {avg:>6.2}%\n", "AVERAGE");
             }
             "sensitivity" => {
@@ -170,5 +234,9 @@ fn main() {
     );
     if bad_item {
         std::process::exit(2);
+    }
+    if shape_violated {
+        eprintln!("[shape] fig8 shape assertions FAILED");
+        std::process::exit(3);
     }
 }

@@ -23,6 +23,7 @@
 //! once and reused across every figure of a harness invocation.
 
 mod figures;
+pub mod fuzz;
 mod glue;
 mod progress;
 mod speedups;
@@ -33,4 +34,7 @@ pub use figures::{
 };
 pub use glue::{geomean_pct, quick_spec, to_experiment_input, BenchScale, SuiteEngine};
 pub use progress::StderrProgress;
-pub use speedups::{format_speedups, format_table2, suite_speedups, table2_rows, SpeedupRow, Table2Row};
+pub use speedups::{
+    check_fig8_shape, format_speedups, format_table2, suite_speedups, table2_rows, SpeedupRow,
+    Table2Row,
+};

@@ -31,11 +31,13 @@ pub fn suite_speedups(eng: &mut SuiteEngine, specs: &[BenchmarkSpec]) -> Vec<Spe
         .iter()
         .flat_map(|spec| {
             let bench = eng.bench_id(spec);
-            MachineConfig::all_widths().into_iter().map(move |machine| SweepCell {
-                bench,
-                machine,
-                predictor: PredictorKind::Combined24KB,
-            })
+            MachineConfig::all_widths()
+                .into_iter()
+                .map(move |machine| SweepCell {
+                    bench,
+                    machine,
+                    predictor: PredictorKind::Combined24KB,
+                })
         })
         .collect();
     let outcomes = eng.run_cells(&cells).expect("workload simulates cleanly");
@@ -204,13 +206,72 @@ pub fn format_speedups(rows: &[SpeedupRow], best: bool) -> String {
             crate::glue::geomean_pct(
                 &rows
                     .iter()
-                    .map(|r| if best { r.best_input[i] } else { r.all_inputs[i] })
+                    .map(|r| {
+                        if best {
+                            r.best_input[i]
+                        } else {
+                            r.all_inputs[i]
+                        }
+                    })
                     .collect::<Vec<_>>(),
             )
         })
         .collect();
-    let _ = writeln!(s, "{:<12} {:>7.1}% {:>7.1}% {:>7.1}%", "GEOMEAN", g[0], g[1], g[2]);
+    let _ = writeln!(
+        s,
+        "{:<12} {:>7.1}% {:>7.1}% {:>7.1}%",
+        "GEOMEAN", g[0], g[1], g[2]
+    );
     s
+}
+
+/// Checks the qualitative shape of the Figure 8 reproduction (SPEC06 INT,
+/// all REF inputs) against the paper: the transformation must help on
+/// average at every width, and the high-opportunity benchmarks the paper
+/// singles out (h264ref, perlbench — long hoistable successor blocks,
+/// highly biased forward branches) must beat the low-opportunity ones
+/// (hmmer, bzip2, mcf) at the primary 4-wide configuration.
+///
+/// Returns every violated property, so a CI failure names all the broken
+/// invariants at once instead of the first.
+pub fn check_fig8_shape(rows: &[SpeedupRow]) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+    let find = |name: &str| rows.iter().find(|r| r.name == name);
+
+    for (i, width) in ["2-wide", "4-wide", "8-wide"].iter().enumerate() {
+        let g = crate::glue::geomean_pct(&rows.iter().map(|r| r.all_inputs[i]).collect::<Vec<_>>());
+        if g <= 0.0 || g.is_nan() {
+            violations.push(format!(
+                "geomean speedup at {width} is {g:.2}% (must be positive)"
+            ));
+        }
+    }
+
+    const HIGH: [&str; 2] = ["h264ref", "perlbench"];
+    const LOW: [&str; 3] = ["hmmer", "bzip2", "mcf"];
+    for name in HIGH.iter().chain(LOW.iter()) {
+        if find(name).is_none() {
+            violations.push(format!("benchmark {name} missing from Figure 8 rows"));
+        }
+    }
+    for hi in HIGH {
+        for lo in LOW {
+            if let (Some(h), Some(l)) = (find(hi), find(lo)) {
+                if h.all_inputs[1] <= l.all_inputs[1] {
+                    violations.push(format!(
+                        "4-wide ordering inverted: {hi} {:.2}% <= {lo} {:.2}%",
+                        h.all_inputs[1], l.all_inputs[1]
+                    ));
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +314,51 @@ mod tests {
         assert!(r.alpbb > 0.5, "ALPBB {}", r.alpbb);
         let text = format_table2(&rows);
         assert!(text.contains("h264ref"));
+    }
+
+    fn row(name: &str, pct: f64) -> SpeedupRow {
+        SpeedupRow {
+            name: name.to_string(),
+            all_inputs: [pct; 3],
+            best_input: [pct; 3],
+        }
+    }
+
+    #[test]
+    fn fig8_shape_accepts_paper_like_rows() {
+        let rows = vec![
+            row("h264ref", 12.8),
+            row("perlbench", 15.0),
+            row("mcf", 5.0),
+            row("bzip2", 2.2),
+            row("hmmer", 2.0),
+        ];
+        assert!(check_fig8_shape(&rows).is_ok());
+    }
+
+    #[test]
+    fn fig8_shape_rejects_negative_geomean_and_inverted_ordering() {
+        // All speedups negative: three geomean violations plus six
+        // ordering inversions (every high <= every low at 4-wide).
+        let rows = vec![
+            row("h264ref", -3.0),
+            row("perlbench", -2.0),
+            row("mcf", -1.0),
+            row("bzip2", -0.5),
+            row("hmmer", -0.2),
+        ];
+        let violations = check_fig8_shape(&rows).unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("must be positive")));
+        assert!(violations.iter().any(|v| v.contains("ordering inverted")));
+        assert_eq!(violations.len(), 9, "{violations:?}");
+    }
+
+    #[test]
+    fn fig8_shape_reports_missing_benchmarks() {
+        let rows = vec![row("h264ref", 10.0)];
+        let violations = check_fig8_shape(&rows).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("perlbench") && v.contains("missing")));
     }
 }

@@ -36,14 +36,18 @@
 
 pub mod engine;
 mod experiment;
+mod lint;
 mod report;
 mod select;
 mod slice;
 mod transform;
 mod verify;
 
-pub use experiment::{Experiment, ExperimentError, ExperimentInput, ExperimentOutcome,
-                     PredictorKind, RefRun, RunInput};
+pub use experiment::{
+    Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, PredictorKind, RefRun,
+    RunInput,
+};
+pub use lint::{lint_program, LintDiagnostic, LintKind};
 pub use report::{CodeSizeReport, SiteOutcome, TransformReport};
 pub use select::{select_candidates, Candidate, SelectOptions};
 pub use slice::{condition_slice, SliceError};

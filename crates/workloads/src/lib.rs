@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fuzz;
 mod kernel;
 mod model;
 pub mod suite;
 
+pub use fuzz::{FuzzCase, FuzzSpec};
 pub use kernel::{BenchmarkSpec, BuiltWorkload, SiteSpec, Suite, WorkloadInput};
 pub use model::OutcomeModel;

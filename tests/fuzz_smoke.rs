@@ -1,0 +1,112 @@
+//! Smoke tests for the `vanguard-fuzz` differential harness.
+//!
+//! Three things are pinned down here:
+//!
+//! 1. a batch of seeded generated programs survives every gate (lint,
+//!    interpreter differential under adversarial oracles, cycle-simulator
+//!    parity) with zero failures;
+//! 2. each deliberately-injected transform bug is caught by the gate it
+//!    was designed to evade least — `flip-resolves` by the interpreter
+//!    differential, `faulting-loads` by the static lint;
+//! 3. shrinking a failing case yields a no-larger spec that still fails,
+//!    and the reproducer lands on disk with a replay command.
+
+use vanguard_bench::fuzz::{run_case, shrink, write_reproducer, CaseFailure, Inject};
+use vanguard_workloads::FuzzSpec;
+
+/// Seeds 0..N with no injected bug: every case must pass all gates, and a
+/// healthy fraction must actually convert at least one branch site (a
+/// batch where nothing transforms would test nothing).
+#[test]
+fn seeded_batch_has_no_divergence() {
+    let mut transformed = 0u64;
+    for seed in 0..40 {
+        let spec = FuzzSpec::from_seed(seed);
+        match run_case(&spec, None) {
+            Ok(sites) => {
+                if sites > 0 {
+                    transformed += 1;
+                }
+            }
+            Err(failure) => panic!("seed {seed} failed: {failure}"),
+        }
+    }
+    assert!(
+        transformed >= 20,
+        "only {transformed}/40 cases converted a site; generator is too timid"
+    );
+}
+
+/// Find a seed whose case converts at least one site, so an injected
+/// transform bug has somewhere to live.
+fn converting_spec() -> FuzzSpec {
+    for seed in 0..20 {
+        let spec = FuzzSpec::from_seed(seed);
+        if matches!(run_case(&spec, None), Ok(sites) if sites > 0) {
+            return spec;
+        }
+    }
+    panic!("no seed in 0..20 converts a site");
+}
+
+#[test]
+fn flipped_resolves_are_caught_by_differential() {
+    let spec = converting_spec();
+    // Negating every resolve condition keeps the pair complementary, so
+    // the lint cannot see it; only running the program can.
+    match run_case(&spec, Some(Inject::FlipResolves)) {
+        Err(CaseFailure::Divergence { .. }) | Err(CaseFailure::SimParity { .. }) => {}
+        other => panic!("expected a runtime divergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn faulting_hoisted_loads_are_caught_by_lint() {
+    let spec = converting_spec();
+    // Stripping `.s` off hoisted loads is invisible to in-bounds
+    // execution, so only the static lint can reject it.
+    match run_case(&spec, Some(Inject::FaultingLoads)) {
+        Err(CaseFailure::Lint { diagnostics, .. }) => {
+            assert!(
+                diagnostics
+                    .iter()
+                    .any(|d| d.contains("faulting-hoisted-load")),
+                "wrong diagnostic: {diagnostics:?}"
+            );
+        }
+        other => panic!("expected a lint failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn shrink_produces_minimal_failing_reproducer() {
+    let spec = converting_spec();
+    let failure = run_case(&spec, Some(Inject::FlipResolves))
+        .expect_err("injected bug must fail before shrinking");
+
+    let (min_spec, min_failure) = shrink(&spec, Some(Inject::FlipResolves), failure);
+
+    // The shrunk spec must still fail (shrink only adopts failing
+    // candidates, and re-checks the final spec by construction)...
+    assert!(
+        run_case(&min_spec, Some(Inject::FlipResolves)).is_err(),
+        "shrunk spec no longer reproduces the failure"
+    );
+    // ...and must be no larger than what we started with.
+    assert!(min_spec.iterations <= spec.iterations);
+    assert!(min_spec.sites <= spec.sites);
+    assert!(min_spec.side_insts <= spec.side_insts);
+    assert!(min_spec.stores_per_side <= spec.stores_per_side);
+    assert!(min_spec.persistent <= spec.persistent);
+
+    // The reproducer directory gets a replay command and both listings.
+    let out = std::env::temp_dir().join(format!("vanguard-fuzz-smoke-{}", std::process::id()));
+    let dir = write_reproducer(&out, &min_spec, Some(Inject::FlipResolves), &min_failure)
+        .expect("reproducer write failed");
+    let repro = std::fs::read_to_string(dir.join("repro.txt")).expect("repro.txt missing");
+    assert!(repro.contains("--one"), "repro.txt lacks a replay command");
+    assert!(repro.contains("--inject flip-resolves"));
+    assert!(dir.join("original.asm").is_file());
+    assert!(dir.join("transformed.asm").is_file());
+    std::fs::remove_dir_all(&out).ok();
+}

@@ -1,0 +1,337 @@
+//! Mutation tests for `vanguard_core::lint`.
+//!
+//! Two directions of honesty: transformed programs straight out of the
+//! real pipeline must produce **zero** diagnostics (no false positives),
+//! and a program hand-broken in each invariant dimension must produce
+//! **exactly** the intended diagnostic (no false negatives). Each
+//! mutation below seeds one §3 contract violation into a genuinely
+//! transformed program and asserts the lint names it.
+
+use vanguard_bench::{quick_spec, BenchScale};
+use vanguard_core::{decompose_branches, lint_program, Experiment, LintKind, TransformOptions};
+use vanguard_ir::Profile;
+use vanguard_isa::{
+    AluOp, BlockId, CmpKind, CondKind, Inst, Operand, Program, ProgramBuilder, Reg,
+};
+use vanguard_sim::MachineConfig;
+use vanguard_workloads::suite;
+
+/// The Figure 6 kernel: a loop over a condition array with loads on both
+/// sides of a predictable-but-unbiased forward branch (same shape the
+/// transform's own unit tests use).
+fn figure6_loop(n: i64) -> (Program, BlockId) {
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let head = b.block("head");
+    let bb_f = b.block("bb_f");
+    let bb_t = b.block("bb_t");
+    let latch = b.block("latch");
+    let exit = b.block("exit");
+
+    b.push(entry, Inst::mov(Reg(1), Operand::Imm(n)));
+    b.push(entry, Inst::mov(Reg(3), Operand::Imm(0x10000)));
+    b.push(entry, Inst::mov(Reg(10), Operand::Imm(0x20000)));
+    b.push(entry, Inst::mov(Reg(11), Operand::Imm(0x30000)));
+    b.fallthrough(entry, head);
+
+    b.push(head, Inst::load(Reg(4), Reg(3), 0));
+    b.push(
+        head,
+        Inst::Cmp {
+            kind: CmpKind::Ne,
+            dst: Reg(5),
+            a: Reg(4),
+            b: Operand::Imm(0),
+        },
+    );
+    b.push(
+        head,
+        Inst::Branch {
+            cond: CondKind::Nz,
+            src: Reg(5),
+            target: bb_t,
+        },
+    );
+    b.fallthrough(head, bb_f);
+
+    b.push(bb_f, Inst::load(Reg(6), Reg(10), 0));
+    b.push(
+        bb_f,
+        Inst::alu(AluOp::Add, Reg(7), Operand::Reg(Reg(6)), Operand::Imm(1)),
+    );
+    b.push(bb_f, Inst::store(Reg(7), Reg(11), 0));
+    b.push(bb_f, Inst::Jump { target: latch });
+
+    b.push(bb_t, Inst::load(Reg(8), Reg(10), 8));
+    b.push(
+        bb_t,
+        Inst::alu(AluOp::Add, Reg(9), Operand::Reg(Reg(8)), Operand::Imm(2)),
+    );
+    b.push(bb_t, Inst::store(Reg(9), Reg(11), 8));
+    b.push(bb_t, Inst::Jump { target: latch });
+
+    b.push(
+        latch,
+        Inst::alu(AluOp::Add, Reg(3), Operand::Reg(Reg(3)), Operand::Imm(8)),
+    );
+    b.push(
+        latch,
+        Inst::alu(AluOp::Add, Reg(10), Operand::Reg(Reg(10)), Operand::Imm(16)),
+    );
+    b.push(
+        latch,
+        Inst::alu(AluOp::Add, Reg(11), Operand::Reg(Reg(11)), Operand::Imm(16)),
+    );
+    b.push(
+        latch,
+        Inst::alu(AluOp::Sub, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+    );
+    b.push(
+        latch,
+        Inst::Cmp {
+            kind: CmpKind::Ne,
+            dst: Reg(2),
+            a: Reg(1),
+            b: Operand::Imm(0),
+        },
+    );
+    b.push(
+        latch,
+        Inst::Branch {
+            cond: CondKind::Nz,
+            src: Reg(2),
+            target: head,
+        },
+    );
+    b.fallthrough(latch, exit);
+    b.push(exit, Inst::Halt);
+    b.set_entry(entry);
+    (b.finish().unwrap(), head)
+}
+
+fn profile_of(site: BlockId, taken: u64, total: u64, correct: u64) -> Profile {
+    let mut p = Profile::new();
+    for i in 0..total {
+        p.record(site, i < taken, i < correct);
+    }
+    p
+}
+
+/// A genuinely transformed Figure 6 kernel (60/40 bias, 95% predictable).
+fn transformed_fig6(opts: &TransformOptions) -> Program {
+    let (mut p, head) = figure6_loop(100);
+    let profile = profile_of(head, 60, 100, 95);
+    let report = decompose_branches(&mut p, &profile, opts);
+    assert_eq!(report.converted.len(), 1, "skipped: {:?}", report.skipped);
+    p
+}
+
+/// Block id of the block whose name ends with `suffix`.
+fn block_named(p: &Program, suffix: &str) -> BlockId {
+    p.iter()
+        .find(|(_, b)| b.name().ends_with(suffix))
+        .map(|(id, _)| id)
+        .unwrap_or_else(|| panic!("no block named *{suffix}"))
+}
+
+fn kinds(p: &Program) -> Vec<LintKind> {
+    lint_program(p).iter().map(|d| d.kind).collect()
+}
+
+#[test]
+fn transformed_kernel_is_clean() {
+    for opts in [
+        TransformOptions::default(),
+        TransformOptions {
+            shadow_temps: true,
+            ..TransformOptions::default()
+        },
+        TransformOptions {
+            hoist_loads: false,
+            ..TransformOptions::default()
+        },
+    ] {
+        let p = transformed_fig6(&opts);
+        let diags = lint_program(&p);
+        assert!(diags.is_empty(), "{opts:?}: {diags:?}");
+    }
+}
+
+#[test]
+fn quick_suite_pipeline_output_is_clean() {
+    // Every benchmark, through the full pipeline (decompose → layout →
+    // schedule → compact): baseline and transformed must both lint clean.
+    for spec in suite::all_benchmarks() {
+        let mut spec = quick_spec(spec, BenchScale::Quick);
+        spec.iterations = spec.iterations.min(150);
+        spec.train_iterations = spec.train_iterations.min(150);
+        let name = spec.name.clone();
+        let w = spec.build();
+
+        let exp = Experiment::new(MachineConfig::four_wide());
+        let input = vanguard_bench::to_experiment_input(w);
+        let profile = exp.profile(&input).expect("profiles cleanly");
+        let (baseline, transformed, _) = exp.compile_pair(&input.program, &profile);
+        for (variant, program) in [("baseline", &baseline), ("transformed", &transformed)] {
+            let diags = lint_program(program);
+            assert!(diags.is_empty(), "{name}/{variant}: {diags:?}");
+        }
+    }
+}
+
+#[test]
+fn mutation_unsunk_store() {
+    let mut p = transformed_fig6(&TransformOptions::default());
+    let rt = block_named(&p, ".resolve_t");
+    let at = p.block(rt).insts().len() - 1;
+    p.block_mut(rt)
+        .insts_mut()
+        .insert(at, Inst::store(Reg(4), Reg(11), 0x40));
+    assert_eq!(kinds(&p), vec![LintKind::StoreAboveResolve]);
+    let diag = &lint_program(&p)[0];
+    assert_eq!(diag.block, rt);
+    assert_eq!(diag.inst, Some(at));
+}
+
+#[test]
+fn mutation_faulting_hoisted_load() {
+    let mut p = transformed_fig6(&TransformOptions::default());
+    // Unmark the first speculative load in a resolution block: the hoist
+    // forgot the non-faulting ld.s form.
+    let rt = block_named(&p, ".resolve_t");
+    let idx = p
+        .block(rt)
+        .insts()
+        .iter()
+        .position(|i| {
+            matches!(
+                i,
+                Inst::Load {
+                    speculative: true,
+                    ..
+                }
+            )
+        })
+        .expect("transform hoisted a load");
+    let Inst::Load { speculative, .. } = &mut p.block_mut(rt).insts_mut()[idx] else {
+        unreachable!()
+    };
+    *speculative = false;
+    assert_eq!(kinds(&p), vec![LintKind::FaultingHoistedLoad]);
+    assert_eq!(lint_program(&p)[0].inst, Some(idx));
+}
+
+#[test]
+fn mutation_clobbered_live_in() {
+    let mut p = transformed_fig6(&TransformOptions::default());
+    // Write r10 (the data base, live into both correction blocks) above a
+    // resolve, as if the transform hoisted without shadow protection.
+    let rt = block_named(&p, ".resolve_t");
+    let at = p.block(rt).insts().len() - 1;
+    p.block_mut(rt)
+        .insts_mut()
+        .insert(at, Inst::mov(Reg(10), Operand::Imm(0)));
+    let ks = kinds(&p);
+    assert!(
+        ks.contains(&LintKind::ClobberedLiveIn),
+        "expected clobbered-live-in in {ks:?}"
+    );
+    assert!(
+        !ks.contains(&LintKind::StoreAboveResolve) && !ks.contains(&LintKind::FaultingHoistedLoad),
+        "unrelated diagnostics in {ks:?}"
+    );
+}
+
+#[test]
+fn mutation_missing_correction_write() {
+    let mut p = transformed_fig6(&TransformOptions::default());
+    // The predicted fall-through path commits an extra architectural
+    // value in its suffix; the correction block that repairs a mispredict
+    // toward taken never writes it, so corrected executions diverge.
+    let suffix = block_named(&p, "bb_f.suffix");
+    p.block_mut(suffix)
+        .insts_mut()
+        .insert(0, Inst::mov(Reg(13), Operand::Reg(Reg(6))));
+    let bb_f = block_named(&p, "bb_f");
+    assert_eq!(kinds(&p), vec![LintKind::MissingCorrectionWrite]);
+    assert_eq!(lint_program(&p)[0].block, bb_f);
+}
+
+#[test]
+fn mutation_extra_correction_write() {
+    let mut p = transformed_fig6(&TransformOptions::default());
+    // The correction block writes a register no predicted path writes:
+    // predicted and corrected executions diverge.
+    let bb_f = block_named(&p, "bb_f");
+    p.block_mut(bb_f)
+        .insts_mut()
+        .insert(0, Inst::mov(Reg(20), Operand::Imm(7)));
+    assert_eq!(kinds(&p), vec![LintKind::ExtraCorrectionWrite]);
+}
+
+#[test]
+fn mutation_dbb_depth_overflow() {
+    // 17 back-to-back predicts with no intervening resolve: the 17th
+    // needs a DBB entry when all 16 are still outstanding.
+    let mut b = ProgramBuilder::new();
+    let chain: Vec<BlockId> = (0..18).map(|i| b.block(format!("p{i}"))).collect();
+    for w in chain.windows(2) {
+        b.push(w[0], Inst::Predict { target: w[1] });
+        b.fallthrough(w[0], w[1]);
+    }
+    b.push(chain[17], Inst::Halt);
+    b.set_entry(chain[0]);
+    let p = b.finish().unwrap();
+    let ks = kinds(&p);
+    assert!(
+        ks.contains(&LintKind::DbbOverflow),
+        "expected dbb-overflow in {ks:?}"
+    );
+    let overflow = lint_program(&p)
+        .into_iter()
+        .find(|d| d.kind == LintKind::DbbOverflow)
+        .unwrap();
+    // Depth exceeds 16 exactly at the 17th predict.
+    assert_eq!(overflow.block, chain[16]);
+}
+
+#[test]
+fn mutation_unpaired_predict() {
+    let mut p = transformed_fig6(&TransformOptions::default());
+    // Retarget the predict at a non-resolution block.
+    let head = block_named(&p, "head");
+    let exit = block_named(&p, "exit");
+    let n = p.block(head).insts().len();
+    let Inst::Predict { target } = &mut p.block_mut(head).insts_mut()[n - 1] else {
+        panic!("head must end in predict")
+    };
+    *target = exit;
+    let ks = kinds(&p);
+    assert!(
+        ks.contains(&LintKind::UnpairedPredict),
+        "expected unpaired-predict in {ks:?}"
+    );
+}
+
+#[test]
+fn mutation_mismatched_resolve_pair() {
+    let mut p = transformed_fig6(&TransformOptions::default());
+    // Both resolves now test the same direction: one of them no longer
+    // complements the prediction.
+    let rt = block_named(&p, ".resolve_t");
+    let rf = block_named(&p, ".resolve_nt");
+    let cond_t = match p.block(rt).terminator() {
+        Some(&Inst::Resolve { cond, .. }) => cond,
+        other => panic!("resolve expected, got {other:?}"),
+    };
+    let n = p.block(rf).insts().len();
+    let Inst::Resolve { cond, .. } = &mut p.block_mut(rf).insts_mut()[n - 1] else {
+        panic!("resolve expected")
+    };
+    *cond = cond_t;
+    let ks = kinds(&p);
+    assert!(
+        ks.contains(&LintKind::MismatchedResolvePair),
+        "expected mismatched-resolve-pair in {ks:?}"
+    );
+}
