@@ -36,6 +36,14 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let verbose = args.iter().any(|a| a == "--verbose");
     let assert_shape = args.iter().any(|a| a == "--assert-shape");
+    // `--max-cycles N` arms the engine's per-job cycle-budget watchdog:
+    // a wedged simulation becomes a TimedOut outcome instead of hanging
+    // the run (`VANGUARD_JOB_TIMEOUT` is the wall-clock equivalent).
+    let max_cycles: Option<u64> = args
+        .iter()
+        .position(|a| a == "--max-cycles")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
     let scale = if quick {
         BenchScale::Quick
     } else {
@@ -43,8 +51,10 @@ fn main() {
     };
     let mut what: Vec<&str> = args
         .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--"))
+        .enumerate()
+        // Skip flags and the value slot of `--max-cycles`.
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--max-cycles"))
+        .map(|(_, a)| a.as_str())
         .collect();
     if what.is_empty() || what.contains(&"all") {
         what = vec![
@@ -65,6 +75,11 @@ fn main() {
     }
 
     let mut eng = SuiteEngine::new(scale);
+    if let Some(mc) = max_cycles {
+        let mut policy = eng.engine().fault_policy().clone();
+        policy.max_cycles = Some(mc);
+        eng.set_fault_policy(policy);
+    }
     eng.observe(Arc::new(if verbose {
         StderrProgress::verbose()
     } else {

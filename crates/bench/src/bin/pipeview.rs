@@ -165,6 +165,7 @@ fn main() {
         program,
         train: demo_input.clone(),
         refs: vec![demo_input],
+        seed: None,
     });
     let pair = engine
         .compile_pair(

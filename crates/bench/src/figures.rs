@@ -209,12 +209,15 @@ pub fn icache_ablation(eng: &mut SuiteEngine, specs: &[BenchmarkSpec]) -> Vec<Ic
             })
         })
         .collect();
-    let results = eng.run_jobs(&jobs).expect("workload simulates cleanly");
+    let results = eng.run_jobs(&jobs);
     specs
         .iter()
         .zip(results.chunks_exact(2))
         .map(|(spec, pair)| {
-            let (s32, s24) = (pair[0].stats, pair[1].stats);
+            let (s32, s24) = (
+                pair[0].expect_completed().stats,
+                pair[1].expect_completed().stats,
+            );
             let total_icache_misses = s32.mem.l1i.misses.max(1);
             IcacheAblationRow {
                 name: spec.name.clone(),

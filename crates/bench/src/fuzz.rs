@@ -279,6 +279,7 @@ pub fn run_case(spec: &FuzzSpec, inject: Option<Inject>) -> Result<u64, CaseFail
             memory: case.memory.clone(),
             init_regs: case.init_regs.clone(),
         }],
+        seed: Some(spec.seed),
     };
     let profile = exp
         .profile(&input)
@@ -487,6 +488,7 @@ pub fn write_reproducer(
             memory: case.memory.clone(),
             init_regs: case.init_regs.clone(),
         }],
+        seed: Some(spec.seed),
     }) {
         let (_, mut transformed, _) = exp.compile_pair(&case.program, &profile);
         if let Some(inject) = inject {

@@ -5,7 +5,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use vanguard_core::engine::{
-    Engine, PredictorKind, ProgressObserver, SimJob, SweepCell, DEFAULT_MAX_PROFILE_STEPS,
+    Engine, FaultPolicy, PredictorKind, ProgressObserver, SimJob, SweepCell,
+    DEFAULT_MAX_PROFILE_STEPS,
 };
 use vanguard_core::{
     ExperimentError, ExperimentInput, ExperimentOutcome, RunInput, TransformOptions,
@@ -31,6 +32,7 @@ pub fn to_experiment_input(w: BuiltWorkload) -> ExperimentInput {
                 init_regs: r.init_regs,
             })
             .collect(),
+        seed: Some(w.seed),
     }
 }
 
@@ -124,6 +126,12 @@ impl SuiteEngine {
         self.engine.observe(observer);
     }
 
+    /// Overrides the underlying engine's fault policy (watchdog
+    /// budgets, retry behaviour, quarantine/cache directories).
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.engine.set_fault_policy(policy);
+    }
+
     /// The underlying engine (cache statistics, registered benchmarks).
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -179,14 +187,8 @@ impl SuiteEngine {
     }
 
     /// Runs a flat job list with the paper's default transform options.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first (by job index) profiling or simulation error.
-    pub fn run_jobs(
-        &self,
-        jobs: &[SimJob],
-    ) -> Result<Vec<vanguard_core::engine::JobResult>, ExperimentError> {
+    /// Infallible: each job yields its own [`JobResult`] outcome.
+    pub fn run_jobs(&self, jobs: &[SimJob]) -> Vec<vanguard_core::engine::JobResult> {
         self.engine.run_jobs(
             jobs,
             &TransformOptions::default(),

@@ -22,6 +22,7 @@
 //! shared [`SuiteEngine`], so profiles and compiled pairs are computed
 //! once and reused across every figure of a harness invocation.
 
+pub mod faultinject;
 mod figures;
 pub mod fuzz;
 mod glue;

@@ -6,7 +6,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use vanguard_core::engine::{ProgressObserver, SimJob, Stage, Variant};
+use vanguard_core::engine::{JobResult, ProgressObserver, SimJob, Stage, Variant};
 use vanguard_sim::SimStats;
 
 /// A [`ProgressObserver`] that logs stage and job completions to stderr.
@@ -73,5 +73,35 @@ impl ProgressObserver for StderrProgress {
                 stats.mips(elapsed)
             );
         }
+    }
+
+    fn job_failed(&self, _index: usize, job: &SimJob, bench_name: &str, outcome: &JobResult) {
+        let done = self.jobs_done.fetch_add(1, Ordering::Relaxed) + 1;
+        let what = match outcome {
+            JobResult::Faulted { trap, cycle, .. } => {
+                format!("FAULTED {trap} (cycle {cycle})")
+            }
+            JobResult::TimedOut {
+                cycles, wall_ms, ..
+            } => format!("TIMED OUT after {cycles} cycles / {wall_ms} ms"),
+            JobResult::Failed { error, .. } => format!("FAILED {error}"),
+            JobResult::Completed(_) => return,
+        };
+        let retried = if outcome.retried() {
+            " (after retry)"
+        } else {
+            ""
+        };
+        eprintln!(
+            "[engine] sim #{done:<4} {:<12} {}-wide ref{} {what}{retried}",
+            bench_name, job.machine.width, job.ref_input,
+        );
+    }
+
+    fn job_retried(&self, _index: usize, job: &SimJob, bench_name: &str) {
+        eprintln!(
+            "[engine] retrying {:<12} {}-wide ref{} after transient failure",
+            bench_name, job.machine.width, job.ref_input,
+        );
     }
 }

@@ -28,10 +28,19 @@ pub struct IfConvertStats {
 /// are converted (the classic profitability guard).
 pub fn if_convert(program: &mut Program, max_side_insts: usize) -> IfConvertStats {
     let mut stats = IfConvertStats::default();
-    while let Some(site) = find_candidate(program, max_side_insts) {
-        let added = convert_site(program, site);
-        stats.converted += 1;
-        stats.added_insts += added;
+    let mut skipped: Vec<BlockId> = Vec::new();
+    while let Some(site) = find_candidate(program, max_side_insts, &skipped) {
+        let block = site.block;
+        match convert_site(program, site) {
+            Some(added) => {
+                stats.converted += 1;
+                stats.added_insts += added;
+            }
+            // Not enough free registers to rename this hammock: leave
+            // the branch in place and never reconsider it, so the scan
+            // always terminates.
+            None => skipped.push(block),
+        }
     }
     debug_assert!(program.validate().is_ok());
     stats
@@ -68,10 +77,10 @@ fn side_ok(program: &Program, b: BlockId, max: usize) -> Option<BlockId> {
     }
 }
 
-fn find_candidate(program: &Program, max: usize) -> Option<Candidate> {
+fn find_candidate(program: &Program, max: usize, skipped: &[BlockId]) -> Option<Candidate> {
     let cfg = Cfg::build(program);
     for (bid, block) in program.iter() {
-        if !cfg.is_reachable(bid) {
+        if !cfg.is_reachable(bid) || skipped.contains(&bid) {
             continue;
         }
         let Some(Inst::Branch { target, .. }) = block.terminator() else {
@@ -165,11 +174,13 @@ fn rename_side(
             Inst::Nop => {}
             other => unreachable!("side_ok admitted {other:?}"),
         }
-        // Rename the write to a temp.
+        // Rename the write to a temp. The iterator cannot run dry here:
+        // convert_site counted the distinct side writes plus scratch
+        // registers against the free set before mutating anything.
         if let Some(d) = inst.dst() {
             let t = *map
                 .entry(d)
-                .or_insert_with(|| temps.next().expect("temporary registers exhausted"));
+                .or_insert_with(|| temps.next().expect("temp budget pre-checked"));
             match &mut inst {
                 Inst::Alu { dst, .. } | Inst::Cmp { dst, .. } => *dst = t,
                 _ => {}
@@ -180,9 +191,36 @@ fn rename_side(
     (out, map)
 }
 
-fn convert_site(program: &mut Program, c: Candidate) -> isize {
+/// Distinct registers a side block writes (the temp demand of renaming).
+fn side_writes(program: &Program, side: Option<BlockId>, writes: &mut RegSet) {
+    let Some(side) = side else { return };
+    let block = program.block(side);
+    let body_len = match block.terminator() {
+        Some(Inst::Jump { .. }) => block.insts().len() - 1,
+        _ => block.insts().len(),
+    };
+    for inst in &block.insts()[..body_len] {
+        if let Some(d) = inst.dst() {
+            writes.insert(d);
+        }
+    }
+}
+
+/// Converts one hammock, or returns `None` (program untouched) when the
+/// free-register budget cannot cover the renaming temps — a register-
+/// hungry guest program must degrade to "not converted", never panic.
+fn convert_site(program: &mut Program, c: Candidate) -> Option<isize> {
     let used = used_regs(program);
     let free = RegSet::all().difference(&used);
+
+    // Temp demand: one per distinct side write, plus mask, notmask, and
+    // two blend scratches. Checked before any mutation.
+    let mut writes = RegSet::new();
+    side_writes(program, c.taken_side, &mut writes);
+    side_writes(program, c.fall_side, &mut writes);
+    if free.len() < writes.len() + 4 {
+        return None;
+    }
     let mut temps = free.iter().collect::<Vec<_>>().into_iter();
 
     let (cond, src) = match program.block(c.block).terminator() {
@@ -193,10 +231,10 @@ fn convert_site(program: &mut Program, c: Candidate) -> isize {
     let (t_code, t_map) = rename_side(program, c.taken_side, &mut temps);
     let (f_code, f_map) = rename_side(program, c.fall_side, &mut temps);
 
-    let mask = temps.next().expect("temp for mask");
-    let notmask = temps.next().expect("temp for notmask");
-    let scratch_a = temps.next().expect("temp for blend");
-    let scratch_b = temps.next().expect("temp for blend");
+    let mask = temps.next().expect("temp budget pre-checked");
+    let notmask = temps.next().expect("temp budget pre-checked");
+    let scratch_a = temps.next().expect("temp budget pre-checked");
+    let scratch_b = temps.next().expect("temp budget pre-checked");
 
     let before = program.num_insts();
 
@@ -258,7 +296,7 @@ fn convert_site(program: &mut Program, c: Candidate) -> isize {
     }
     block.set_fallthrough(Some(c.join));
 
-    program.num_insts() as isize - before as isize
+    Some(program.num_insts() as isize - before as isize)
 }
 
 #[cfg(test)]
@@ -403,5 +441,43 @@ mod tests {
         let mut p = diamond();
         let stats = if_convert(&mut p, 0);
         assert_eq!(stats.converted, 0);
+    }
+
+    #[test]
+    fn register_pressure_skips_instead_of_panicking() {
+        // Touch every architected register so no temps are free: the
+        // hammock must be left unconverted, not crash the compiler.
+        let mut b = ProgramBuilder::new();
+        let a = b.block("a");
+        let t = b.block("t");
+        let j = b.block("join");
+        for i in 0..vanguard_isa::NUM_ARCH_REGS as u8 {
+            b.push(a, Inst::mov(Reg(i), Operand::Imm(i64::from(i))));
+        }
+        b.push(
+            a,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(1),
+                target: t,
+            },
+        );
+        b.fallthrough(a, j);
+        b.push(
+            t,
+            Inst::alu(AluOp::Add, Reg(2), Operand::Reg(Reg(2)), Operand::Imm(5)),
+        );
+        b.fallthrough(t, j);
+        b.push(j, Inst::Halt);
+        b.set_entry(a);
+        let mut p = b.finish().unwrap();
+        let stats = if_convert(&mut p, 4);
+        assert_eq!(stats.converted, 0);
+        let branches = p
+            .iter()
+            .flat_map(|(_, blk)| blk.insts())
+            .filter(|i| matches!(i, Inst::Branch { .. }))
+            .count();
+        assert_eq!(branches, 1, "the branch survives untouched");
     }
 }

@@ -152,25 +152,38 @@ pub fn compact_program(program: &Program) -> Program {
         let new = builder.block(program.block(old).name().to_string());
         remap[old.index()] = Some(new);
     }
+    // Invariant behind the `expect`s below: every block a *reachable*
+    // block refers to (jump/branch target, call ret_to, fall-through,
+    // entry) is itself reachable in the CFG that `survivors` was built
+    // from, so its remap slot was filled by the loop above. A miss here
+    // is a Cfg::build bug, not an input-program property — validated
+    // programs cannot trigger it.
     for &old in &survivors {
-        let new = remap[old.index()].expect("mapped");
+        let new = remap[old.index()].expect("survivor was assigned a new id above");
         let block = program.block(old);
         for inst in block.insts() {
             let mut inst = *inst;
             if let Some(t) = inst.target() {
-                inst.set_target(remap[t.index()].expect("reachable target"));
+                inst.set_target(
+                    remap[t.index()].expect("target of a reachable block is reachable"),
+                );
             }
             if let Inst::Call { ret_to, .. } = &mut inst {
-                *ret_to = remap[ret_to.index()].expect("reachable ret");
+                *ret_to = remap[ret_to.index()].expect("ret_to of a reachable call is reachable");
             }
             builder.push(new, inst);
         }
         if let Some(ft) = block.fallthrough() {
-            builder.fallthrough(new, remap[ft.index()].expect("reachable ft"));
+            builder.fallthrough(
+                new,
+                remap[ft.index()].expect("fall-through of a reachable block is reachable"),
+            );
         }
     }
-    builder.set_entry(remap[program.entry().index()].expect("entry reachable"));
-    builder.finish().expect("compaction preserves validity")
+    builder.set_entry(remap[program.entry().index()].expect("entry is reachable by definition"));
+    builder
+        .finish()
+        .expect("compaction preserves program validity")
 }
 
 #[cfg(test)]

@@ -48,10 +48,15 @@ impl<P: DirectionPredictor> PredictionOracle for PredictorOracle<P> {
     }
 
     fn update(&mut self, site_pc: u64, taken: bool) {
+        // Invariant: the interpreter calls `update` only at the
+        // resolution of a branch/resolve whose prediction it requested
+        // first, and it rejects orphan resolves as ExecError before
+        // reaching the oracle — an empty FIFO here is an interpreter
+        // bug, not a guest-program property.
         let (pc, meta) = self
             .pending
             .pop_front()
-            .expect("update without matching predict");
+            .expect("interpreter guarantees a matching predict before every update");
         debug_assert_eq!(pc, site_pc, "out-of-order predictor update");
         self.predictor.update(pc, &meta, taken);
     }
@@ -95,7 +100,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "update without matching predict")]
+    #[should_panic(expected = "matching predict before every update")]
     fn unmatched_update_panics() {
         let mut oracle = PredictorOracle::new(Gshare::new(64, 6));
         oracle.update(0x100, true);

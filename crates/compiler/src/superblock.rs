@@ -46,8 +46,11 @@ pub fn form_superblocks(
 
     for site in sites {
         let mut budget = max_dup_insts;
-        // The hot successor of the biased branch.
-        let stats_site = profile.site(site).expect("filtered");
+        // The hot successor of the biased branch. (The site filter above
+        // only admits profiled sites, but degrade to a skip regardless.)
+        let Some(stats_site) = profile.site(site) else {
+            continue;
+        };
         let block = program.block(site);
         let Some(Inst::Branch { target, .. }) = block.terminator() else {
             continue;

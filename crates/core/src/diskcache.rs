@@ -1,0 +1,245 @@
+//! Crash-safe on-disk profile cache.
+//!
+//! Profiles are the engine's most expensive artifact (a full TRAIN-input
+//! interpretation), so they can optionally persist across processes in a
+//! directory named by `VANGUARD_CACHE_DIR`. The cache is designed to
+//! survive crashes and concurrent writers without ever poisoning a run:
+//!
+//! * **Atomic writes** — entries are written to a private temp file in
+//!   the cache directory and `rename`d into place, so a reader never
+//!   observes a half-written entry (at worst it misses and recomputes).
+//! * **Checksummed entries** — every entry carries a magic tag, payload
+//!   length, and FNV-1a checksum; [`DiskCache::load`] validates all
+//!   three plus the payload structure before trusting a byte.
+//! * **Evict-and-recompute** — a corrupt entry is moved into a
+//!   `quarantine/` subdirectory (preserved for postmortem) and reported
+//!   as [`CorruptEntry`]; the caller recomputes and re-stores. A flaky
+//!   disk degrades throughput, never correctness.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use vanguard_ir::Profile;
+
+/// Entry header magic ("Vanguard Cache v1").
+const MAGIC: &[u8; 4] = b"VGC1";
+
+/// 64-bit FNV-1a — the checksum and key hash of the disk cache (stable
+/// across platforms and processes, no dependencies).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A cache entry that failed validation and was quarantined.
+#[derive(Clone, Debug)]
+pub struct CorruptEntry {
+    /// Where the entry now lives (under `quarantine/`), or its original
+    /// path if even the quarantine move failed.
+    pub path: PathBuf,
+    /// What failed to validate.
+    pub detail: String,
+}
+
+/// A crash-safe, checksummed profile cache rooted at a directory.
+#[derive(Clone, Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskCache { dir: dir.into() }
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The quarantine directory for poisoned entries.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("profile-{key:016x}.bin"))
+    }
+
+    /// Loads and validates the entry for `key`.
+    ///
+    /// Returns `Ok(None)` on a clean miss (no entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptEntry`] when an entry exists but fails
+    /// validation; the entry has already been moved to quarantine (or
+    /// deleted if the move failed), so recomputing and re-storing is
+    /// always safe.
+    pub fn load(&self, key: u64) -> Result<Option<Profile>, CorruptEntry> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(self.quarantine(&path, format!("unreadable: {e}"))),
+        };
+        match Self::validate(&bytes) {
+            Ok(profile) => Ok(Some(profile)),
+            Err(detail) => Err(self.quarantine(&path, detail.to_string())),
+        }
+    }
+
+    fn validate(bytes: &[u8]) -> Result<Profile, &'static str> {
+        if bytes.len() < 20 {
+            return Err("shorter than the entry header");
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic");
+        }
+        let len = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let payload = &bytes[20..];
+        if payload.len() as u64 != len {
+            return Err("payload length mismatch (truncated or torn write)");
+        }
+        if fnv1a(payload) != checksum {
+            return Err("checksum mismatch");
+        }
+        Profile::from_bytes(payload)
+    }
+
+    /// Atomically stores the entry for `key` (temp file + rename; a
+    /// concurrent reader sees either the old entry or the new one,
+    /// never a torn write).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error; callers treat a failed store as a cache
+    /// miss, never a run failure.
+    pub fn store(&self, key: u64, profile: &Profile) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let payload = profile.to_bytes();
+        let mut entry = Vec::with_capacity(20 + payload.len());
+        entry.extend_from_slice(MAGIC);
+        entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        entry.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        entry.extend_from_slice(&payload);
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{key:016x}-{}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&entry)?;
+            f.sync_all()?;
+        }
+        let result = fs::rename(&tmp, self.entry_path(key));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Moves a poisoned entry into `quarantine/`, falling back to
+    /// deletion so the corrupt bytes can never be re-read as a hit.
+    fn quarantine(&self, path: &Path, detail: String) -> CorruptEntry {
+        let qdir = self.quarantine_dir();
+        let _ = fs::create_dir_all(&qdir);
+        let dest = qdir.join(
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "entry".into()),
+        );
+        if fs::rename(path, &dest).is_ok() {
+            CorruptEntry { path: dest, detail }
+        } else {
+            let _ = fs::remove_file(path);
+            CorruptEntry {
+                path: path.to_path_buf(),
+                detail,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vanguard_isa::BlockId;
+
+    fn sample_profile() -> Profile {
+        let mut p = Profile::new();
+        p.dynamic_insts = 42_000;
+        for i in 0..10u32 {
+            for j in 0..20u64 {
+                p.record(BlockId(i), j % 3 == 0, j % 2 == 0);
+            }
+        }
+        p
+    }
+
+    fn temp_cache(tag: &str) -> DiskCache {
+        let dir =
+            std::env::temp_dir().join(format!("vanguard-diskcache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DiskCache::new(dir)
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let cache = temp_cache("roundtrip");
+        let p = sample_profile();
+        cache.store(7, &p).unwrap();
+        let back = cache.load(7).unwrap().expect("entry present");
+        assert_eq!(back.dynamic_insts, p.dynamic_insts);
+        assert_eq!(back.len(), p.len());
+        assert!(cache.load(8).unwrap().is_none(), "distinct key misses");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncation_is_detected_and_quarantined() {
+        let cache = temp_cache("truncate");
+        cache.store(3, &sample_profile()).unwrap();
+        let path = cache.entry_path(3);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = cache.load(3).expect_err("truncated entry must not load");
+        assert!(err.path.starts_with(cache.quarantine_dir()), "{err:?}");
+        // Evicted: the next load is a clean miss, and re-storing works.
+        assert!(cache.load(3).unwrap().is_none());
+        cache.store(3, &sample_profile()).unwrap();
+        assert!(cache.load(3).unwrap().is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn bitflip_is_detected() {
+        let cache = temp_cache("bitflip");
+        cache.store(5, &sample_profile()).unwrap();
+        let path = cache.entry_path(5);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = cache.load(5).expect_err("bit-flipped entry must not load");
+        assert!(err.detail.contains("checksum"), "{err:?}");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let cache = temp_cache("magic");
+        cache.store(9, &sample_profile()).unwrap();
+        let path = cache.entry_path(9);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load(9).is_err());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

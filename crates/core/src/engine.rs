@@ -22,17 +22,34 @@
 //!
 //! Worker count defaults to the machine's available parallelism and can
 //! be overridden with the `VANGUARD_THREADS` environment variable.
+//!
+//! # Fault tolerance
+//!
+//! A failing job never aborts the suite. Each worker wraps its job in a
+//! containment boundary: guest traps become [`JobResult::Faulted`],
+//! watchdog cancellations (see [`FaultPolicy`]) become
+//! [`JobResult::TimedOut`], and worker panics become
+//! [`JobResult::Failed`] with a [`VanguardError`] carrying stage,
+//! benchmark, and seed context. Transient failures are retried once
+//! with backoff; repeat failures are quarantined with a replayable
+//! reproducer. The optional on-disk profile cache
+//! ([`crate::DiskCache`], enabled by `VANGUARD_CACHE_DIR`) is
+//! checksummed and crash-safe: corrupt entries are quarantined and
+//! recomputed, never trusted. See DESIGN.md §7.8 for the fault model.
 
+use crate::diskcache::{fnv1a, DiskCache};
+use crate::error::{ErrorKind, VanguardError};
 use crate::experiment::{Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, RefRun};
 use crate::report::TransformReport;
 use crate::transform::TransformOptions;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 use vanguard_ir::Profile;
 use vanguard_isa::{DecodedImage, Program};
-use vanguard_sim::{MachineConfig, SimStats};
+use vanguard_sim::{MachineConfig, SimError, SimStats, Simulator, StopCause};
 
 pub use vanguard_bpred::LadderRung as PredictorKind;
 
@@ -69,9 +86,9 @@ pub struct SimJob {
     pub variant: Variant,
 }
 
-/// A completed [`SimJob`].
+/// A successfully completed [`SimJob`].
 #[derive(Clone, Debug)]
-pub struct JobResult {
+pub struct JobSuccess {
     /// The job that produced this result.
     pub job: SimJob,
     /// Simulation statistics.
@@ -79,13 +96,211 @@ pub struct JobResult {
     /// Wall-clock time of the simulate stage alone (excludes cached or
     /// shared profile/compile work).
     pub sim_elapsed: Duration,
+    /// Whether this result came from a retry after a transient failure.
+    pub retried: bool,
 }
 
-impl JobResult {
+impl JobSuccess {
     /// Host-side throughput of this job: millions of committed simulated
     /// instructions per wall-clock second of its simulate stage.
     pub fn sim_mips(&self) -> f64 {
         self.stats.mips(self.sim_elapsed)
+    }
+}
+
+/// Outcome of one [`SimJob`] — the engine's containment boundary. A
+/// trapping guest, a wedged simulation, or a panicking worker produces
+/// a non-[`Completed`](JobResult::Completed) variant here; it never
+/// aborts the process or the rest of the suite.
+#[derive(Clone, Debug)]
+pub enum JobResult {
+    /// The simulation ran to completion.
+    Completed(JobSuccess),
+    /// The guest program trapped on the committed path.
+    Faulted {
+        /// The job that trapped.
+        job: SimJob,
+        /// The architectural fault.
+        trap: SimError,
+        /// Program counter of the fault.
+        pc: u64,
+        /// Cycle the fault was detected at.
+        cycle: u64,
+        /// Whether a retry preceded this outcome.
+        retried: bool,
+    },
+    /// A watchdog (cycle budget or wall-clock deadline) cancelled the
+    /// simulation cooperatively.
+    TimedOut {
+        /// The cancelled job.
+        job: SimJob,
+        /// Cycles simulated before cancellation.
+        cycles: u64,
+        /// Wall-clock milliseconds before cancellation.
+        wall_ms: u64,
+        /// Whether a retry preceded this outcome.
+        retried: bool,
+    },
+    /// The job failed outside the guest: profiling error, worker panic,
+    /// or another engine-level failure.
+    Failed {
+        /// The failing job.
+        job: SimJob,
+        /// Full failure context.
+        error: Box<VanguardError>,
+        /// Whether a retry preceded this outcome.
+        retried: bool,
+    },
+}
+
+impl JobResult {
+    /// The job this outcome belongs to.
+    pub fn job(&self) -> &SimJob {
+        match self {
+            JobResult::Completed(s) => &s.job,
+            JobResult::Faulted { job, .. }
+            | JobResult::TimedOut { job, .. }
+            | JobResult::Failed { job, .. } => job,
+        }
+    }
+
+    /// The success payload, if the job completed.
+    pub fn success(&self) -> Option<&JobSuccess> {
+        match self {
+            JobResult::Completed(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the job completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobResult::Completed(_))
+    }
+
+    /// Whether a transient-failure retry preceded this outcome.
+    pub fn retried(&self) -> bool {
+        match self {
+            JobResult::Completed(s) => s.retried,
+            JobResult::Faulted { retried, .. }
+            | JobResult::TimedOut { retried, .. }
+            | JobResult::Failed { retried, .. } => *retried,
+        }
+    }
+
+    /// The success payload; panics with the failure context otherwise.
+    /// For callers whose workloads are known-clean (the figure sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job did not complete.
+    pub fn expect_completed(&self) -> &JobSuccess {
+        match self {
+            JobResult::Completed(s) => s,
+            other => panic!(
+                "job expected to complete: {}",
+                other
+                    .as_error("<unattributed>", None)
+                    .expect("non-completed outcome has an error")
+            ),
+        }
+    }
+
+    /// Converts a failure outcome to a [`VanguardError`] with benchmark
+    /// attribution (`None` for completed jobs).
+    pub fn as_error(&self, bench_name: &str, seed: Option<u64>) -> Option<VanguardError> {
+        let kind = match self {
+            JobResult::Completed(_) => return None,
+            JobResult::Faulted {
+                trap, pc, cycle, ..
+            } => ErrorKind::GuestTrap {
+                trap: trap.clone(),
+                pc: *pc,
+                cycle: *cycle,
+            },
+            JobResult::TimedOut {
+                cycles, wall_ms, ..
+            } => ErrorKind::Timeout {
+                cycles: *cycles,
+                wall_ms: *wall_ms,
+            },
+            JobResult::Failed { error, .. } => return Some((**error).clone()),
+        };
+        Some(
+            VanguardError::new(Stage::Simulate, kind)
+                .with_benchmark(bench_name)
+                .with_seed(seed),
+        )
+    }
+
+    fn set_retried(&mut self, value: bool) {
+        match self {
+            JobResult::Completed(s) => s.retried = value,
+            JobResult::Faulted { retried, .. }
+            | JobResult::TimedOut { retried, .. }
+            | JobResult::Failed { retried, .. } => *retried = value,
+        }
+    }
+}
+
+/// Fault-tolerance policy of an [`Engine`]: watchdog budgets, retry
+/// behaviour, and quarantine/cache directories.
+#[derive(Clone, Debug)]
+pub struct FaultPolicy {
+    /// Per-job wall-clock budget (`VANGUARD_JOB_TIMEOUT` seconds);
+    /// `None` disables the wall-clock watchdog.
+    pub job_timeout: Option<Duration>,
+    /// Per-job simulated-cycle budget (`--max-cycles`); `None` disables
+    /// the cycle watchdog.
+    pub max_cycles: Option<u64>,
+    /// Retry a transient failure (worker panic, cache corruption) once.
+    pub retry_transient: bool,
+    /// Backoff before the retry.
+    pub backoff: Duration,
+    /// Where to write replayable reproducers for jobs that still fail
+    /// after retry (`VANGUARD_QUARANTINE_DIR`); `None` disables.
+    pub quarantine_dir: Option<PathBuf>,
+    /// Root of the crash-safe on-disk profile cache
+    /// (`VANGUARD_CACHE_DIR`); `None` keeps artifacts in memory only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            job_timeout: None,
+            max_cycles: None,
+            retry_transient: true,
+            backoff: Duration::from_millis(50),
+            quarantine_dir: None,
+            cache_dir: None,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// The default policy with the environment overrides applied:
+    /// `VANGUARD_JOB_TIMEOUT` (seconds, fractional allowed),
+    /// `VANGUARD_QUARANTINE_DIR`, and `VANGUARD_CACHE_DIR`.
+    pub fn from_env() -> Self {
+        let mut policy = FaultPolicy::default();
+        if let Ok(v) = std::env::var("VANGUARD_JOB_TIMEOUT") {
+            if let Ok(secs) = v.trim().parse::<f64>() {
+                if secs > 0.0 {
+                    policy.job_timeout = Some(Duration::from_secs_f64(secs));
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("VANGUARD_QUARANTINE_DIR") {
+            if !v.trim().is_empty() {
+                policy.quarantine_dir = Some(PathBuf::from(v));
+            }
+        }
+        if let Ok(v) = std::env::var("VANGUARD_CACHE_DIR") {
+            if !v.trim().is_empty() {
+                policy.cache_dir = Some(PathBuf::from(v));
+            }
+        }
+        policy
     }
 }
 
@@ -216,6 +431,18 @@ pub trait ProgressObserver: Send + Sync {
         let _ = (index, job, bench_name, stats, elapsed);
     }
 
+    /// A job ended in a non-completed outcome (guest trap, watchdog
+    /// timeout, or engine failure), after any retry.
+    fn job_failed(&self, index: usize, job: &SimJob, bench_name: &str, outcome: &JobResult) {
+        let _ = (index, job, bench_name, outcome);
+    }
+
+    /// A transient failure on a job is being retried (once, with
+    /// backoff) before the final outcome is reported.
+    fn job_retried(&self, index: usize, job: &SimJob, bench_name: &str) {
+        let _ = (index, job, bench_name);
+    }
+
     /// A profile or compile artifact was produced (`cached == false`)
     /// or served from the cache (`cached == true`). Simulate stages
     /// report through [`ProgressObserver::job_finished`] instead.
@@ -250,6 +477,18 @@ pub struct EngineStats {
     /// Aggregate wall-clock nanoseconds in the simulate stage (summed
     /// across workers, so this can exceed elapsed time).
     pub sim_nanos: u64,
+    /// Jobs that completed.
+    pub jobs_ok: u64,
+    /// Jobs whose guest trapped ([`JobResult::Faulted`]).
+    pub jobs_faulted: u64,
+    /// Jobs cancelled by a watchdog ([`JobResult::TimedOut`]).
+    pub jobs_timed_out: u64,
+    /// Jobs that failed outside the guest ([`JobResult::Failed`]).
+    pub jobs_failed: u64,
+    /// Transient-failure retries attempted.
+    pub jobs_retried: u64,
+    /// Corrupt disk-cache entries quarantined and recomputed.
+    pub cache_corrupt: u64,
 }
 
 impl EngineStats {
@@ -263,7 +502,9 @@ impl EngineStats {
         self.sim_insts as f64 / 1e6 / (self.sim_nanos as f64 / 1e9)
     }
 
-    /// Renders the per-stage timing/cache summary (one line per stage).
+    /// Renders the per-stage timing/cache summary (one line per stage,
+    /// plus an outcome line counting ok / faulted / timed-out / failed /
+    /// retried jobs and quarantined cache entries).
     pub fn summary(&self) -> String {
         fn ms(nanos: u64) -> f64 {
             nanos as f64 / 1e6
@@ -271,7 +512,9 @@ impl EngineStats {
         format!(
             "profile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
              compile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
-             simulate: {:>4} jobs, {:>21.1} ms, {:>7.2} MIPS/worker",
+             simulate: {:>4} jobs, {:>21.1} ms, {:>7.2} MIPS/worker\n\
+             outcomes: {:>4} ok, {} faulted, {} timed out, {} failed, \
+             {} retried, {} corrupt cache entries",
             self.profile_misses,
             self.profile_hits,
             ms(self.profile_nanos),
@@ -281,6 +524,12 @@ impl EngineStats {
             self.sim_jobs,
             ms(self.sim_nanos),
             self.sim_mips(),
+            self.jobs_ok,
+            self.jobs_faulted,
+            self.jobs_timed_out,
+            self.jobs_failed,
+            self.jobs_retried,
+            self.cache_corrupt,
         )
     }
 }
@@ -300,6 +549,48 @@ pub struct SweepCell {
 type ProfileSlot = Arc<OnceLock<Result<Arc<Profile>, ExperimentError>>>;
 type CompileSlot = Arc<OnceLock<CompiledPair>>;
 
+/// Locks a mutex, recovering from poisoning: the engine's shared state
+/// (caches, result vectors, injection plans) stays structurally valid
+/// across a worker panic, because panics are contained per job and
+/// every critical section is a plain insert/lookup.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Renders a `catch_unwind` payload as a message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lifts a legacy [`ExperimentError`] into a typed [`VanguardError`]
+/// (no benchmark attribution yet — callers add it).
+fn experiment_to_vanguard(e: ExperimentError) -> VanguardError {
+    match e {
+        ExperimentError::Profile(p) => VanguardError::new(Stage::Profile, ErrorKind::Profile(p)),
+        ExperimentError::Sim(s) => {
+            let pc = s.pc();
+            VanguardError::new(
+                Stage::Simulate,
+                ErrorKind::GuestTrap {
+                    trap: s,
+                    pc,
+                    cycle: 0,
+                },
+            )
+        }
+        ExperimentError::NoRefInputs => VanguardError::new(Stage::Simulate, ErrorKind::NoRefInputs),
+        ExperimentError::Engine(m) => {
+            VanguardError::new(Stage::Simulate, ErrorKind::WorkerPanic { detail: m })
+        }
+    }
+}
+
 /// The parallel, artifact-cached experiment engine. See the
 /// [module docs](self) for the execution model.
 pub struct Engine {
@@ -308,6 +599,12 @@ pub struct Engine {
     observers: Vec<Arc<dyn ProgressObserver>>,
     profiles: Mutex<HashMap<ProfileKey, ProfileSlot>>,
     pairs: Mutex<HashMap<CompileKey, CompileSlot>>,
+    fault_policy: FaultPolicy,
+    disk_cache: Option<DiskCache>,
+    /// Deterministic fault-injection plan: job index → remaining panics
+    /// to raise inside the containment boundary (test/harness hook, see
+    /// [`Engine::inject_worker_panic`]).
+    panic_plan: Mutex<HashMap<usize, u32>>,
     profile_misses: AtomicU64,
     profile_hits: AtomicU64,
     compile_misses: AtomicU64,
@@ -317,6 +614,12 @@ pub struct Engine {
     profile_nanos: AtomicU64,
     compile_nanos: AtomicU64,
     sim_nanos: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_faulted: AtomicU64,
+    jobs_timed_out: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_retried: AtomicU64,
+    cache_corrupt: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -357,14 +660,21 @@ impl Engine {
     }
 
     /// An engine with an explicit worker count (≥ 1). `1` reproduces
-    /// strictly serial execution.
+    /// strictly serial execution. The fault policy comes from
+    /// [`FaultPolicy::from_env`]; override with
+    /// [`Engine::set_fault_policy`].
     pub fn with_workers(workers: usize) -> Self {
+        let fault_policy = FaultPolicy::from_env();
+        let disk_cache = fault_policy.cache_dir.clone().map(DiskCache::new);
         Engine {
             workers: workers.max(1),
             benchmarks: Vec::new(),
             observers: Vec::new(),
             profiles: Mutex::new(HashMap::new()),
             pairs: Mutex::new(HashMap::new()),
+            fault_policy,
+            disk_cache,
+            panic_plan: Mutex::new(HashMap::new()),
             profile_misses: AtomicU64::new(0),
             profile_hits: AtomicU64::new(0),
             compile_misses: AtomicU64::new(0),
@@ -374,12 +684,50 @@ impl Engine {
             profile_nanos: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
             sim_nanos: AtomicU64::new(0),
+            jobs_ok: AtomicU64::new(0),
+            jobs_faulted: AtomicU64::new(0),
+            jobs_timed_out: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_retried: AtomicU64::new(0),
+            cache_corrupt: AtomicU64::new(0),
         }
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Replaces the fault policy (and rebuilds the disk cache handle
+    /// from `policy.cache_dir`).
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.disk_cache = policy.cache_dir.clone().map(DiskCache::new);
+        self.fault_policy = policy;
+    }
+
+    /// The active fault policy.
+    pub fn fault_policy(&self) -> &FaultPolicy {
+        &self.fault_policy
+    }
+
+    /// Schedules `times` deterministic worker panics on the job at
+    /// `index` (raised inside the containment boundary, before the job
+    /// body runs). The fault-injection harness uses this to prove panic
+    /// containment and retry behaviour; with the default policy the
+    /// first panic is retried and the retry succeeds.
+    pub fn inject_worker_panic(&self, index: usize, times: u32) {
+        lock_ignore_poison(&self.panic_plan).insert(index, times);
+    }
+
+    fn maybe_inject_panic(&self, index: usize) {
+        let mut plan = lock_ignore_poison(&self.panic_plan);
+        if let Some(n) = plan.get_mut(&index) {
+            if *n > 0 {
+                *n -= 1;
+                drop(plan);
+                panic!("injected worker fault (job {index})");
+            }
+        }
     }
 
     /// Subscribes a progress observer.
@@ -416,12 +764,38 @@ impl Engine {
             profile_nanos: self.profile_nanos.load(Ordering::Relaxed),
             compile_nanos: self.compile_nanos.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            jobs_ok: self.jobs_ok.load(Ordering::Relaxed),
+            jobs_faulted: self.jobs_faulted.load(Ordering::Relaxed),
+            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
+            cache_corrupt: self.cache_corrupt.load(Ordering::Relaxed),
         }
     }
 
     // ----------------------------------------------------------------
     // Stages
     // ----------------------------------------------------------------
+
+    /// Content-addressed disk-cache key of a profile: hashes the
+    /// benchmark name, generator seed, predictor, step budget, and the
+    /// program text itself, so a stale entry from a different program
+    /// can never be served (the in-memory [`ProfileKey`] identifies
+    /// benchmarks by registration id, which is not stable across
+    /// processes). The TRAIN input is assumed to be determined by the
+    /// (name, seed) pair.
+    fn profile_disk_key(&self, bench: usize, predictor: PredictorKind, max_steps: u64) -> u64 {
+        let input = &self.benchmarks[bench];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(input.name.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&input.seed.unwrap_or(u64::MAX).to_le_bytes());
+        bytes.extend_from_slice(format!("{predictor:?}").as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&max_steps.to_le_bytes());
+        bytes.extend_from_slice(input.program.disassemble().as_bytes());
+        fnv1a(&bytes)
+    }
 
     /// Stage 1 — profile: the TRAIN-input profile for a benchmark under
     /// a predictor, computed at most once per [`ProfileKey`].
@@ -442,13 +816,32 @@ impl Engine {
             max_steps,
         };
         let slot = {
-            let mut map = self.profiles.lock().expect("profile cache poisoned");
+            let mut map = lock_ignore_poison(&self.profiles);
             Arc::clone(map.entry(key).or_default())
         };
         let mut computed = false;
         let result = slot.get_or_init(|| {
             computed = true;
             let input = &self.benchmarks[bench];
+            let disk_key = self
+                .disk_cache
+                .as_ref()
+                .map(|_| self.profile_disk_key(bench, predictor, max_steps));
+            if let (Some(cache), Some(dk)) = (&self.disk_cache, disk_key) {
+                match cache.load(dk) {
+                    Ok(Some(profile)) => {
+                        for o in &self.observers {
+                            o.stage_completed(Stage::Profile, &input.name, Duration::ZERO, true);
+                        }
+                        return Ok(Arc::new(profile));
+                    }
+                    Ok(None) => {}
+                    Err(_corrupt) => {
+                        // Quarantined by the cache; recompute below.
+                        self.cache_corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             let started = Instant::now();
             let out = vanguard_compiler::profile_program(
                 &input.program,
@@ -464,6 +857,10 @@ impl Engine {
                 .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
             for o in &self.observers {
                 o.stage_completed(Stage::Profile, &input.name, elapsed, false);
+            }
+            if let (Some(cache), Some(dk), Ok(profile)) = (&self.disk_cache, disk_key, &out) {
+                // A failed store is a future cache miss, never an error.
+                let _ = cache.store(dk, profile);
             }
             out
         });
@@ -509,7 +906,7 @@ impl Engine {
             options: TransformKey::from_options(options),
         };
         let slot = {
-            let mut map = self.pairs.lock().expect("compile cache poisoned");
+            let mut map = lock_ignore_poison(&self.pairs);
             Arc::clone(map.entry(key).or_default())
         };
         let mut computed = false;
@@ -557,42 +954,173 @@ impl Engine {
     }
 
     /// Stage 3 — simulate-one-ref: runs one job through the cached
-    /// stages and one simulation. Deterministic for a given job.
-    ///
-    /// # Errors
-    ///
-    /// Returns profiling or simulation errors.
-    pub fn run_job(
-        &self,
-        job: &SimJob,
-        options: &TransformOptions,
-        max_steps: u64,
-    ) -> Result<JobResult, ExperimentError> {
+    /// stages and one simulation. Deterministic for a given job. Never
+    /// returns an error or panics on a guest fault: traps, watchdog
+    /// cancellations, and stage failures become the corresponding
+    /// [`JobResult`] variant.
+    pub fn run_job(&self, job: &SimJob, options: &TransformOptions, max_steps: u64) -> JobResult {
         let input = &self.benchmarks[job.bench];
-        let pair = self.compile_pair(job.bench, job.predictor, job.machine, options, max_steps)?;
+        let pair =
+            match self.compile_pair(job.bench, job.predictor, job.machine, options, max_steps) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    return JobResult::Failed {
+                        job: *job,
+                        error: Box::new(
+                            experiment_to_vanguard(e)
+                                .with_benchmark(&input.name)
+                                .with_seed(input.seed),
+                        ),
+                        retried: false,
+                    }
+                }
+            };
         let image = match job.variant {
             Variant::Baseline => &pair.baseline_image,
             Variant::Transformed => &pair.transformed_image,
         };
-        let exp = Experiment {
-            machine: job.machine,
-            predictor: job.predictor,
-            transform: *options,
-            max_profile_steps: max_steps,
-        };
+        let ref_input = &input.refs[job.ref_input];
+        let mut sim = Simulator::with_image(
+            Arc::clone(image),
+            ref_input.memory.clone(),
+            job.machine,
+            job.predictor.build(),
+        );
+        for &(r, v) in &ref_input.init_regs {
+            sim.set_reg(r, v);
+        }
+        let policy = &self.fault_policy;
+        let deadline = policy.job_timeout.map(|t| Instant::now() + t);
+        if policy.max_cycles.is_some() || deadline.is_some() {
+            sim.set_watchdog(policy.max_cycles, deadline);
+        }
         let started = Instant::now();
-        let stats = exp.simulate_image(image, &input.refs[job.ref_input])?;
+        let outcome = sim.run_checked();
         let sim_elapsed = started.elapsed();
         self.sim_jobs.fetch_add(1, Ordering::Relaxed);
-        self.sim_insts
-            .fetch_add(stats.committed(), Ordering::Relaxed);
         self.sim_nanos
             .fetch_add(sim_elapsed.as_nanos() as u64, Ordering::Relaxed);
-        Ok(JobResult {
-            job: *job,
-            stats,
-            sim_elapsed,
-        })
+        match outcome {
+            Ok(res) if res.stop == StopCause::TimedOut => JobResult::TimedOut {
+                job: *job,
+                cycles: res.stats.cycles,
+                wall_ms: sim_elapsed.as_millis() as u64,
+                retried: false,
+            },
+            Ok(res) => {
+                self.sim_insts
+                    .fetch_add(res.stats.committed(), Ordering::Relaxed);
+                JobResult::Completed(JobSuccess {
+                    job: *job,
+                    stats: res.stats,
+                    sim_elapsed,
+                    retried: false,
+                })
+            }
+            Err(fault) => JobResult::Faulted {
+                job: *job,
+                pc: fault.error.pc(),
+                cycle: fault.cycle,
+                trap: fault.error,
+                retried: false,
+            },
+        }
+    }
+
+    /// [`Engine::run_job`] inside the full containment boundary: worker
+    /// panics (including injected ones) are caught and become
+    /// [`JobResult::Failed`]; transient failures are retried once with
+    /// backoff when the policy allows. Outcome counters are updated
+    /// exactly once, for the final outcome.
+    fn run_job_guarded(
+        &self,
+        index: usize,
+        job: &SimJob,
+        options: &TransformOptions,
+        max_steps: u64,
+    ) -> JobResult {
+        let mut retried = false;
+        let mut outcome = loop {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.maybe_inject_panic(index);
+                self.run_job(job, options, max_steps)
+            }));
+            let outcome = match attempt {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    let input = &self.benchmarks[job.bench];
+                    JobResult::Failed {
+                        job: *job,
+                        error: Box::new(
+                            VanguardError::new(
+                                Stage::Simulate,
+                                ErrorKind::WorkerPanic {
+                                    detail: panic_message(payload.as_ref()),
+                                },
+                            )
+                            .with_benchmark(&input.name)
+                            .with_seed(input.seed),
+                        ),
+                        retried: false,
+                    }
+                }
+            };
+            let transient =
+                matches!(&outcome, JobResult::Failed { error, .. } if error.is_transient());
+            if transient && !retried && self.fault_policy.retry_transient {
+                retried = true;
+                self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                let name = &self.benchmarks[job.bench].name;
+                for o in &self.observers {
+                    o.job_retried(index, job, name);
+                }
+                std::thread::sleep(self.fault_policy.backoff);
+                continue;
+            }
+            break outcome;
+        };
+        outcome.set_retried(retried);
+        let counter = match &outcome {
+            JobResult::Completed(_) => &self.jobs_ok,
+            JobResult::Faulted { .. } => &self.jobs_faulted,
+            JobResult::TimedOut { .. } => &self.jobs_timed_out,
+            JobResult::Failed { .. } => &self.jobs_failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    /// Writes a replayable reproducer for a non-completed job into the
+    /// policy's quarantine directory (same spirit as the fuzzer's
+    /// `seed-<N>/` reproducers): the failure context, the replay seed
+    /// when the benchmark is seed-generated, and the program text.
+    /// Best-effort — reproducer I/O failures never affect the run.
+    fn quarantine_job(&self, index: usize, job: &SimJob, outcome: &JobResult) {
+        let Some(qdir) = &self.fault_policy.quarantine_dir else {
+            return;
+        };
+        let input = &self.benchmarks[job.bench];
+        let dir = qdir.join(format!("job-{index:04}-{}", input.name));
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut repro = String::from("# Quarantined-job reproducer\n");
+        repro.push_str(&format!("job index : {index}\n"));
+        repro.push_str(&format!("benchmark : {}\n", input.name));
+        if let Some(seed) = input.seed {
+            repro.push_str(&format!("seed      : {seed}\n"));
+            // `vanguard-fuzz --one N` regenerates exactly the fuzz
+            // kernels; other seeded benchmarks replay via their suite.
+            if input.name.starts_with("fuzz-") {
+                repro.push_str(&format!("replay    : vanguard-fuzz --one {seed}\n"));
+            }
+        }
+        repro.push_str(&format!("job       : {job:?}\n"));
+        if let Some(e) = outcome.as_error(&input.name, input.seed) {
+            repro.push_str(&format!("failure   : {e}\n"));
+        }
+        let _ = std::fs::write(dir.join("repro.txt"), repro);
+        let _ = std::fs::write(dir.join("program.asm"), input.program.disassemble());
     }
 
     // ----------------------------------------------------------------
@@ -601,20 +1129,19 @@ impl Engine {
 
     /// Executes a flat job list on the worker pool. Results come back
     /// in **job-index order** regardless of worker count or completion
-    /// order; on error, the error of the lowest-indexed failing job is
-    /// returned (exactly what serial execution would have surfaced).
-    ///
-    /// # Errors
-    ///
-    /// Returns the first (by job index) profiling or simulation error.
+    /// order. Infallible: every job produces a [`JobResult`], and a
+    /// failing job never prevents the rest of the list from running
+    /// (nor perturbs their results — see `tests/fault_recovery.rs`).
+    /// Non-completed jobs are quarantined with a reproducer when the
+    /// policy names a quarantine directory.
     pub fn run_jobs(
         &self,
         jobs: &[SimJob],
         options: &TransformOptions,
         max_steps: u64,
-    ) -> Result<Vec<JobResult>, ExperimentError> {
+    ) -> Vec<JobResult> {
         let n = jobs.len();
-        let mut results: Vec<Option<Result<JobResult, ExperimentError>>> = Vec::new();
+        let mut results: Vec<Option<JobResult>> = Vec::new();
         results.resize_with(n, || None);
         let results = Mutex::new(results);
         let next = AtomicUsize::new(0);
@@ -631,19 +1158,27 @@ impl Engine {
                     for o in &self.observers {
                         o.job_started(i, job, name);
                     }
-                    let outcome = self.run_job(job, options, max_steps);
-                    if let Ok(r) = &outcome {
-                        for o in &self.observers {
-                            o.job_finished(i, job, name, &r.stats, r.sim_elapsed);
+                    let outcome = self.run_job_guarded(i, job, options, max_steps);
+                    match &outcome {
+                        JobResult::Completed(s) => {
+                            for o in &self.observers {
+                                o.job_finished(i, job, name, &s.stats, s.sim_elapsed);
+                            }
+                        }
+                        other => {
+                            for o in &self.observers {
+                                o.job_failed(i, job, name, other);
+                            }
+                            self.quarantine_job(i, job, other);
                         }
                     }
-                    results.lock().expect("result vector poisoned")[i] = Some(outcome);
+                    lock_ignore_poison(&results)[i] = Some(outcome);
                 });
             }
         });
         results
             .into_inner()
-            .expect("result vector poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .map(|slot| slot.expect("every job index was executed"))
             .collect()
@@ -678,7 +1213,9 @@ impl Engine {
     ///
     /// Returns the first (by job index) error, or
     /// [`ExperimentError::NoRefInputs`] if a cell's benchmark has no
-    /// REF inputs.
+    /// REF inputs. Fault-tolerant callers who want the *surviving*
+    /// cells instead of the first error use
+    /// [`Engine::run_cells_tolerant`].
     pub fn run_cells(
         &self,
         cells: &[SweepCell],
@@ -690,32 +1227,74 @@ impl Engine {
                 return Err(ExperimentError::NoRefInputs);
             }
         }
+        self.run_cells_tolerant(cells, options, max_steps)
+            .into_iter()
+            .map(|r| r.map_err(ExperimentError::from))
+            .collect()
+    }
+
+    /// The fault-tolerant sweep: every cell yields a result, and a
+    /// faulting, wedged, or crashing cell never stops — or perturbs —
+    /// the others. A cell fails with the error of its lowest-indexed
+    /// failing job, carrying benchmark and seed context.
+    pub fn run_cells_tolerant(
+        &self,
+        cells: &[SweepCell],
+        options: &TransformOptions,
+        max_steps: u64,
+    ) -> Vec<Result<ExperimentOutcome, VanguardError>> {
         let jobs = self.jobs_for_cells(cells);
-        let results = self.run_jobs(&jobs, options, max_steps)?;
+        let results = self.run_jobs(&jobs, options, max_steps);
         let mut outcomes = Vec::with_capacity(cells.len());
         let mut cursor = 0usize;
         for cell in cells {
             let input = &self.benchmarks[cell.bench];
+            if input.refs.is_empty() {
+                outcomes.push(Err(VanguardError::new(
+                    Stage::Simulate,
+                    ErrorKind::NoRefInputs,
+                )
+                .with_benchmark(&input.name)
+                .with_seed(input.seed)));
+                continue;
+            }
             let n_refs = input.refs.len();
+            let slice = &results[cursor..cursor + 2 * n_refs];
+            cursor += 2 * n_refs;
+            if let Some(err) = slice
+                .iter()
+                .find_map(|r| r.as_error(&input.name, input.seed))
+            {
+                outcomes.push(Err(err));
+                continue;
+            }
             let mut runs = Vec::with_capacity(n_refs);
-            for _ in 0..n_refs {
-                let base = results[cursor].stats;
-                let exp = results[cursor + 1].stats;
-                cursor += 2;
-                runs.push(RefRun { base, exp });
+            for pair in slice.chunks_exact(2) {
+                runs.push(RefRun {
+                    base: pair[0].expect_completed().stats,
+                    exp: pair[1].expect_completed().stats,
+                });
             }
             // Cached: this re-fetch never recompiles or re-profiles.
-            let pair =
-                self.compile_pair(cell.bench, cell.predictor, cell.machine, options, max_steps)?;
-            let profile = self.profile(cell.bench, cell.predictor, max_steps)?;
-            outcomes.push(ExperimentOutcome {
-                name: input.name.clone(),
-                report: pair.report,
-                runs,
-                profile_dynamic_insts: profile.dynamic_insts,
-            });
+            let outcome = self
+                .compile_pair(cell.bench, cell.predictor, cell.machine, options, max_steps)
+                .and_then(|pair| {
+                    let profile = self.profile(cell.bench, cell.predictor, max_steps)?;
+                    Ok(ExperimentOutcome {
+                        name: input.name.clone(),
+                        report: pair.report,
+                        runs,
+                        profile_dynamic_insts: profile.dynamic_insts,
+                    })
+                })
+                .map_err(|e| {
+                    experiment_to_vanguard(e)
+                        .with_benchmark(&input.name)
+                        .with_seed(input.seed)
+                });
+            outcomes.push(outcome);
         }
-        Ok(outcomes)
+        outcomes
     }
 }
 
@@ -831,6 +1410,51 @@ mod tests {
         assert_eq!(counter.started.load(Ordering::Relaxed), 2);
         assert_eq!(counter.finished.load(Ordering::Relaxed), 2);
         assert!(counter.stages.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn injected_panic_is_retried_and_recovers() {
+        let opts = TransformOptions::default();
+        let (engine, ids) = engine_with(1, 2);
+        let jobs = engine.jobs_for_cells(&[SweepCell {
+            bench: ids[0],
+            machine: MachineConfig::four_wide(),
+            predictor: PredictorKind::Combined24KB,
+        }]);
+        engine.inject_worker_panic(0, 1);
+        let results = engine.run_jobs(&jobs, &opts, 1_000_000);
+        assert!(results.iter().all(JobResult::is_completed));
+        assert!(results[0].retried());
+        assert!(!results[1].retried());
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_retried, 1, "{stats:?}");
+        assert_eq!(stats.jobs_ok as usize, jobs.len(), "{stats:?}");
+        assert_eq!(stats.jobs_failed, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn repeated_panic_becomes_a_failed_outcome() {
+        let opts = TransformOptions::default();
+        let (engine, ids) = engine_with(1, 1);
+        let jobs = engine.jobs_for_cells(&[SweepCell {
+            bench: ids[0],
+            machine: MachineConfig::four_wide(),
+            predictor: PredictorKind::Combined24KB,
+        }]);
+        engine.inject_worker_panic(1, 2); // survives the one retry
+        let results = engine.run_jobs(&jobs, &opts, 1_000_000);
+        assert!(results[0].is_completed());
+        match &results[1] {
+            JobResult::Failed { error, retried, .. } => {
+                assert!(*retried);
+                assert!(matches!(error.kind, ErrorKind::WorkerPanic { .. }));
+                assert_eq!(error.benchmark.as_deref(), Some("bench0"));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_failed, 1, "{stats:?}");
+        assert_eq!(stats.jobs_retried, 1, "{stats:?}");
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct ExperimentInput {
     pub train: RunInput,
     /// REF inputs, used for evaluation (≥ 1).
     pub refs: Vec<RunInput>,
+    /// Generator seed when the benchmark is seed-generated (fuzz/suite
+    /// workloads); lets engine failure reports and quarantine
+    /// reproducers name an exact replay command.
+    pub seed: Option<u64>,
 }
 
 /// Errors from an experiment run.
@@ -46,6 +50,10 @@ pub enum ExperimentError {
     Sim(SimError),
     /// The input had no REF inputs.
     NoRefInputs,
+    /// An engine-level failure (watchdog timeout, worker panic, cache
+    /// corruption) that has no architectural cause; the message is the
+    /// full [`crate::VanguardError`] rendering.
+    Engine(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -54,6 +62,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Profile(e) => write!(f, "profiling: {e}"),
             ExperimentError::Sim(e) => write!(f, "simulation: {e}"),
             ExperimentError::NoRefInputs => write!(f, "no REF inputs provided"),
+            ExperimentError::Engine(msg) => write!(f, "engine: {msg}"),
         }
     }
 }
@@ -451,6 +460,7 @@ pub(crate) mod tests {
             program: kernel(n as i64),
             train: predictable_unbiased_input(n),
             refs: vec![predictable_unbiased_input(n)],
+            seed: None,
         }
     }
 
@@ -533,6 +543,7 @@ pub(crate) mod tests {
                 memory,
                 init_regs: vec![],
             }],
+            seed: None,
         };
         let exp = Experiment::new(MachineConfig::four_wide());
         let out = exp.run(&input).unwrap();

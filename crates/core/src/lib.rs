@@ -34,7 +34,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod diskcache;
 pub mod engine;
+mod error;
 mod experiment;
 mod lint;
 mod report;
@@ -43,6 +45,8 @@ mod slice;
 mod transform;
 mod verify;
 
+pub use diskcache::{fnv1a, CorruptEntry, DiskCache};
+pub use error::{ErrorKind, VanguardError};
 pub use experiment::{
     Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, PredictorKind, RefRun,
     RunInput,

@@ -25,13 +25,18 @@ impl DomTree {
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         idom[entry.index()] = Some(entry);
 
+        // Invariant behind the `expect`s: `intersect` is only invoked on
+        // predecessors whose idom slot is already set (the caller skips
+        // unprocessed preds), and CHK walks finger chains strictly
+        // upward through processed nodes toward the entry, whose slot is
+        // seeded above — so every dereferenced slot is `Some`.
         let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
             while a != b {
                 while rpo_num[a.index()] > rpo_num[b.index()] {
-                    a = idom[a.index()].expect("processed");
+                    a = idom[a.index()].expect("finger chain stays within processed nodes");
                 }
                 while rpo_num[b.index()] > rpo_num[a.index()] {
-                    b = idom[b.index()].expect("processed");
+                    b = idom[b.index()].expect("finger chain stays within processed nodes");
                 }
             }
             a
@@ -82,7 +87,9 @@ impl DomTree {
             if cur == self.entry {
                 return false;
             }
-            cur = self.idom[cur.index()].expect("reachable chain");
+            // Every reachable block's idom chain terminates at the entry
+            // (checked reachable above), so the walk never hits `None`.
+            cur = self.idom[cur.index()].expect("idom chain of a reachable block reaches entry");
         }
     }
 }

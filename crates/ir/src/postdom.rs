@@ -70,13 +70,17 @@ impl PostDomTree {
         for &e in &exits {
             ipdom[e.index()] = Some(e);
         }
+        // Same invariant as DomTree::build, on the reverse graph: the
+        // caller only passes successors whose ipdom slot is set, and the
+        // finger chains walk through processed nodes toward an exit,
+        // whose slots are seeded above.
         let intersect = |ipdom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
             while a != b {
                 while rpo_num[a.index()] > rpo_num[b.index()] {
-                    a = ipdom[a.index()].expect("processed");
+                    a = ipdom[a.index()].expect("finger chain stays within processed nodes");
                 }
                 while rpo_num[b.index()] > rpo_num[a.index()] {
-                    b = ipdom[b.index()].expect("processed");
+                    b = ipdom[b.index()].expect("finger chain stays within processed nodes");
                 }
             }
             a

@@ -123,6 +123,10 @@ pub enum ExecError {
     ReturnUnderflow(BlockId),
     /// A `resolve` executed with no outstanding `predict` (compiler bug).
     OrphanResolve(BlockId),
+    /// Control fell off the end of a block (or took the not-taken edge of
+    /// a conditional) with no fall-through successor — a malformed program
+    /// that escaped validation (compiler bug).
+    MissingFallthrough(BlockId),
 }
 
 impl fmt::Display for ExecError {
@@ -133,6 +137,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::ReturnUnderflow(b) => write!(f, "return with empty call stack in {b}"),
             ExecError::OrphanResolve(b) => write!(f, "resolve without outstanding predict in {b}"),
+            ExecError::MissingFallthrough(b) => {
+                write!(f, "no fall-through successor for {b}")
+            }
         }
     }
 }
@@ -322,7 +329,7 @@ impl<'p> Interpreter<'p> {
                 // Implicit fall-through.
                 let ft = bb
                     .fallthrough()
-                    .expect("validated program: fall-through present");
+                    .ok_or(ExecError::MissingFallthrough(block))?;
                 block = ft;
                 idx = 0;
                 continue;
@@ -390,7 +397,9 @@ impl<'p> Interpreter<'p> {
                         idx = 0;
                         continue;
                     }
-                    block = bb.fallthrough().expect("validated");
+                    block = bb
+                        .fallthrough()
+                        .ok_or(ExecError::MissingFallthrough(block))?;
                     idx = 0;
                     continue;
                 }
@@ -411,7 +420,9 @@ impl<'p> Interpreter<'p> {
                     if predicted_taken {
                         block = target;
                     } else {
-                        block = bb.fallthrough().expect("validated");
+                        block = bb
+                            .fallthrough()
+                            .ok_or(ExecError::MissingFallthrough(block))?;
                     }
                     idx = 0;
                     continue;
@@ -438,7 +449,9 @@ impl<'p> Interpreter<'p> {
                         idx = 0;
                         continue;
                     }
-                    block = bb.fallthrough().expect("validated");
+                    block = bb
+                        .fallthrough()
+                        .ok_or(ExecError::MissingFallthrough(block))?;
                     idx = 0;
                     continue;
                 }

@@ -51,6 +51,6 @@ mod store_buffer;
 
 pub use config::MachineConfig;
 pub use front::{FetchedInst, FrontEnd, PredInfo};
-pub use pipeline::{SimError, SimResult, Simulator, StopCause, TraceEvent};
+pub use pipeline::{SimError, SimFault, SimResult, Simulator, StopCause, TraceEvent};
 pub use stats::SimStats;
 pub use store_buffer::{StoreBuffer, StoreEntry};

@@ -7,6 +7,7 @@ use crate::stats::SimStats;
 use crate::store_buffer::StoreBuffer;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 use vanguard_isa::{
     eval_alu, BlockId, DecodedImage, FpOp, FuClass, Inst, Memory, Operand, Program, NUM_ARCH_REGS,
 };
@@ -19,6 +20,9 @@ pub enum StopCause {
     Halted,
     /// The configured cycle limit was reached.
     CycleLimit,
+    /// A watchdog (cycle budget or wall-clock deadline, see
+    /// [`Simulator::set_watchdog`]) cancelled the run cooperatively.
+    TimedOut,
 }
 
 /// Simulation errors (architectural faults on the committed path).
@@ -38,6 +42,28 @@ pub enum SimError {
         /// Program counter of the resolve.
         pc: u64,
     },
+    /// The decoded image violated a structural invariant the front end
+    /// relies on (e.g. a conditional without a fall-through successor, or
+    /// a front-end-only instruction reaching issue). Always a compiler or
+    /// decoder bug, surfaced as a trap so a bad program cannot abort the
+    /// host process.
+    MalformedImage {
+        /// Program counter of the offending instruction.
+        pc: u64,
+        /// The violated invariant.
+        detail: &'static str,
+    },
+}
+
+impl SimError {
+    /// Program counter the fault was detected at.
+    pub fn pc(&self) -> u64 {
+        match *self {
+            SimError::LoadFault { pc, .. }
+            | SimError::OrphanResolve { pc }
+            | SimError::MalformedImage { pc, .. } => pc,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -47,11 +73,32 @@ impl fmt::Display for SimError {
                 write!(f, "committed load fault at {addr:#x} (pc {pc:#x})")
             }
             SimError::OrphanResolve { pc } => write!(f, "orphan resolve at pc {pc:#x}"),
+            SimError::MalformedImage { pc, detail } => {
+                write!(f, "malformed image at pc {pc:#x}: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// A [`SimError`] plus the cycle it was detected at, from
+/// [`Simulator::run_checked`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimFault {
+    /// The architectural fault.
+    pub error: SimError,
+    /// Cycle the fault was detected at.
+    pub cycle: u64,
+}
+
+impl fmt::Display for SimFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at cycle {}", self.error, self.cycle)
+    }
+}
+
+impl std::error::Error for SimFault {}
 
 /// A pipeline trace event, delivered to [`Simulator::run_traced`]'s sink
 /// in cycle order. Intended for debugging schedules and for pipeline
@@ -133,6 +180,13 @@ pub struct Simulator<'t> {
     pending: Option<PendingRedirect>,
     halted: bool,
     trace: Option<TraceSink<'t>>,
+    /// Watchdog cycle budget (`u64::MAX` = disabled): exceeding it stops
+    /// the run with [`StopCause::TimedOut`], unlike the architectural
+    /// `config.max_cycles` limit which reports [`StopCause::CycleLimit`].
+    watchdog_cycles: u64,
+    /// Watchdog wall-clock deadline, checked every 4096 cycles so the
+    /// clean-run hot loop never pays a syscall per cycle.
+    watchdog_deadline: Option<Instant>,
 }
 
 impl<'t> fmt::Debug for Simulator<'t> {
@@ -187,12 +241,24 @@ impl<'t> Simulator<'t> {
             pending: None,
             halted: false,
             trace: None,
+            watchdog_cycles: u64::MAX,
+            watchdog_deadline: None,
         }
     }
 
     /// Sets an initial register value (before [`run`](Self::run)).
     pub fn set_reg(&mut self, r: vanguard_isa::Reg, v: u64) {
         self.regs[r.index()] = v;
+    }
+
+    /// Arms the cooperative watchdog: a cycle budget, a wall-clock
+    /// deadline, or both. Tripping either stops the run cleanly with
+    /// [`StopCause::TimedOut`] (partial statistics intact) instead of
+    /// spinning forever on a wedged guest. `None` leaves that dimension
+    /// unlimited.
+    pub fn set_watchdog(&mut self, max_cycles: Option<u64>, deadline: Option<Instant>) {
+        self.watchdog_cycles = max_cycles.unwrap_or(u64::MAX);
+        self.watchdog_deadline = deadline;
     }
 
     /// Runs to completion, delivering [`TraceEvent`]s to `sink`.
@@ -210,13 +276,34 @@ impl<'t> Simulator<'t> {
     /// # Errors
     ///
     /// Returns a [`SimError`] on a committed-path architectural fault.
-    pub fn run(mut self) -> Result<SimResult, SimError> {
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.run_checked().map_err(|f| f.error)
+    }
+
+    /// Runs to completion, reporting faults with the cycle they were
+    /// detected at (the engine's entry point: fault context feeds
+    /// `JobResult::Faulted`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimFault`] on a committed-path architectural fault.
+    pub fn run_checked(mut self) -> Result<SimResult, SimFault> {
         let stop = loop {
             if self.halted {
                 break StopCause::Halted;
             }
             if self.cycle >= self.config.max_cycles {
                 break StopCause::CycleLimit;
+            }
+            if self.cycle >= self.watchdog_cycles {
+                break StopCause::TimedOut;
+            }
+            if self.cycle & 0xFFF == 0 {
+                if let Some(deadline) = self.watchdog_deadline {
+                    if Instant::now() >= deadline {
+                        break StopCause::TimedOut;
+                    }
+                }
             }
             // 1. Apply a due misprediction redirect.
             if let Some(p) = &self.pending {
@@ -246,7 +333,12 @@ impl<'t> Simulator<'t> {
             self.front
                 .fetch_cycle(self.cycle, &mut self.mem_sys, &mut self.stats);
             // 3. Issue.
-            self.issue_cycle()?;
+            if let Err(error) = self.issue_cycle() {
+                return Err(SimFault {
+                    error,
+                    cycle: self.cycle,
+                });
+            }
             // 4. Commit stores that can no longer be squashed: any older
             //    conditional has redirected by now (redirect window is
             //    redirect_latency + 1 cycles).
@@ -270,11 +362,14 @@ impl<'t> Simulator<'t> {
         })
     }
 
-    fn fallthrough_of(&self, block: BlockId) -> BlockId {
+    fn fallthrough_of(&self, block: BlockId, pc: u64) -> Result<BlockId, SimError> {
         self.front
             .image()
             .fall_of(block)
-            .expect("validated program: conditional has fall-through")
+            .ok_or(SimError::MalformedImage {
+                pc,
+                detail: "conditional has no fall-through successor",
+            })
     }
 
     fn issue_cycle(&mut self) -> Result<(), SimError> {
@@ -341,10 +436,10 @@ impl<'t> Simulator<'t> {
                 FuClass::None => {
                     // Front-end-only instructions never reach issue; Halt is
                     // handled above. Nothing else should appear.
-                    unreachable!(
-                        "front-end-only instruction in fetch buffer: {:?}",
-                        head.inst
-                    )
+                    return Err(SimError::MalformedImage {
+                        pc: head.pc,
+                        detail: "front-end-only instruction in fetch buffer",
+                    });
                 }
             };
             if *slot == 0 {
@@ -432,7 +527,10 @@ impl<'t> Simulator<'t> {
                         predicted_taken,
                     }) = fi.pred
                     else {
-                        unreachable!("branch fetched without prediction")
+                        return Err(SimError::MalformedImage {
+                            pc: fi.pc,
+                            detail: "branch fetched without prediction",
+                        });
                     };
                     if !wrong_path {
                         self.stats.branches += 1;
@@ -442,16 +540,23 @@ impl<'t> Simulator<'t> {
                             let dest = if taken {
                                 target
                             } else {
-                                self.fallthrough_of(fi.block)
+                                self.fallthrough_of(fi.block, fi.pc)?
                             };
-                            self.schedule_redirect(dest, seq + 1, fi.snapshot, Some((meta, taken)));
+                            let snapshot = fi.snapshot.ok_or(SimError::MalformedImage {
+                                pc: fi.pc,
+                                detail: "branch carries no fetch snapshot",
+                            })?;
+                            self.schedule_redirect(dest, seq + 1, snapshot, Some((meta, taken)));
                         }
                     }
                 }
                 Inst::Resolve { cond, src, target } => {
                     let mispredicted = cond.eval(self.regs[src.index()]);
                     let Some(PredInfo::Resolve { dbb_index }) = fi.pred else {
-                        unreachable!("resolve fetched without DBB index")
+                        return Err(SimError::MalformedImage {
+                            pc: fi.pc,
+                            detail: "resolve fetched without DBB index",
+                        });
                     };
                     if !wrong_path {
                         self.stats.resolves += 1;
@@ -476,7 +581,11 @@ impl<'t> Simulator<'t> {
                                 .dbb
                                 .get(dbb_index)
                                 .map(|e| (e.meta, e.meta.taken ^ mispredicted));
-                            self.schedule_redirect(target, seq + 1, fi.snapshot, repair);
+                            let snapshot = fi.snapshot.ok_or(SimError::MalformedImage {
+                                pc: fi.pc,
+                                detail: "resolve carries no fetch snapshot",
+                            })?;
+                            self.schedule_redirect(target, seq + 1, snapshot, repair);
                         }
                     }
                 }
@@ -486,7 +595,10 @@ impl<'t> Simulator<'t> {
                 | Inst::Call { .. }
                 | Inst::Ret
                 | Inst::Halt => {
-                    unreachable!("front-end-only instruction issued: {:?}", fi.inst)
+                    return Err(SimError::MalformedImage {
+                        pc: fi.pc,
+                        detail: "front-end-only instruction issued",
+                    });
                 }
             }
         }
@@ -497,7 +609,7 @@ impl<'t> Simulator<'t> {
         &mut self,
         target: BlockId,
         store_seq: u64,
-        snapshot: Option<FetchSnapshot>,
+        snapshot: FetchSnapshot,
         repair: Option<(vanguard_bpred::PredMeta, bool)>,
     ) {
         debug_assert!(self.pending.is_none());
@@ -508,7 +620,7 @@ impl<'t> Simulator<'t> {
             regs: self.regs,
             reg_ready: self.reg_ready,
             store_seq,
-            snapshot: snapshot.expect("conditional carries a snapshot"),
+            snapshot,
             repair,
         });
     }

@@ -49,6 +49,8 @@ pub struct BuiltWorkload {
     pub train: WorkloadInput,
     /// REF inputs (evaluation).
     pub refs: Vec<WorkloadInput>,
+    /// The spec's master seed (replay handle for failure reports).
+    pub seed: u64,
 }
 
 /// Structural and behavioural parameters of one synthetic benchmark.
@@ -182,6 +184,7 @@ impl BenchmarkSpec {
             program,
             train,
             refs,
+            seed: self.seed,
         }
     }
 
