@@ -5,7 +5,16 @@
 //! cargo run --release -p vanguard-bench --bin figures -- table2 --quick
 //! cargo run --release -p vanguard-bench --bin figures -- fig8 fig9 sensitivity
 //! cargo run --release -p vanguard-bench --bin figures -- fig8 --quick --assert-shape
+//! cargo run --release -p vanguard-bench --bin figures -- ablation --quick
+//! cargo run --release -p vanguard-bench --bin figures -- fig8 --transform meld
 //! ```
+//!
+//! `ablation` runs every benchmark through all four transform passes
+//! (vanguard / meld / shadow / stacked) head-to-head on the 4-wide and
+//! prints the per-benchmark ablation table; `--transform <kind>`
+//! re-runs any *other* item under a rival pass instead of the paper's
+//! decomposition. `ablation` is deliberately not part of `all`, which
+//! reproduces the paper's figures only.
 //!
 //! `--assert-shape` (CI's paper-shape job) re-checks the qualitative
 //! claims of Figure 8 — positive geomean speedup at every width, the
@@ -23,10 +32,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 use vanguard_bench::{
-    check_fig8_shape, fig14_rows, fig2_fig3_series, format_speedups, format_table2, geomean_pct,
-    icache_ablation, sensitivity_rows, suite_speedups, table1_text, table2_rows, BenchScale,
-    StderrProgress, SuiteEngine,
+    ablation_rows, check_ablation_shape, check_fig8_shape, fig14_rows, fig2_fig3_series,
+    format_ablation, format_speedups, format_table2, geomean_pct, icache_ablation,
+    sensitivity_rows, suite_speedups, table1_text, table2_rows, BenchScale, StderrProgress,
+    SuiteEngine,
 };
+use vanguard_core::TransformKind;
 use vanguard_workloads::suite;
 
 fn main() {
@@ -44,6 +55,19 @@ fn main() {
         .position(|a| a == "--max-cycles")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
+    // `--transform <kind>` swaps the pass used by every non-ablation
+    // item (vanguard | meld | shadow | stacked).
+    let transform: Option<TransformKind> = args
+        .iter()
+        .position(|a| a == "--transform")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match TransformKind::parse(v) {
+            Some(kind) => kind,
+            None => {
+                eprintln!("unknown transform kind: {v} (want vanguard|meld|shadow|stacked)");
+                std::process::exit(2);
+            }
+        });
     let scale = if quick {
         BenchScale::Quick
     } else {
@@ -52,8 +76,11 @@ fn main() {
     let mut what: Vec<&str> = args
         .iter()
         .enumerate()
-        // Skip flags and the value slot of `--max-cycles`.
-        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--max-cycles"))
+        // Skip flags and the value slots of `--max-cycles`/`--transform`.
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0 || (args[i - 1] != "--max-cycles" && args[i - 1] != "--transform"))
+        })
         .map(|(_, a)| a.as_str())
         .collect();
     if what.is_empty() || what.contains(&"all") {
@@ -75,6 +102,10 @@ fn main() {
     }
 
     let mut eng = SuiteEngine::new(scale);
+    if let Some(kind) = transform {
+        eng.set_transform_kind(kind);
+        eprintln!("[engine] transform pass: {kind}");
+    }
     if let Some(mc) = max_cycles {
         let mut policy = eng.engine().fault_policy().clone();
         policy.max_cycles = Some(mc);
@@ -187,6 +218,24 @@ fn main() {
                 let avg: f64 = rows.iter().map(|r| r.increase_pct).sum::<f64>() / rows.len() as f64;
                 println!("{:<12} {avg:>6.2}%\n", "AVERAGE");
             }
+            "ablation" => {
+                println!("== Transform ablation: SPEC06 INT+FP, 4-wide, speedup% (sites) ==");
+                let mut specs = suite::spec2006_int();
+                specs.extend(suite::spec2006_fp());
+                let rows = ablation_rows(&mut eng, &specs);
+                println!("{}", format_ablation(&rows));
+                if assert_shape {
+                    match check_ablation_shape(&rows) {
+                        Ok(()) => eprintln!("[shape] ablation shape assertions hold"),
+                        Err(violations) => {
+                            shape_violated = true;
+                            for v in &violations {
+                                eprintln!("[shape] VIOLATION: {v}");
+                            }
+                        }
+                    }
+                }
+            }
             "sensitivity" => {
                 println!("== Section 5.3: branch-predictor sensitivity (astar/sjeng/gobmk/mcf) ==");
                 let specs: Vec<_> = suite::spec2006_int()
@@ -251,7 +300,7 @@ fn main() {
         std::process::exit(2);
     }
     if shape_violated {
-        eprintln!("[shape] fig8 shape assertions FAILED");
+        eprintln!("[shape] shape assertions FAILED");
         std::process::exit(3);
     }
 }

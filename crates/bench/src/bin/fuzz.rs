@@ -21,12 +21,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
-use vanguard_bench::fuzz::{run_case, run_fuzz, shrink, write_reproducer, FuzzConfig, Inject};
+use vanguard_bench::fuzz::{
+    kinds_for, run_case_kinds, run_fuzz, shrink_kinds, write_reproducer, FuzzConfig, Inject,
+};
+use vanguard_core::TransformKind;
 use vanguard_workloads::FuzzSpec;
 
 fn usage() -> ! {
     eprintln!(
         "usage: vanguard-fuzz [--cases N] [--seed S] [--time-budget SECS] [--out DIR]\n\
+         \x20                  [--transform vanguard|meld|shadow|stacked]\n\
          \x20                  [--inject flip-resolves|faulting-loads]\n\
          \x20                  [--one SEED [--sites N] [--side-insts N] [--stores N]\n\
          \x20                   [--persistent N] [--iterations N] [--cond-chain BOOL]\n\
@@ -46,6 +50,7 @@ fn main() -> ExitCode {
     let mut time_budget: Option<Duration> = None;
     let mut out_dir = PathBuf::from("fuzz-out");
     let mut inject: Option<Inject> = None;
+    let mut transform: Option<TransformKind> = None;
     let mut one: Option<u64> = None;
     let mut overrides: Vec<(String, String)> = Vec::new();
 
@@ -55,6 +60,14 @@ fn main() -> ExitCode {
             "--seed" => seed = parse(args.next()),
             "--time-budget" => time_budget = Some(Duration::from_secs(parse(args.next()))),
             "--out" => out_dir = PathBuf::from(parse::<String>(args.next())),
+            "--transform" => {
+                transform = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(TransformKind::parse)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--inject" => {
                 inject = Some(
                     args.next()
@@ -90,13 +103,14 @@ fn main() -> ExitCode {
             }
         }
         eprintln!("[fuzz] replaying {spec:?}");
-        return match run_case(&spec, inject) {
+        let kinds = kinds_for(transform);
+        return match run_case_kinds(&spec, inject, &kinds) {
             Ok(sites) => {
                 println!("seed {seed}: PASS ({sites} sites converted)");
                 ExitCode::SUCCESS
             }
             Err(failure) => {
-                let (min_spec, min_failure) = shrink(&spec, inject, failure);
+                let (min_spec, min_failure) = shrink_kinds(&spec, inject, failure, &kinds);
                 println!("seed {seed}: FAIL\n{min_failure}");
                 match write_reproducer(&out_dir, &min_spec, inject, &min_failure) {
                     Ok(dir) => eprintln!("[fuzz] reproducer written to {}", dir.display()),
@@ -113,6 +127,7 @@ fn main() -> ExitCode {
         time_budget,
         out_dir,
         inject,
+        transform,
     };
     let stats = run_fuzz(&config);
     println!(

@@ -1,13 +1,35 @@
 //! Developer inspection tool: dumps baseline-vs-experimental statistics
 //! for one benchmark (used to diagnose where cycles go).
+//!
+//! `--transform <kind>` swaps the pass (vanguard | meld | shadow |
+//! stacked) so rival transformations can be diagnosed the same way.
 
 use std::sync::Arc;
 use vanguard_bench::{BenchScale, StderrProgress, SuiteEngine};
+use vanguard_core::TransformKind;
 use vanguard_sim::MachineConfig;
 use vanguard_workloads::suite;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let transform: Option<TransformKind> = args
+        .iter()
+        .position(|a| a == "--transform")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match TransformKind::parse(v) {
+            Some(kind) => kind,
+            None => {
+                eprintln!("unknown transform kind: {v} (want vanguard|meld|shadow|stacked)");
+                std::process::exit(1);
+            }
+        });
+    let name = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--transform"))
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| "mcf".into());
     let Some(spec) = suite::all_benchmarks().into_iter().find(|s| s.name == name) else {
         let names: Vec<String> = suite::all_benchmarks()
             .into_iter()
@@ -20,17 +42,25 @@ fn main() {
         std::process::exit(1);
     };
     let mut eng = SuiteEngine::new(BenchScale::Quick);
+    if let Some(kind) = transform {
+        eng.set_transform_kind(kind);
+    }
     eng.observe(Arc::new(StderrProgress::verbose()));
     let out = eng.outcome(&spec, MachineConfig::four_wide());
     let r = &out.runs[0];
-    println!("== {name} ==");
+    println!("== {name} ({}) ==", eng.transform().kind);
     println!(
         "speedup: {:.2}%   PBC {:.1}  PISCS {:.1}",
         out.geomean_speedup_pct(),
         out.report.pbc(),
         out.report.piscs()
     );
-    println!("skipped sites: {:?}", out.report.skipped);
+    println!(
+        "converted: {}  melded: {}  skipped sites: {:?}",
+        out.report.converted.len(),
+        out.report.melded,
+        out.report.skipped
+    );
     for (label, s) in [("base", &r.base), ("exp ", &r.exp)] {
         println!(
             "{label}: cyc={} ipc={:.2} issued={} wp={} fetched={} br={} brmiss={} res={} resmiss={} \

@@ -8,13 +8,16 @@
 //!
 //! # Your own program (assembly syntax; see vanguard_isa::parse_program):
 //! cargo run --release -p vanguard-bench --bin pipeview -- path/to/prog.s 120
+//!
+//! # Rival passes on the demo (vanguard | meld | shadow | stacked):
+//! cargo run --release -p vanguard-bench --bin pipeview -- --transform shadow
 //! ```
 
 use std::sync::Arc;
 use vanguard_bench::StderrProgress;
 use vanguard_bpred::Combined;
 use vanguard_core::engine::{Engine, PredictorKind};
-use vanguard_core::{ExperimentInput, RunInput, TransformOptions};
+use vanguard_core::{ExperimentInput, RunInput, TransformKind, TransformOptions};
 use vanguard_isa::{parse_program, Memory, Program, Reg};
 use vanguard_sim::{MachineConfig, Simulator, TraceEvent};
 
@@ -128,9 +131,27 @@ fn render(label: &str, program: &Program, mem: Memory, window: u64) -> u64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let max_cycles: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let kind: TransformKind = args
+        .iter()
+        .position(|a| a == "--transform")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match TransformKind::parse(v) {
+            Some(kind) => kind,
+            None => {
+                eprintln!("unknown transform kind: {v} (want vanguard|meld|shadow|stacked)");
+                std::process::exit(1);
+            }
+        })
+        .unwrap_or_default();
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--transform"))
+        .map(|(_, a)| a)
+        .collect();
+    let max_cycles: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
 
-    if let Some(path) = args.first() {
+    if let Some(path) = positional.first() {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -167,24 +188,29 @@ fn main() {
         refs: vec![demo_input],
         seed: None,
     });
+    let options = TransformOptions {
+        kind,
+        ..TransformOptions::default()
+    };
     let pair = engine
         .compile_pair(
             bench,
             PredictorKind::Combined24KB,
             MachineConfig::four_wide(),
-            &TransformOptions::default(),
+            &options,
             1_000_000,
         )
         .expect("profiles");
     let (base, dec, report) = (pair.baseline, pair.transformed, pair.report);
 
     println!(
-        "Decomposed {} site(s). Watch the baseline stall at `cmp`/`br` while\n\
-         the decomposed trace issues `ld.s` loads under the unresolved branch.\n",
-        report.converted.len()
+        "Pass `{kind}`: {} site(s) decomposed, {} hammock(s) melded. Watch the\n\
+         baseline stall at `cmp`/`br` while the transformed trace runs ahead.\n",
+        report.converted.len(),
+        report.melded
     );
     let b = render("baseline", &base, demo_memory(), max_cycles);
-    let d = render("decomposed", &dec, demo_memory(), max_cycles);
+    let d = render(kind.name(), &dec, demo_memory(), max_cycles);
     println!(
         "speedup: {:.2}%  (r1 iterations: 200)",
         (b as f64 / d as f64 - 1.0) * 100.0

@@ -19,6 +19,12 @@
 //! A failing case is shrunk by greedy knob reduction to a minimal
 //! reproducer and written to disk with exact replay instructions.
 //! Everything is deterministic in the seed.
+//!
+//! Every case runs through *all* transform passes ([`TransformKind::ALL`]
+//! unless `--transform` restricts it): the baseline gates once, then
+//! each variant's transformed program goes through the same
+//! lint/differential/parity oracle, with the lint dispatching on the
+//! pass's structural contract ([`vanguard_core::lint_variant`]).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -26,8 +32,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vanguard_bpred::Combined;
 use vanguard_core::{
-    lint_program, verify_equivalence, Experiment, ExperimentInput, Observables, RunInput,
-    TransformOptions,
+    lint_program, lint_variant, verify_equivalence, Experiment, ExperimentInput, Observables,
+    RunInput, TransformKind, TransformOptions,
 };
 use vanguard_isa::{
     DecodedImage, InterpConfig, Interpreter, Memory, Program, Reg, StopReason, TakenOracle,
@@ -80,6 +86,19 @@ pub struct FuzzConfig {
     pub out_dir: PathBuf,
     /// Test-only transform sabotage.
     pub inject: Option<Inject>,
+    /// Restrict the campaign to one pass (default: every
+    /// [`TransformKind`], vanguard first).
+    pub transform: Option<TransformKind>,
+}
+
+/// The variant list a campaign runs: one explicit kind, or all of them
+/// with vanguard first (the injected-sabotage smoke tests rely on the
+/// vanguard variant being gated before the rivals).
+pub fn kinds_for(transform: Option<TransformKind>) -> Vec<TransformKind> {
+    match transform {
+        Some(kind) => vec![kind],
+        None => TransformKind::ALL.to_vec(),
+    }
 }
 
 /// Why one case failed.
@@ -159,9 +178,10 @@ pub struct FuzzStats {
 
 /// Maps the spec's transform knobs onto the experiment, with the
 /// selector relaxed so short fuzz loops still qualify.
-fn experiment_for(spec: &FuzzSpec) -> Experiment {
+fn experiment_for(spec: &FuzzSpec, kind: TransformKind) -> Experiment {
     let mut exp = Experiment::new(MachineConfig::four_wide());
     exp.transform = TransformOptions {
+        kind,
         max_hoist: spec.max_hoist,
         hoist_loads: spec.hoist_loads,
         shadow_temps: spec.shadow_temps,
@@ -263,11 +283,79 @@ fn sim_state(
     Ok((vals, res.memory.written_words()))
 }
 
-/// Runs one case through all three gates. `Ok(sites)` is the number of
-/// converted branch sites (0 = the selector declined; still checked).
+/// Gates 2 and 3 for one compiled program under one label.
+fn runtime_gates(
+    variant: &'static str,
+    program: &Program,
+    case: &FuzzCase,
+    obs: &Observables,
+) -> Result<(), CaseFailure> {
+    // Gate 2: interpreter differential under adversarial oracles.
+    let divs = verify_equivalence(
+        &case.program,
+        program,
+        &case.memory,
+        &case.init_regs,
+        obs,
+        RANDOM_ORACLES,
+        MAX_STEPS,
+    )
+    .map_err(|e| CaseFailure::Profile(format!("reference run faulted: {e}")))?;
+    if !divs.is_empty() {
+        return Err(CaseFailure::Divergence {
+            variant,
+            divergences: divs.iter().map(|d| d.to_string()).collect(),
+        });
+    }
+
+    // Gate 3: cycle-simulator parity with the interpreter.
+    let i = interp_state(program, case.memory.clone(), &case.init_regs, &obs.regs)
+        .map_err(|detail| CaseFailure::SimParity { variant, detail })?;
+    let s = sim_state(program, case.memory.clone(), &case.init_regs, &obs.regs)
+        .map_err(|detail| CaseFailure::SimParity { variant, detail })?;
+    if i.0 != s.0 {
+        let r = obs
+            .regs
+            .iter()
+            .zip(i.0.iter().zip(&s.0))
+            .find(|(_, (a, b))| a != b);
+        let (reg, (iv, sv)) = r.expect("some register differs");
+        return Err(CaseFailure::SimParity {
+            variant,
+            detail: format!("{reg}: interpreter {iv:#x} vs simulator {sv:#x}"),
+        });
+    }
+    if i.1 != s.1 {
+        return Err(CaseFailure::SimParity {
+            variant,
+            detail: format!(
+                "written words differ: interpreter {} words vs simulator {}",
+                i.1.len(),
+                s.1.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Runs one case through all three gates for every transform pass.
+/// `Ok(sites)` is the largest per-variant count of changed sites
+/// (converted branches + melded hammocks; 0 = every selector declined —
+/// still checked).
 pub fn run_case(spec: &FuzzSpec, inject: Option<Inject>) -> Result<u64, CaseFailure> {
+    run_case_kinds(spec, inject, &kinds_for(None))
+}
+
+/// [`run_case`] restricted to an explicit variant list. The baseline
+/// program is identical across variants and gates once (against the
+/// first kind's compile); each variant's transformed program then runs
+/// the full oracle under its pass-specific lint contract.
+pub fn run_case_kinds(
+    spec: &FuzzSpec,
+    inject: Option<Inject>,
+    kinds: &[TransformKind],
+) -> Result<u64, CaseFailure> {
     let case: FuzzCase = spec.build();
-    let exp = experiment_for(spec);
     let input = ExperimentInput {
         name: format!("fuzz-{}", spec.seed),
         program: case.program.clone(),
@@ -281,80 +369,55 @@ pub fn run_case(spec: &FuzzSpec, inject: Option<Inject>) -> Result<u64, CaseFail
         }],
         seed: Some(spec.seed),
     };
-    let profile = exp
+    // The profile depends only on program + predictor, never on the
+    // transform: compute it once and share it across every variant.
+    let profile = experiment_for(spec, TransformKind::Vanguard)
         .profile(&input)
         .map_err(|e| CaseFailure::Profile(e.to_string()))?;
-    let (baseline, mut transformed, report) = exp.compile_pair(&case.program, &profile);
-    if let Some(inject) = inject {
-        sabotage(&mut transformed, inject);
-    }
-
-    // Gate 1: static lint on both compiled programs.
-    for (variant, program) in [("baseline", &baseline), ("transformed", &transformed)] {
-        let diags = lint_program(program);
-        if !diags.is_empty() {
-            return Err(CaseFailure::Lint {
-                variant,
-                diagnostics: diags.iter().map(|d| d.to_string()).collect(),
-            });
-        }
-    }
-
-    // Gate 2: interpreter differential under adversarial oracles.
     let obs = Observables {
         regs: observable_regs(&case.program),
         memory_ranges: vec![case.out_range],
     };
-    for (variant, program) in [("baseline", &baseline), ("transformed", &transformed)] {
-        let divs = verify_equivalence(
-            &case.program,
-            program,
-            &case.memory,
-            &case.init_regs,
-            &obs,
-            RANDOM_ORACLES,
-            MAX_STEPS,
-        )
-        .map_err(|e| CaseFailure::Profile(format!("reference run faulted: {e}")))?;
-        if !divs.is_empty() {
-            return Err(CaseFailure::Divergence {
-                variant,
-                divergences: divs.iter().map(|d| d.to_string()).collect(),
+
+    let mut max_sites = 0u64;
+    for (idx, &kind) in kinds.iter().enumerate() {
+        let exp = experiment_for(spec, kind);
+        let (baseline, mut transformed, report) = exp.compile_pair(&case.program, &profile);
+        if let Some(inject) = inject {
+            sabotage(&mut transformed, inject);
+        }
+        let sites = (report.converted.len() + report.melded) as u64;
+        max_sites = max_sites.max(sites);
+
+        if idx == 0 {
+            // The baseline side is transform-independent (layout +
+            // scheduling only): gate it once.
+            let diags = lint_program(&baseline);
+            if !diags.is_empty() {
+                return Err(CaseFailure::Lint {
+                    variant: "baseline",
+                    diagnostics: diags.iter().map(|d| d.to_string()).collect(),
+                });
+            }
+            runtime_gates("baseline", &baseline, &case, &obs)?;
+        } else if sites == 0 && inject.is_none() {
+            // This variant's selector declined every site, so its
+            // transformed program is the already-gated baseline.
+            continue;
+        }
+
+        // Gate 1: pass-contract lint on the transformed program.
+        let diags = lint_variant(kind, &baseline, &transformed);
+        if !diags.is_empty() {
+            return Err(CaseFailure::Lint {
+                variant: kind.name(),
+                diagnostics: diags.iter().map(|d| d.to_string()).collect(),
             });
         }
+        runtime_gates(kind.name(), &transformed, &case, &obs)?;
     }
 
-    // Gate 3: cycle-simulator parity with the interpreter.
-    for (variant, program) in [("baseline", &baseline), ("transformed", &transformed)] {
-        let i = interp_state(program, case.memory.clone(), &case.init_regs, &obs.regs)
-            .map_err(|detail| CaseFailure::SimParity { variant, detail })?;
-        let s = sim_state(program, case.memory.clone(), &case.init_regs, &obs.regs)
-            .map_err(|detail| CaseFailure::SimParity { variant, detail })?;
-        if i.0 != s.0 {
-            let r = obs
-                .regs
-                .iter()
-                .zip(i.0.iter().zip(&s.0))
-                .find(|(_, (a, b))| a != b);
-            let (reg, (iv, sv)) = r.expect("some register differs");
-            return Err(CaseFailure::SimParity {
-                variant,
-                detail: format!("{reg}: interpreter {iv:#x} vs simulator {sv:#x}"),
-            });
-        }
-        if i.1 != s.1 {
-            return Err(CaseFailure::SimParity {
-                variant,
-                detail: format!(
-                    "written words differ: interpreter {} words vs simulator {}",
-                    i.1.len(),
-                    s.1.len()
-                ),
-            });
-        }
-    }
-
-    Ok(report.converted.len() as u64)
+    Ok(max_sites)
 }
 
 /// Greedy shrink: repeatedly tries knob reductions, keeping any that
@@ -364,6 +427,17 @@ pub fn shrink(
     spec: &FuzzSpec,
     inject: Option<Inject>,
     failure: CaseFailure,
+) -> (FuzzSpec, CaseFailure) {
+    shrink_kinds(spec, inject, failure, &kinds_for(None))
+}
+
+/// [`shrink`] restricted to an explicit variant list, so a campaign
+/// limited to one pass shrinks against that pass's oracle only.
+pub fn shrink_kinds(
+    spec: &FuzzSpec,
+    inject: Option<Inject>,
+    failure: CaseFailure,
+    kinds: &[TransformKind],
 ) -> (FuzzSpec, CaseFailure) {
     let mut best = spec.clone();
     let mut best_failure = failure;
@@ -423,7 +497,7 @@ pub fn shrink(
             if attempts > MAX_SHRINK_ATTEMPTS {
                 return (best, best_failure);
             }
-            if let Err(f) = run_case(&candidate, inject) {
+            if let Err(f) = run_case_kinds(&candidate, inject, kinds) {
                 best = candidate;
                 best_failure = f;
                 reduced = true;
@@ -436,8 +510,22 @@ pub fn shrink(
     }
 }
 
+/// The pass a failure implicates: its variant label *is* a kind name
+/// for transformed-side failures (baseline/profile failures fall back
+/// to vanguard — the transform is not implicated there anyway).
+pub fn failure_kind(failure: &CaseFailure) -> TransformKind {
+    let variant = match failure {
+        CaseFailure::Lint { variant, .. }
+        | CaseFailure::Divergence { variant, .. }
+        | CaseFailure::SimParity { variant, .. } => variant,
+        CaseFailure::Profile(_) => "vanguard",
+    };
+    TransformKind::parse(variant).unwrap_or_default()
+}
+
 /// Writes a minimized reproducer directory: the spec, replay command,
-/// failure description, and both programs' disassembly.
+/// failure description, and both programs' disassembly (the transformed
+/// side compiled under the pass the failure implicates).
 ///
 /// # Errors
 ///
@@ -450,6 +538,7 @@ pub fn write_reproducer(
 ) -> std::io::Result<PathBuf> {
     let case_dir = dir.join(format!("seed-{}", spec.seed));
     std::fs::create_dir_all(&case_dir)?;
+    let kind = failure_kind(failure);
     let mut replay = format!(
         "cargo run --release -p vanguard-bench --bin vanguard-fuzz -- \\\n  --one {} --sites {} --side-insts {} --stores {} --persistent {} \\\n  --iterations {} --cond-chain {} --shadow-temps {} --hoist-loads {} --max-hoist {}",
         spec.seed,
@@ -463,6 +552,9 @@ pub fn write_reproducer(
         spec.hoist_loads,
         spec.max_hoist,
     );
+    if kind != TransformKind::Vanguard {
+        replay.push_str(&format!(" \\\n  --transform {kind}"));
+    }
     if let Some(inject) = inject {
         let flag = match inject {
             Inject::FlipResolves => "flip-resolves",
@@ -476,7 +568,7 @@ pub fn write_reproducer(
     )?;
     let case = spec.build();
     std::fs::write(case_dir.join("original.asm"), case.program.disassemble())?;
-    let exp = experiment_for(spec);
+    let exp = experiment_for(spec, kind);
     if let Ok(profile) = exp.profile(&ExperimentInput {
         name: "repro".into(),
         program: case.program.clone(),
@@ -504,6 +596,7 @@ pub fn write_reproducer(
 pub fn run_fuzz(config: &FuzzConfig) -> FuzzStats {
     let started = Instant::now();
     let mut stats = FuzzStats::default();
+    let kinds = kinds_for(config.transform);
     for i in 0..config.cases {
         if let Some(budget) = config.time_budget {
             if started.elapsed() >= budget {
@@ -514,7 +607,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzStats {
         let seed = config.start_seed + i;
         let spec = FuzzSpec::from_seed(seed);
         stats.cases_run += 1;
-        match run_case(&spec, config.inject) {
+        match run_case_kinds(&spec, config.inject, &kinds) {
             Ok(sites) => {
                 if sites > 0 {
                     stats.transformed += 1;
@@ -523,7 +616,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzStats {
             }
             Err(failure) => {
                 eprintln!("[fuzz] seed {seed} FAILED: shrinking…");
-                let (min_spec, min_failure) = shrink(&spec, config.inject, failure);
+                let (min_spec, min_failure) = shrink_kinds(&spec, config.inject, failure, &kinds);
                 match write_reproducer(&config.out_dir, &min_spec, config.inject, &min_failure) {
                     Ok(dir) => eprintln!("[fuzz] reproducer written to {}", dir.display()),
                     Err(e) => eprintln!("[fuzz] failed to write reproducer: {e}"),

@@ -9,7 +9,7 @@ use vanguard_core::engine::{
     DEFAULT_MAX_PROFILE_STEPS,
 };
 use vanguard_core::{
-    ExperimentError, ExperimentInput, ExperimentOutcome, RunInput, TransformOptions,
+    ExperimentError, ExperimentInput, ExperimentOutcome, RunInput, TransformKind, TransformOptions,
 };
 use vanguard_ir::Profile;
 use vanguard_sim::MachineConfig;
@@ -99,6 +99,7 @@ pub struct SuiteEngine {
     engine: Engine,
     scale: BenchScale,
     ids: HashMap<String, usize>,
+    transform: TransformOptions,
 }
 
 impl SuiteEngine {
@@ -109,6 +110,7 @@ impl SuiteEngine {
             engine: Engine::new(),
             scale,
             ids: HashMap::new(),
+            transform: TransformOptions::default(),
         }
     }
 
@@ -118,7 +120,21 @@ impl SuiteEngine {
             engine: Engine::with_workers(workers),
             scale,
             ids: HashMap::new(),
+            transform: TransformOptions::default(),
         }
+    }
+
+    /// Selects the transform pass for subsequent [`SuiteEngine::run_cells`]
+    /// / [`SuiteEngine::run_jobs`] / [`SuiteEngine::outcome`] calls (the
+    /// remaining options keep their paper defaults). Artifacts are keyed
+    /// by the full option set, so switching kinds mid-run never collides.
+    pub fn set_transform_kind(&mut self, kind: TransformKind) {
+        self.transform.kind = kind;
+    }
+
+    /// The transform options subsequent runs will use.
+    pub fn transform(&self) -> &TransformOptions {
+        &self.transform
     }
 
     /// Subscribes a progress observer on the underlying engine.
@@ -170,7 +186,9 @@ impl SuiteEngine {
             .profile(id, predictor, DEFAULT_MAX_PROFILE_STEPS)
     }
 
-    /// Runs a sweep matrix with the paper's default transform options.
+    /// Runs a sweep matrix with the configured transform options (the
+    /// paper's defaults unless [`SuiteEngine::set_transform_kind`] was
+    /// called).
     ///
     /// # Errors
     ///
@@ -179,21 +197,29 @@ impl SuiteEngine {
         &self,
         cells: &[SweepCell],
     ) -> Result<Vec<ExperimentOutcome>, ExperimentError> {
-        self.engine.run_cells(
-            cells,
-            &TransformOptions::default(),
-            DEFAULT_MAX_PROFILE_STEPS,
-        )
+        self.run_cells_with(cells, &self.transform)
     }
 
-    /// Runs a flat job list with the paper's default transform options.
+    /// Runs a sweep matrix with an explicit option set (the ablation
+    /// table sweeps every [`TransformKind`] over the same cells).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by job index) profiling or simulation error.
+    pub fn run_cells_with(
+        &self,
+        cells: &[SweepCell],
+        options: &TransformOptions,
+    ) -> Result<Vec<ExperimentOutcome>, ExperimentError> {
+        self.engine
+            .run_cells(cells, options, DEFAULT_MAX_PROFILE_STEPS)
+    }
+
+    /// Runs a flat job list with the configured transform options.
     /// Infallible: each job yields its own [`JobResult`] outcome.
     pub fn run_jobs(&self, jobs: &[SimJob]) -> Vec<vanguard_core::engine::JobResult> {
-        self.engine.run_jobs(
-            jobs,
-            &TransformOptions::default(),
-            DEFAULT_MAX_PROFILE_STEPS,
-        )
+        self.engine
+            .run_jobs(jobs, &self.transform, DEFAULT_MAX_PROFILE_STEPS)
     }
 
     /// Convenience: one spec, one machine, baseline predictor — the old

@@ -22,6 +22,7 @@
 //! shared [`SuiteEngine`], so profiles and compiled pairs are computed
 //! once and reused across every figure of a harness invocation.
 
+mod ablation;
 pub mod faultinject;
 mod figures;
 pub mod fuzz;
@@ -29,6 +30,7 @@ mod glue;
 mod progress;
 mod speedups;
 
+pub use ablation::{ablation_rows, check_ablation_shape, format_ablation, AblationRow};
 pub use figures::{
     fig14_rows, fig2_fig3_series, icache_ablation, sensitivity_rows, table1_text, BiasPredPoint,
     IcacheAblationRow, IssuedRow, SensitivityRow,

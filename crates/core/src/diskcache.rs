@@ -1,9 +1,14 @@
-//! Crash-safe on-disk profile cache.
+//! Crash-safe on-disk artifact cache.
 //!
-//! Profiles are the engine's most expensive artifact (a full TRAIN-input
-//! interpretation), so they can optionally persist across processes in a
-//! directory named by `VANGUARD_CACHE_DIR`. The cache is designed to
-//! survive crashes and concurrent writers without ever poisoning a run:
+//! Expensive engine artifacts — profiles (a full TRAIN-input
+//! interpretation) and compiled program pairs — can optionally persist
+//! across processes in a directory named by `VANGUARD_CACHE_DIR`.
+//! Entries are namespaced by a `tag` (`profile-…`, `pair-…`) so distinct
+//! artifact types can never alias, and every key already folds in the
+//! transform variant's stable cache id, so two transform kinds of the
+//! same (benchmark, profile, width) occupy distinct files. The cache is
+//! designed to survive crashes and concurrent writers without ever
+//! poisoning a run:
 //!
 //! * **Atomic writes** — entries are written to a private temp file in
 //!   the cache directory and `rename`d into place, so a reader never
@@ -45,7 +50,7 @@ pub struct CorruptEntry {
     pub detail: String,
 }
 
-/// A crash-safe, checksummed profile cache rooted at a directory.
+/// A crash-safe, checksummed artifact cache rooted at a directory.
 #[derive(Clone, Debug)]
 pub struct DiskCache {
     dir: PathBuf,
@@ -67,11 +72,11 @@ impl DiskCache {
         self.dir.join("quarantine")
     }
 
-    fn entry_path(&self, key: u64) -> PathBuf {
-        self.dir.join(format!("profile-{key:016x}.bin"))
+    fn entry_path(&self, tag: &str, key: u64) -> PathBuf {
+        self.dir.join(format!("{tag}-{key:016x}.bin"))
     }
 
-    /// Loads and validates the entry for `key`.
+    /// Loads and validates the profile entry for `key`.
     ///
     /// Returns `Ok(None)` on a clean miss (no entry).
     ///
@@ -82,19 +87,43 @@ impl DiskCache {
     /// deleted if the move failed), so recomputing and re-storing is
     /// always safe.
     pub fn load(&self, key: u64) -> Result<Option<Profile>, CorruptEntry> {
-        let path = self.entry_path(key);
+        let Some(payload) = self.load_bytes(Self::PROFILE_TAG, key)? else {
+            return Ok(None);
+        };
+        match Profile::from_bytes(&payload) {
+            Ok(profile) => Ok(Some(profile)),
+            Err(detail) => Err(self.reject(Self::PROFILE_TAG, key, detail)),
+        }
+    }
+
+    /// The entry namespace for profiles ([`DiskCache::load`] /
+    /// [`DiskCache::store`]).
+    pub const PROFILE_TAG: &'static str = "profile";
+
+    /// Loads and validates the raw entry for `(tag, key)`, returning the
+    /// checksummed payload. `Ok(None)` is a clean miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptEntry`] when an entry exists but its envelope
+    /// (magic, length, checksum) fails validation; the entry has been
+    /// quarantined, so recomputing and re-storing is always safe. The
+    /// caller is responsible for *structural* validation of the payload
+    /// — use [`DiskCache::reject`] when that fails.
+    pub fn load_bytes(&self, tag: &str, key: u64) -> Result<Option<Vec<u8>>, CorruptEntry> {
+        let path = self.entry_path(tag, key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(self.quarantine(&path, format!("unreadable: {e}"))),
         };
         match Self::validate(&bytes) {
-            Ok(profile) => Ok(Some(profile)),
+            Ok(payload) => Ok(Some(payload.to_vec())),
             Err(detail) => Err(self.quarantine(&path, detail.to_string())),
         }
     }
 
-    fn validate(bytes: &[u8]) -> Result<Profile, &'static str> {
+    fn validate(bytes: &[u8]) -> Result<&[u8], &'static str> {
         if bytes.len() < 20 {
             return Err("shorter than the entry header");
         }
@@ -110,38 +139,55 @@ impl DiskCache {
         if fnv1a(payload) != checksum {
             return Err("checksum mismatch");
         }
-        Profile::from_bytes(payload)
+        Ok(payload)
     }
 
-    /// Atomically stores the entry for `key` (temp file + rename; a
-    /// concurrent reader sees either the old entry or the new one,
-    /// never a torn write).
+    /// Atomically stores the profile entry for `key` (temp file +
+    /// rename; a concurrent reader sees either the old entry or the new
+    /// one, never a torn write).
     ///
     /// # Errors
     ///
     /// Returns the I/O error; callers treat a failed store as a cache
     /// miss, never a run failure.
     pub fn store(&self, key: u64, profile: &Profile) -> io::Result<()> {
+        self.store_bytes(Self::PROFILE_TAG, key, &profile.to_bytes())
+    }
+
+    /// Atomically stores a raw payload for `(tag, key)` under the
+    /// checksummed envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error; callers treat a failed store as a cache
+    /// miss, never a run failure.
+    pub fn store_bytes(&self, tag: &str, key: u64, payload: &[u8]) -> io::Result<()> {
         fs::create_dir_all(&self.dir)?;
-        let payload = profile.to_bytes();
         let mut entry = Vec::with_capacity(20 + payload.len());
         entry.extend_from_slice(MAGIC);
         entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        entry.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-        entry.extend_from_slice(&payload);
+        entry.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        entry.extend_from_slice(payload);
         let tmp = self
             .dir
-            .join(format!(".tmp-{key:016x}-{}", std::process::id()));
+            .join(format!(".tmp-{tag}-{key:016x}-{}", std::process::id()));
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(&entry)?;
             f.sync_all()?;
         }
-        let result = fs::rename(&tmp, self.entry_path(key));
+        let result = fs::rename(&tmp, self.entry_path(tag, key));
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
         }
         result
+    }
+
+    /// Quarantines the entry for `(tag, key)` whose *payload* failed the
+    /// caller's structural validation (the envelope was intact, so
+    /// [`DiskCache::load_bytes`] returned it as a hit).
+    pub fn reject(&self, tag: &str, key: u64, detail: impl Into<String>) -> CorruptEntry {
+        self.quarantine(&self.entry_path(tag, key), detail.into())
     }
 
     /// Moves a poisoned entry into `quarantine/`, falling back to
@@ -205,7 +251,7 @@ mod tests {
     fn truncation_is_detected_and_quarantined() {
         let cache = temp_cache("truncate");
         cache.store(3, &sample_profile()).unwrap();
-        let path = cache.entry_path(3);
+        let path = cache.entry_path(DiskCache::PROFILE_TAG, 3);
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         let err = cache.load(3).expect_err("truncated entry must not load");
@@ -221,7 +267,7 @@ mod tests {
     fn bitflip_is_detected() {
         let cache = temp_cache("bitflip");
         cache.store(5, &sample_profile()).unwrap();
-        let path = cache.entry_path(5);
+        let path = cache.entry_path(DiskCache::PROFILE_TAG, 5);
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
@@ -232,10 +278,43 @@ mod tests {
     }
 
     #[test]
+    fn byte_entries_roundtrip_and_tags_namespace_keys() {
+        let cache = temp_cache("bytes");
+        cache
+            .store_bytes("pair", 11, b"compiled pair payload")
+            .unwrap();
+        assert_eq!(
+            cache.load_bytes("pair", 11).unwrap().as_deref(),
+            Some(&b"compiled pair payload"[..])
+        );
+        // The same key under another tag is a clean miss — tags are
+        // namespaces, so a profile and a pair can never alias.
+        assert!(cache
+            .load_bytes(DiskCache::PROFILE_TAG, 11)
+            .unwrap()
+            .is_none());
+        assert!(cache.load(11).unwrap().is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn reject_quarantines_structurally_invalid_payloads() {
+        let cache = temp_cache("reject");
+        cache.store_bytes("pair", 13, b"not a valid pair").unwrap();
+        // Envelope validates, so load_bytes hits...
+        assert!(cache.load_bytes("pair", 13).unwrap().is_some());
+        // ...but the caller's structural validation fails and rejects it.
+        let err = cache.reject("pair", 13, "undecodable pair");
+        assert!(err.path.starts_with(cache.quarantine_dir()), "{err:?}");
+        assert!(cache.load_bytes("pair", 13).unwrap().is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
     fn bad_magic_is_detected() {
         let cache = temp_cache("magic");
         cache.store(9, &sample_profile()).unwrap();
-        let path = cache.entry_path(9);
+        let path = cache.entry_path(DiskCache::PROFILE_TAG, 9);
         let mut bytes = fs::read(&path).unwrap();
         bytes[0] = b'X';
         fs::write(&path, &bytes).unwrap();

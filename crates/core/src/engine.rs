@@ -40,7 +40,8 @@
 use crate::diskcache::{fnv1a, DiskCache};
 use crate::error::{ErrorKind, VanguardError};
 use crate::experiment::{Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, RefRun};
-use crate::report::TransformReport;
+use crate::passes::TransformKind;
+use crate::report::{SiteOutcome, TransformReport};
 use crate::transform::TransformOptions;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -48,7 +49,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 use vanguard_ir::Profile;
-use vanguard_isa::{DecodedImage, Program};
+use vanguard_isa::{parse_program, BlockId, DecodedImage, Program};
 use vanguard_sim::{MachineConfig, SimError, SimStats, Simulator, StopCause};
 
 pub use vanguard_bpred::LadderRung as PredictorKind;
@@ -325,6 +326,9 @@ pub struct ProfileKey {
 /// option sets can never collide in the artifact cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TransformKey {
+    /// The transform pass (`kind`) — distinct variants of the same
+    /// benchmark/profile/width must never collide.
+    pub kind: TransformKind,
     /// `select.threshold` as IEEE-754 bits.
     pub threshold_bits: u64,
     /// `select.min_executions`.
@@ -337,19 +341,40 @@ pub struct TransformKey {
     pub hoist_loads: bool,
     /// `shadow_temps`.
     pub shadow_temps: bool,
+    /// `meld_max_side`.
+    pub meld_max_side: usize,
 }
 
 impl TransformKey {
     /// The key of an option set.
     pub fn from_options(opts: &TransformOptions) -> Self {
         TransformKey {
+            kind: opts.kind,
             threshold_bits: opts.select.threshold.to_bits(),
             min_executions: opts.select.min_executions,
             forward_only: opts.select.forward_only,
             max_hoist: opts.max_hoist,
             hoist_loads: opts.hoist_loads,
             shadow_temps: opts.shadow_temps,
+            meld_max_side: opts.meld_max_side,
         }
+    }
+
+    /// Stable little-endian byte encoding for disk-cache key hashing.
+    /// Leads with the pass's stable [`TransformKind::cache_id`] so two
+    /// variants of the same (benchmark, profile, width) can never share
+    /// a disk entry.
+    pub fn disk_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * 5 + 3);
+        out.extend_from_slice(&self.kind.cache_id().to_le_bytes());
+        out.extend_from_slice(&self.threshold_bits.to_le_bytes());
+        out.extend_from_slice(&self.min_executions.to_le_bytes());
+        out.push(self.forward_only as u8);
+        out.extend_from_slice(&(self.max_hoist as u64).to_le_bytes());
+        out.push(self.hoist_loads as u8);
+        out.push(self.shadow_temps as u8);
+        out.extend_from_slice(&(self.meld_max_side as u64).to_le_bytes());
+        out
     }
 }
 
@@ -384,6 +409,118 @@ pub struct CompiledPair {
     pub transformed_image: Arc<DecodedImage>,
     /// The transformation report (PBC, PISCS, hoist counts).
     pub report: TransformReport,
+}
+
+/// Disk-cache entry namespace for compiled pairs.
+const PAIR_TAG: &str = "pair";
+
+/// Serializes a compiled pair for the disk cache: a small report header
+/// followed by the exact disassembly of both programs. The assembler
+/// round-trip is a textual fixpoint (block names, layout, and
+/// fall-throughs are preserved), so the decoded pair is bit-identical
+/// to the compiled one.
+fn encode_pair(pair: &CompiledPair) -> Vec<u8> {
+    let r = &pair.report;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "report {} {} {} {} {}\n",
+        r.forward_branches, r.code_bytes_before, r.code_bytes_after, r.melded, r.meld_added_insts
+    ));
+    for s in &r.converted {
+        out.push_str(&format!(
+            "site {} {} {} {} {} {} {}\n",
+            s.block.0,
+            s.hoisted_taken,
+            s.hoisted_fallthrough,
+            s.slice_insts,
+            s.removed_from_block,
+            s.commit_moves,
+            s.executed
+        ));
+    }
+    for (b, reason) in &r.skipped {
+        out.push_str(&format!("skip {} {}\n", b.0, reason.replace('\n', " ")));
+    }
+    out.push_str("--- baseline\n");
+    out.push_str(&pair.baseline.disassemble());
+    out.push_str("--- transformed\n");
+    out.push_str(&pair.transformed.disassemble());
+    out.into_bytes()
+}
+
+/// Structurally validates and decodes a disk-cached pair entry,
+/// rebuilding the pre-decoded images. Any malformation is an error (the
+/// caller quarantines the entry and recompiles).
+fn decode_pair(bytes: &[u8]) -> Result<CompiledPair, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("not utf-8: {e}"))?;
+    let (header, programs) = text
+        .split_once("--- baseline\n")
+        .ok_or("missing baseline marker")?;
+    let (baseline_text, transformed_text) = programs
+        .split_once("--- transformed\n")
+        .ok_or("missing transformed marker")?;
+
+    let mut report = TransformReport::default();
+    let mut saw_report = false;
+    for line in header.lines() {
+        let (tag, rest) = line.split_once(' ').ok_or("malformed header line")?;
+        match tag {
+            "report" => {
+                let f: Vec<&str> = rest.split(' ').collect();
+                if f.len() != 5 {
+                    return Err("malformed report line".into());
+                }
+                let num = |s: &str| s.parse::<u64>().map_err(|e| format!("report field: {e}"));
+                report.forward_branches = num(f[0])? as usize;
+                report.code_bytes_before = num(f[1])?;
+                report.code_bytes_after = num(f[2])?;
+                report.melded = num(f[3])? as usize;
+                report.meld_added_insts = f[4]
+                    .parse::<isize>()
+                    .map_err(|e| format!("report field: {e}"))?;
+                saw_report = true;
+            }
+            "site" => {
+                let f: Vec<&str> = rest.split(' ').collect();
+                if f.len() != 7 {
+                    return Err("malformed site line".into());
+                }
+                let num = |s: &str| s.parse::<u64>().map_err(|e| format!("site field: {e}"));
+                report.converted.push(SiteOutcome {
+                    block: BlockId(f[0].parse().map_err(|e| format!("site block: {e}"))?),
+                    hoisted_taken: num(f[1])? as usize,
+                    hoisted_fallthrough: num(f[2])? as usize,
+                    slice_insts: num(f[3])? as usize,
+                    removed_from_block: num(f[4])? as usize,
+                    commit_moves: num(f[5])? as usize,
+                    executed: num(f[6])?,
+                });
+            }
+            "skip" => {
+                let (block, reason) = rest.split_once(' ').ok_or("malformed skip line")?;
+                report.skipped.push((
+                    BlockId(block.parse().map_err(|e| format!("skip block: {e}"))?),
+                    reason.to_string(),
+                ));
+            }
+            other => return Err(format!("unknown header tag `{other}`")),
+        }
+    }
+    if !saw_report {
+        return Err("missing report line".into());
+    }
+
+    let baseline = parse_program(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let transformed = parse_program(transformed_text).map_err(|e| format!("transformed: {e}"))?;
+    let baseline_image = Arc::new(DecodedImage::build(&baseline));
+    let transformed_image = Arc::new(DecodedImage::build(&transformed));
+    Ok(CompiledPair {
+        baseline: Arc::new(baseline),
+        transformed: Arc::new(transformed),
+        baseline_image,
+        transformed_image,
+        report,
+    })
 }
 
 /// A pipeline stage, for observer events and timing attribution.
@@ -489,6 +626,12 @@ pub struct EngineStats {
     pub jobs_retried: u64,
     /// Corrupt disk-cache entries quarantined and recomputed.
     pub cache_corrupt: u64,
+    /// Profile-stage executions served from the on-disk cache (a subset
+    /// of `profile_misses`: the slot was initialized, but from disk).
+    pub profile_disk_hits: u64,
+    /// Compile-stage executions served from the on-disk cache (a subset
+    /// of `compile_misses`).
+    pub pair_disk_hits: u64,
 }
 
 impl EngineStats {
@@ -620,6 +763,8 @@ pub struct Engine {
     jobs_failed: AtomicU64,
     jobs_retried: AtomicU64,
     cache_corrupt: AtomicU64,
+    profile_disk_hits: AtomicU64,
+    pair_disk_hits: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -690,6 +835,8 @@ impl Engine {
             jobs_failed: AtomicU64::new(0),
             jobs_retried: AtomicU64::new(0),
             cache_corrupt: AtomicU64::new(0),
+            profile_disk_hits: AtomicU64::new(0),
+            pair_disk_hits: AtomicU64::new(0),
         }
     }
 
@@ -770,6 +917,8 @@ impl Engine {
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
             cache_corrupt: self.cache_corrupt.load(Ordering::Relaxed),
+            profile_disk_hits: self.profile_disk_hits.load(Ordering::Relaxed),
+            pair_disk_hits: self.pair_disk_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -785,6 +934,17 @@ impl Engine {
     /// processes). The TRAIN input is assumed to be determined by the
     /// (name, seed) pair.
     fn profile_disk_key(&self, bench: usize, predictor: PredictorKind, max_steps: u64) -> u64 {
+        fnv1a(&self.bench_identity_bytes(bench, predictor, max_steps))
+    }
+
+    /// The content-addressed identity shared by every disk key derived
+    /// from a (benchmark, predictor, step-budget) triple.
+    fn bench_identity_bytes(
+        &self,
+        bench: usize,
+        predictor: PredictorKind,
+        max_steps: u64,
+    ) -> Vec<u8> {
         let input = &self.benchmarks[bench];
         let mut bytes = Vec::new();
         bytes.extend_from_slice(input.name.as_bytes());
@@ -794,6 +954,25 @@ impl Engine {
         bytes.push(0);
         bytes.extend_from_slice(&max_steps.to_le_bytes());
         bytes.extend_from_slice(input.program.disassemble().as_bytes());
+        bytes
+    }
+
+    /// Content-addressed disk-cache key of a compiled pair: the profile
+    /// identity material plus the machine width and the *full* transform
+    /// key — led by the pass's stable cache id — so two transform
+    /// variants of the same (benchmark, profile, width) can never share
+    /// a disk entry.
+    fn pair_disk_key(
+        &self,
+        bench: usize,
+        predictor: PredictorKind,
+        max_steps: u64,
+        width: usize,
+        options: &TransformKey,
+    ) -> u64 {
+        let mut bytes = self.bench_identity_bytes(bench, predictor, max_steps);
+        bytes.extend_from_slice(&(width as u64).to_le_bytes());
+        bytes.extend_from_slice(&options.disk_bytes());
         fnv1a(&bytes)
     }
 
@@ -830,6 +1009,7 @@ impl Engine {
             if let (Some(cache), Some(dk)) = (&self.disk_cache, disk_key) {
                 match cache.load(dk) {
                     Ok(Some(profile)) => {
+                        self.profile_disk_hits.fetch_add(1, Ordering::Relaxed);
                         for o in &self.observers {
                             o.stage_completed(Stage::Profile, &input.name, Duration::ZERO, true);
                         }
@@ -913,6 +1093,38 @@ impl Engine {
         let pair = slot.get_or_init(|| {
             computed = true;
             let input = &self.benchmarks[bench];
+            let disk_key = self.disk_cache.as_ref().map(|_| {
+                self.pair_disk_key(bench, predictor, max_steps, machine.width, &key.options)
+            });
+            if let (Some(cache), Some(dk)) = (&self.disk_cache, disk_key) {
+                match cache.load_bytes(PAIR_TAG, dk) {
+                    Ok(Some(payload)) => match decode_pair(&payload) {
+                        Ok(pair) => {
+                            self.pair_disk_hits.fetch_add(1, Ordering::Relaxed);
+                            for o in &self.observers {
+                                o.stage_completed(
+                                    Stage::Compile,
+                                    &input.name,
+                                    Duration::ZERO,
+                                    true,
+                                );
+                            }
+                            return pair;
+                        }
+                        Err(detail) => {
+                            // Envelope was intact but the payload is not
+                            // a pair; quarantine and recompile.
+                            let _ = cache.reject(PAIR_TAG, dk, detail);
+                            self.cache_corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    Ok(None) => {}
+                    Err(_corrupt) => {
+                        // Quarantined by the cache; recompile below.
+                        self.cache_corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             let started = Instant::now();
             let exp = Experiment {
                 machine,
@@ -929,13 +1141,18 @@ impl Engine {
             for o in &self.observers {
                 o.stage_completed(Stage::Compile, &input.name, elapsed, false);
             }
-            CompiledPair {
+            let pair = CompiledPair {
                 baseline: Arc::new(baseline),
                 transformed: Arc::new(transformed),
                 baseline_image,
                 transformed_image,
                 report,
+            };
+            if let (Some(cache), Some(dk)) = (&self.disk_cache, disk_key) {
+                // A failed store is a future cache miss, never an error.
+                let _ = cache.store_bytes(PAIR_TAG, dk, &encode_pair(&pair));
             }
+            pair
         });
         if computed {
             self.compile_misses.fetch_add(1, Ordering::Relaxed);
@@ -1480,5 +1697,121 @@ mod tests {
         assert_ne!(keys[0], keys[1]);
         assert_ne!(keys[0], keys[2]);
         assert_ne!(keys[1], keys[2]);
+    }
+
+    #[test]
+    fn transform_variants_get_distinct_cache_keys() {
+        let pk = ProfileKey {
+            bench: 0,
+            predictor: PredictorKind::Combined24KB,
+            max_steps: 1,
+        };
+        let (engine, ids) = engine_with(1, 1);
+        let mut compile_keys = Vec::new();
+        let mut disk_keys = Vec::new();
+        for kind in TransformKind::ALL {
+            let opts = TransformOptions {
+                kind,
+                ..TransformOptions::default()
+            };
+            let tkey = TransformKey::from_options(&opts);
+            compile_keys.push(CompileKey {
+                profile: pk,
+                width: 4,
+                options: tkey,
+            });
+            disk_keys.push(engine.pair_disk_key(
+                ids[0],
+                PredictorKind::Combined24KB,
+                1_000_000,
+                4,
+                &tkey,
+            ));
+        }
+        // Every variant of the same (benchmark, profile, width) gets a
+        // distinct in-memory artifact key AND a distinct disk entry.
+        for i in 0..compile_keys.len() {
+            for j in i + 1..compile_keys.len() {
+                assert_ne!(compile_keys[i], compile_keys[j]);
+                assert_ne!(disk_keys[i], disk_keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_disk_cache_roundtrips_per_variant() {
+        let dir =
+            std::env::temp_dir().join(format!("vanguard-paircache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = FaultPolicy {
+            cache_dir: Some(dir.clone()),
+            ..FaultPolicy::default()
+        };
+        let kinds = [TransformKind::Vanguard, TransformKind::Meld];
+
+        let (mut first, ids) = engine_with(1, 1);
+        first.set_fault_policy(policy.clone());
+        let mut originals = Vec::new();
+        for kind in kinds {
+            let opts = TransformOptions {
+                kind,
+                ..TransformOptions::default()
+            };
+            originals.push(
+                first
+                    .compile_pair(
+                        ids[0],
+                        PredictorKind::Combined24KB,
+                        MachineConfig::four_wide(),
+                        &opts,
+                        1_000_000,
+                    )
+                    .unwrap(),
+            );
+        }
+        assert_eq!(first.stats().pair_disk_hits, 0);
+        // The two variants occupy two distinct disk entries.
+        let pair_entries = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("pair-")
+            })
+            .count();
+        assert_eq!(pair_entries, 2);
+
+        // A fresh engine (empty in-memory caches) is served from disk,
+        // bit-identically per variant.
+        let (mut second, ids2) = engine_with(1, 1);
+        second.set_fault_policy(policy);
+        for (kind, original) in kinds.into_iter().zip(&originals) {
+            let opts = TransformOptions {
+                kind,
+                ..TransformOptions::default()
+            };
+            let pair = second
+                .compile_pair(
+                    ids2[0],
+                    PredictorKind::Combined24KB,
+                    MachineConfig::four_wide(),
+                    &opts,
+                    1_000_000,
+                )
+                .unwrap();
+            assert_eq!(*pair.baseline, *original.baseline);
+            assert_eq!(*pair.transformed, *original.transformed);
+            assert_eq!(pair.report.converted, original.report.converted);
+            assert_eq!(pair.report.skipped, original.report.skipped);
+            assert_eq!(pair.report.melded, original.report.melded);
+            assert_eq!(
+                pair.report.forward_branches,
+                original.report.forward_branches
+            );
+        }
+        assert_eq!(second.stats().pair_disk_hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,7 +1,7 @@
 //! End-to-end experiment facade: profile → compile → simulate → report.
 
 use crate::report::TransformReport;
-use crate::transform::{decompose_branches, TransformOptions};
+use crate::transform::TransformOptions;
 use std::fmt;
 use std::sync::Arc;
 use vanguard_compiler::{
@@ -279,7 +279,7 @@ impl Experiment {
         let baseline = compact_program(&baseline);
 
         let mut transformed = program.clone();
-        let report = decompose_branches(&mut transformed, profile, &self.transform);
+        let report = crate::passes::apply_transform(&mut transformed, profile, &self.transform);
         layout_program(&mut transformed, profile);
         schedule_program(&mut transformed, &sched);
         let transformed = compact_program(&transformed);

@@ -39,6 +39,7 @@ pub mod engine;
 mod error;
 mod experiment;
 mod lint;
+mod passes;
 mod report;
 mod select;
 mod slice;
@@ -51,7 +52,11 @@ pub use experiment::{
     Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, PredictorKind, RefRun,
     RunInput,
 };
-pub use lint::{lint_program, LintDiagnostic, LintKind};
+pub use lint::{lint_program, lint_variant, LintDiagnostic, LintKind};
+pub use passes::{
+    apply_transform, pass_for, MeldPass, PassContract, PassOptions, PassReport, ShadowPass,
+    StackedPass, TransformKind, TransformPass, VanguardPass,
+};
 pub use report::{CodeSizeReport, SiteOutcome, TransformReport};
 pub use select::{select_candidates, Candidate, SelectOptions};
 pub use slice::{condition_slice, SliceError};

@@ -41,6 +41,7 @@
 //! the fuzz harness and the mutation tests in `tests/lint_mutations.rs`
 //! keep both directions honest.
 
+use crate::passes::{pass_for, PassContract, TransformKind};
 use std::fmt;
 use vanguard_bpred::DBB_ENTRIES;
 use vanguard_ir::{Cfg, DomTree, Liveness, RegSet};
@@ -79,6 +80,22 @@ pub enum LintKind {
     /// A suffix block consumes a speculative value from a resolution
     /// block that does not dominate it.
     ShadowCommitNotDominated,
+    /// The melded program contains more stores than the original
+    /// (melding must be side-effect-equivalent and may never
+    /// speculatively execute a store).
+    MeldStoreGrowth,
+    /// The melded program contains more conditional branches than the
+    /// original (melding removes branches; it may never add one).
+    MeldBranchGrowth,
+    /// The melded program contains decomposition artifacts
+    /// (`predict`/`resolve`) — the meld pass works purely at the IR
+    /// level and must not emit decode-model instructions.
+    MeldResidualDecomposition,
+    /// A resolution block of a shadow-exposure program carries an
+    /// instruction outside the pushed-down condition slice — exposing a
+    /// shadow branch at decode is a model of *prediction* reaching the
+    /// front end early, and moves no code.
+    ShadowSpeculativeWork,
 }
 
 impl fmt::Display for LintKind {
@@ -94,6 +111,10 @@ impl fmt::Display for LintKind {
             LintKind::MissingCorrectionWrite => "missing-correction-write",
             LintKind::ExtraCorrectionWrite => "extra-correction-write",
             LintKind::ShadowCommitNotDominated => "shadow-commit-not-dominated",
+            LintKind::MeldStoreGrowth => "meld-store-growth",
+            LintKind::MeldBranchGrowth => "meld-branch-growth",
+            LintKind::MeldResidualDecomposition => "meld-residual-decomposition",
+            LintKind::ShadowSpeculativeWork => "shadow-speculative-work",
         };
         f.write_str(s)
     }
@@ -208,6 +229,119 @@ pub fn lint_program(program: &Program) -> Vec<LintDiagnostic> {
 
     check_dbb_depth(program, &cfg, &resolves, &mut diags);
     diags
+}
+
+/// Checks `transformed` against the structural contract of the pass that
+/// produced it ([`crate::PassContract`], selected by `kind`):
+///
+/// * **Decomposition** (vanguard, stacked) — the full §3 contract,
+///   [`lint_program`].
+/// * **Meld** — side-effect equivalence against `original`: no new
+///   stores, no new conditional branches, and no decomposition
+///   artifacts (`predict`/`resolve`).
+/// * **ShadowExposure** (shadow) — the §3 contract *plus* resolution
+///   blocks carrying only the pushed-down condition slice: exposing a
+///   shadow branch at decode moves no code.
+///
+/// `original` is the pre-transformation program; contracts that are
+/// purely structural ignore it.
+pub fn lint_variant(
+    kind: TransformKind,
+    original: &Program,
+    transformed: &Program,
+) -> Vec<LintDiagnostic> {
+    match pass_for(kind).contract() {
+        PassContract::Decomposition => lint_program(transformed),
+        PassContract::Meld => lint_meld(original, transformed),
+        PassContract::ShadowExposure => {
+            let mut diags = lint_program(transformed);
+            check_shadow_exposure(transformed, &mut diags);
+            diags
+        }
+    }
+}
+
+/// The meld contract: side-effect equivalence by counting. Melding
+/// replaces branches with straight-line blend code, so stores and
+/// conditional branches may only *decrease*, and no decode-model
+/// instruction may appear.
+fn lint_meld(original: &Program, transformed: &Program) -> Vec<LintDiagnostic> {
+    fn count(p: &Program, f: impl Fn(&Inst) -> bool) -> usize {
+        p.iter()
+            .flat_map(|(_, b)| b.insts())
+            .filter(|i| f(i))
+            .count()
+    }
+    let mut diags = Vec::new();
+    let (stores_before, stores_after) = (
+        count(original, |i| matches!(i, Inst::Store { .. })),
+        count(transformed, |i| matches!(i, Inst::Store { .. })),
+    );
+    if stores_after > stores_before {
+        diags.push(LintDiagnostic {
+            kind: LintKind::MeldStoreGrowth,
+            block: transformed.entry(),
+            inst: None,
+            message: format!(
+                "melded program has {stores_after} stores, original had {stores_before}; \
+                 melding may never add a store"
+            ),
+        });
+    }
+    let (branches_before, branches_after) = (
+        count(original, |i| matches!(i, Inst::Branch { .. })),
+        count(transformed, |i| matches!(i, Inst::Branch { .. })),
+    );
+    if branches_after > branches_before {
+        diags.push(LintDiagnostic {
+            kind: LintKind::MeldBranchGrowth,
+            block: transformed.entry(),
+            inst: None,
+            message: format!(
+                "melded program has {branches_after} conditional branches, original had \
+                 {branches_before}; melding may never add a branch"
+            ),
+        });
+    }
+    for (bid, block) in transformed.iter() {
+        for (i, inst) in block.insts().iter().enumerate() {
+            if matches!(inst, Inst::Predict { .. } | Inst::Resolve { .. }) {
+                diags.push(LintDiagnostic {
+                    kind: LintKind::MeldResidualDecomposition,
+                    block: bid,
+                    inst: Some(i),
+                    message: format!(
+                        "`{inst}` in a melded program; melding is a pure IR transformation"
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// The shadow-exposure refinement of the §3 contract: resolution blocks
+/// carry *only* the pushed-down condition slice above their resolve.
+fn check_shadow_exposure(program: &Program, diags: &mut Vec<LintDiagnostic>) {
+    for (bid, block) in program.iter() {
+        let Some(info) = resolve_info(block) else {
+            continue;
+        };
+        let n = block.insts().len();
+        for (i, inst) in block.insts().iter().enumerate().take(n - 1) {
+            if !info.in_slice[i] && !matches!(inst, Inst::Nop) {
+                diags.push(LintDiagnostic {
+                    kind: LintKind::ShadowSpeculativeWork,
+                    block: bid,
+                    inst: Some(i),
+                    message: format!(
+                        "`{inst}` above the resolve is outside the condition slice; shadow \
+                         exposure models early prediction delivery and moves no code"
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Checks 2–4 and 6: store sinking, non-faulting hoists, live-in
@@ -621,5 +755,94 @@ mod tests {
                 .any(|d| d.kind == LintKind::MismatchedResolvePair),
             "{diags:?}"
         );
+    }
+
+    /// A trivial straight-line program with one store and no branches.
+    fn straight_line() -> Program {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        b.push(e, Inst::mov(Reg(1), Operand::Imm(7)));
+        b.push(e, Inst::store(Reg(1), Reg(2), 0));
+        b.push(e, Inst::Halt);
+        b.set_entry(e);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn meld_contract_accepts_identity() {
+        let p = straight_line();
+        assert!(lint_variant(TransformKind::Meld, &p, &p).is_empty());
+    }
+
+    #[test]
+    fn meld_contract_flags_new_store() {
+        let original = straight_line();
+        let mut melded = original.clone();
+        melded
+            .block_mut(BlockId(0))
+            .insts_mut()
+            .insert(0, Inst::store(Reg(1), Reg(2), 8));
+        let diags = lint_variant(TransformKind::Meld, &original, &melded);
+        assert!(
+            diags.iter().any(|d| d.kind == LintKind::MeldStoreGrowth),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn meld_contract_flags_residual_decomposition() {
+        let original = straight_line();
+        let melded = decomposed_diamond();
+        let diags = lint_variant(TransformKind::Meld, &original, &melded);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == LintKind::MeldResidualDecomposition),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn shadow_contract_flags_hoisted_work() {
+        // decomposed_diamond hoists an ld.s into each resolution block —
+        // clean under the vanguard contract, speculative work under the
+        // shadow contract.
+        let p = decomposed_diamond();
+        let original = straight_line();
+        assert!(lint_variant(TransformKind::Vanguard, &original, &p).is_empty());
+        let diags = lint_variant(TransformKind::Shadow, &original, &p);
+        let flagged: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == LintKind::ShadowSpeculativeWork)
+            .collect();
+        assert_eq!(flagged.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn shadow_contract_accepts_slice_only_resolution_blocks() {
+        let mut p = decomposed_diamond();
+        // Strip the hoisted ld.s from both resolution blocks; the suffix
+        // loads stay architectural via the correction twins, so re-point
+        // the suffixes at fresh loads by replacing the hoisted consumers.
+        for (res, suffix, dst, off) in [
+            (BlockId(2), BlockId(4), Reg(8), 8i64),
+            (BlockId(3), BlockId(5), Reg(6), 0),
+        ] {
+            let insts = p.block_mut(res).insts_mut();
+            insts.retain(|i| {
+                !matches!(
+                    i,
+                    Inst::Load {
+                        speculative: true,
+                        ..
+                    }
+                )
+            });
+            p.block_mut(suffix)
+                .insts_mut()
+                .insert(0, Inst::load(dst, Reg(10), off));
+        }
+        let diags = lint_variant(TransformKind::Shadow, &straight_line(), &p);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 }

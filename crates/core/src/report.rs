@@ -35,6 +35,12 @@ pub struct TransformReport {
     /// Static forward conditional branches before transformation (PBC
     /// denominator).
     pub forward_branches: usize,
+    /// Hammocks if-converted by the meld/stacked passes (Li et al.).
+    pub melded: usize,
+    /// Net instruction-count change from melding (blend code added minus
+    /// branch/jump code removed); negative when melding shrinks the
+    /// program.
+    pub meld_added_insts: isize,
     /// Static code bytes before.
     pub code_bytes_before: u64,
     /// Static code bytes after.
@@ -111,6 +117,8 @@ mod tests {
             }],
             skipped: vec![],
             forward_branches: 4,
+            melded: 0,
+            meld_added_insts: 0,
             code_bytes_before: 1000,
             code_bytes_after: 1090,
         };

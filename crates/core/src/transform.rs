@@ -6,9 +6,13 @@ use crate::slice::condition_slice;
 use vanguard_ir::{BranchDirection, Cfg, Liveness, Profile, RegSet};
 use vanguard_isa::{BasicBlock, BlockId, Inst, Program};
 
-/// Parameters of [`decompose_branches`].
+/// Parameters of [`decompose_branches`] — and, since the pass framework,
+/// of every [`crate::passes::TransformPass`]: `kind` selects the pass and
+/// the remaining knobs are read by whichever passes their contract names.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TransformOptions {
+    /// Which transformation pass compiles the experimental variant.
+    pub kind: crate::passes::TransformKind,
     /// Candidate-selection heuristic (§5: predictability − bias ≥ 5%).
     pub select: SelectOptions,
     /// Maximum instructions hoisted into each resolution block.
@@ -26,15 +30,20 @@ pub struct TransformOptions {
     /// instructions are long-latency (the commit moves are not free), so
     /// the aggressive mode is opt-in.
     pub shadow_temps: bool,
+    /// Maximum instructions per hammock side that the meld/stacked
+    /// passes will if-convert (Li et al. meld short diamonds only).
+    pub meld_max_side: usize,
 }
 
 impl Default for TransformOptions {
     fn default() -> Self {
         TransformOptions {
+            kind: crate::passes::TransformKind::Vanguard,
             select: SelectOptions::default(),
             max_hoist: 12,
             hoist_loads: true,
             shadow_temps: false,
+            meld_max_side: 4,
         }
     }
 }

@@ -4,11 +4,15 @@
 //! shared pre-decoded image), and the architecturally observable results
 //! must agree — the cycle model may stall, speculate, and roll back, but
 //! it must commit exactly the interpreter's state.
+//!
+//! The transformed side is checked under *every* transform pass
+//! (vanguard, meld, shadow, stacked), so a rival pass can never ship a
+//! program the cycle model commits differently.
 
 use std::sync::Arc;
 use vanguard_bench::{quick_spec, BenchScale};
 use vanguard_bpred::Combined;
-use vanguard_core::Experiment;
+use vanguard_core::{Experiment, TransformKind};
 use vanguard_isa::{DecodedImage, Interpreter, Memory, Program, Reg, StopReason, TakenOracle};
 use vanguard_sim::{MachineConfig, SimResult, Simulator, StopCause};
 use vanguard_workloads::suite;
@@ -57,26 +61,35 @@ fn quick_suite_commits_interpreter_state() {
         let name = spec.name.clone();
         let w = spec.build();
 
-        let exp = Experiment::new(MachineConfig::four_wide());
+        let mut exp = Experiment::new(MachineConfig::four_wide());
         let input = vanguard_bench::to_experiment_input(w.clone());
         let profile = exp.profile(&input).expect("profiles cleanly");
-        let (baseline, transformed, _) = exp.compile_pair(&input.program, &profile);
 
-        for (variant, program) in [("baseline", &baseline), ("transformed", &transformed)] {
-            let (regs, written) =
-                interp_state(program, w.refs[0].memory.clone(), &w.refs[0].init_regs);
-            let image = Arc::new(DecodedImage::build(program));
-            let res = sim_result(&image, w.refs[0].memory.clone(), &w.refs[0].init_regs);
-            assert_eq!(
-                res.regs.to_vec(),
-                regs,
-                "{name}/{variant}: committed registers"
-            );
-            assert_eq!(
-                res.memory.written_words(),
-                written,
-                "{name}/{variant}: committed memory"
-            );
+        for (k, kind) in TransformKind::ALL.into_iter().enumerate() {
+            exp.transform.kind = kind;
+            let (baseline, transformed, _) = exp.compile_pair(&input.program, &profile);
+            // The baseline side is transform-independent: check it once.
+            let programs: &[(&str, &Program)] = if k == 0 {
+                &[("baseline", &baseline), (kind.name(), &transformed)]
+            } else {
+                &[(kind.name(), &transformed)]
+            };
+            for &(variant, program) in programs {
+                let (regs, written) =
+                    interp_state(program, w.refs[0].memory.clone(), &w.refs[0].init_regs);
+                let image = Arc::new(DecodedImage::build(program));
+                let res = sim_result(&image, w.refs[0].memory.clone(), &w.refs[0].init_regs);
+                assert_eq!(
+                    res.regs.to_vec(),
+                    regs,
+                    "{name}/{variant}: committed registers"
+                );
+                assert_eq!(
+                    res.memory.written_words(),
+                    written,
+                    "{name}/{variant}: committed memory"
+                );
+            }
         }
     }
 }
