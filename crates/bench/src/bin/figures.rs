@@ -21,6 +21,11 @@
 //! paper's high-opportunity benchmarks leading the low-opportunity ones —
 //! and exits non-zero on any violation.
 //!
+//! `--no-replay` disables the simulator's steady-state replay layer.
+//! Output is byte-identical with or without it (CI checks exactly
+//! that); the flag exists to measure replay's throughput contribution
+//! and to rule the layer out when diagnosing.
+//!
 //! All items share one experiment engine: profiles and compiled pairs
 //! are computed once per distinct (benchmark, predictor, width) and
 //! reused across figures, and simulations run on a worker pool sized by
@@ -47,6 +52,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let verbose = args.iter().any(|a| a == "--verbose");
     let assert_shape = args.iter().any(|a| a == "--assert-shape");
+    // `--no-replay` disables the simulator's steady-state replay layer
+    // (results are bit-identical either way; this exists to measure the
+    // layer's throughput contribution and to rule it out when debugging).
+    let no_replay = args.iter().any(|a| a == "--no-replay");
     // `--max-cycles N` arms the engine's per-job cycle-budget watchdog:
     // a wedged simulation becomes a TimedOut outcome instead of hanging
     // the run (`VANGUARD_JOB_TIMEOUT` is the wall-clock equivalent).
@@ -105,6 +114,10 @@ fn main() {
     if let Some(kind) = transform {
         eng.set_transform_kind(kind);
         eprintln!("[engine] transform pass: {kind}");
+    }
+    if no_replay {
+        eng.set_replay(false);
+        eprintln!("[engine] steady-state replay: off");
     }
     if let Some(mc) = max_cycles {
         let mut policy = eng.engine().fault_policy().clone();

@@ -6,28 +6,41 @@
 //! cargo run --release -p vanguard-bench --bin perfbench -- --out target/BENCH_sim.json
 //! ```
 //!
-//! Two measurements, written as JSON (hand-rolled; no serde dependency):
+//! Three measurements, written as JSON (hand-rolled; no serde
+//! dependency):
 //!
 //! 1. **Quick-suite throughput** — runs the full benchmark suite at
 //!    quick scale (the CI figure workload) through the experiment
-//!    engine and reports per-stage wall-clock plus simulated-instruction
-//!    throughput (committed MIPS per worker).
-//! 2. **Memory microbenchmark** — replays one deterministic
+//!    engine — once with the steady-state replay layer on and once with
+//!    it off, sharing profiles and compiled pairs — asserts the two
+//!    sweeps are bit-identical, and reports per-stage wall-clock,
+//!    simulated-instruction throughput (committed MIPS per worker), and
+//!    per-benchmark replay hit rates.
+//! 2. **Steady-state replay microbenchmark** — a loop-dominated kernel
+//!    (three ~8000-iteration sites over an 8 KB data footprint) run
+//!    replay-on and replay-off on a bare [`Simulator`], with committed
+//!    state asserted bit-identical and the wall-clock ratio reported.
+//! 3. **Memory microbenchmark** — replays one deterministic
 //!    read/write sequence against the paged [`Memory`] and against
 //!    [`ReferenceMemory`] (the word-granular `HashMap` store the paged
 //!    implementation replaced, kept as the executable specification)
 //!    and reports the speedup ratio.
 //!
 //! `--check` exits non-zero unless the paged store beats the reference
-//! store by at least 3x on the microbenchmark — the regression gate CI
-//! applies alongside byte-identity of the figure output.
+//! store by at least 3x on the memory microbenchmark AND replay beats
+//! replay-off by at least 3x on the steady-state kernel — the
+//! regression gates CI applies alongside byte-identity of the figure
+//! output.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use vanguard_bench::{BenchScale, SuiteEngine};
-use vanguard_core::engine::{PredictorKind, SweepCell};
-use vanguard_isa::{Memory, ReferenceMemory};
-use vanguard_sim::MachineConfig;
+use vanguard_bpred::Combined;
+use vanguard_core::engine::{PredictorKind, SimJob, Variant};
+use vanguard_isa::{
+    AluOp, CmpKind, CondKind, Inst, Memory, Operand, Program, ProgramBuilder, ReferenceMemory, Reg,
+};
+use vanguard_sim::{MachineConfig, SimResult, Simulator};
 use vanguard_workloads::suite;
 
 /// Deterministic xorshift64* stream (no external randomness).
@@ -145,23 +158,302 @@ fn memory_microbench() -> MemBenchResult {
     }
 }
 
-fn quick_suite() -> (vanguard_core::engine::EngineStats, usize, f64) {
+/// Per-benchmark replay effectiveness over the quick-suite sweep
+/// (baseline + transformed variants summed).
+struct BenchReplayRow {
+    name: String,
+    hits: u64,
+    misses: u64,
+    replayed_cycles: u64,
+    cycles: u64,
+}
+
+impl BenchReplayRow {
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+struct QuickSuiteResult {
+    /// Engine statistics snapshotted after the replay-on sweep.
+    stats: vanguard_core::engine::EngineStats,
+    benchmarks: usize,
+    wall_on: f64,
+    wall_off: f64,
+    rows: Vec<BenchReplayRow>,
+}
+
+/// Runs the quick-scale suite twice — replay on, then replay off — on
+/// one shared engine (profiles and compiled pairs are computed once;
+/// the replay policy is not part of the artifact key) and asserts the
+/// two sweeps produced bit-identical statistics for every job.
+fn quick_suite() -> QuickSuiteResult {
     let mut engine = SuiteEngine::new(BenchScale::Quick);
     let specs = suite::all_benchmarks();
-    let cells: Vec<SweepCell> = specs
+    let mut jobs: Vec<SimJob> = Vec::new();
+    for spec in &specs {
+        let bench = engine.bench_id(spec);
+        for variant in [Variant::Baseline, Variant::Transformed] {
+            jobs.push(SimJob {
+                bench,
+                ref_input: 0,
+                machine: MachineConfig::four_wide(),
+                predictor: PredictorKind::Combined24KB,
+                variant,
+            });
+        }
+    }
+    engine.set_replay(true);
+    let started = Instant::now();
+    let on = engine.run_jobs(&jobs);
+    let wall_on = started.elapsed().as_secs_f64();
+    let stats = engine.engine().stats();
+    engine.set_replay(false);
+    let started = Instant::now();
+    let off = engine.run_jobs(&jobs);
+    let wall_off = started.elapsed().as_secs_f64();
+
+    let mut rows: Vec<BenchReplayRow> = specs
         .iter()
-        .map(|spec| SweepCell {
-            bench: engine.bench_id(spec),
-            machine: MachineConfig::four_wide(),
-            predictor: PredictorKind::Combined24KB,
+        .map(|s| BenchReplayRow {
+            name: s.name.clone(),
+            hits: 0,
+            misses: 0,
+            replayed_cycles: 0,
+            cycles: 0,
         })
         .collect();
-    let started = Instant::now();
-    engine
-        .run_cells(&cells)
-        .expect("quick suite simulates cleanly");
-    let wall = started.elapsed().as_secs_f64();
-    (engine.engine().stats(), specs.len(), wall)
+    for (a, b) in on.iter().zip(off.iter()) {
+        let (ja, jb) = (a.expect_completed(), b.expect_completed());
+        assert_eq!(
+            ja.stats, jb.stats,
+            "replay-on vs replay-off divergence on {:?}",
+            ja.job
+        );
+        let row = &mut rows[ja.job.bench];
+        row.hits += ja.replay.hits;
+        row.misses += ja.replay.misses;
+        row.replayed_cycles += ja.replay.replayed_cycles;
+        row.cycles += ja.stats.cycles;
+    }
+    QuickSuiteResult {
+        stats,
+        benchmarks: specs.len(),
+        wall_on,
+        wall_off,
+        rows,
+    }
+}
+
+// ------------------------------------------------------------------
+// Steady-state replay microbenchmark
+// ------------------------------------------------------------------
+
+const STEADY_ITERS: i64 = 8000;
+const STEADY_SITES: usize = 3;
+const STEADY_ROUNDS: usize = 3;
+/// ALU operations per loop body (a dependent reduction chain — the
+/// arithmetic payload a real steady loop carries between its memory
+/// accesses).
+const STEADY_ALU_OPS: usize = 28;
+/// 8 KB data footprint per site — L1-resident after the first lap, so
+/// steady-state iterations are memoizable.
+const STEADY_FOOT_MASK: i64 = 8191 & !7;
+const STEADY_BASE: i64 = 0x2_0000;
+
+/// The gate kernel: three consecutive ~[`STEADY_ITERS`]-iteration loop
+/// sites, each striding a store + load over its own 8 KB footprint with
+/// an [`STEADY_ALU_OPS`]-operation arithmetic payload and a highly
+/// predictable backward branch — the loop shape the replay layer is
+/// built for.
+fn steady_state_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    b.set_entry(entry);
+    let mut prev = entry;
+    for site in 0..STEADY_SITES {
+        let body = b.block(format!("steady{site}"));
+        let base = STEADY_BASE + (site as i64) * 0x1_0000;
+        b.push(prev, Inst::mov(Reg(1), Operand::Imm(STEADY_ITERS)));
+        b.push(prev, Inst::mov(Reg(4), Operand::Imm(base)));
+        b.fallthrough(prev, body);
+        b.push(
+            body,
+            Inst::alu(AluOp::Sub, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+        );
+        // cursor = base + ((i * 8) & footprint mask): a word-stride walk
+        // that wraps inside the L1-resident region.
+        b.push(
+            body,
+            Inst::alu(AluOp::Shl, Reg(5), Operand::Reg(Reg(1)), Operand::Imm(3)),
+        );
+        b.push(
+            body,
+            Inst::alu(
+                AluOp::And,
+                Reg(5),
+                Operand::Reg(Reg(5)),
+                Operand::Imm(STEADY_FOOT_MASK),
+            ),
+        );
+        b.push(
+            body,
+            Inst::alu(
+                AluOp::Add,
+                Reg(5),
+                Operand::Reg(Reg(5)),
+                Operand::Reg(Reg(4)),
+            ),
+        );
+        b.push(
+            body,
+            Inst::Store {
+                src: Reg(3),
+                base: Reg(5),
+                offset: 0,
+            },
+        );
+        b.push(
+            body,
+            Inst::Load {
+                dst: Reg(6),
+                base: Reg(5),
+                offset: 0,
+                speculative: false,
+            },
+        );
+        b.push(
+            body,
+            Inst::alu(
+                AluOp::Add,
+                Reg(3),
+                Operand::Reg(Reg(3)),
+                Operand::Reg(Reg(6)),
+            ),
+        );
+        // The arithmetic payload: a dependent chain folding the loaded
+        // value through registers 7..10 back into the accumulator.
+        for k in 0..STEADY_ALU_OPS {
+            let dst = Reg(7 + (k % 4) as u8);
+            let src = Reg(7 + ((k + 1) % 4) as u8);
+            let op = match k % 3 {
+                0 => AluOp::Add,
+                1 => AluOp::Xor,
+                _ => AluOp::Shr,
+            };
+            b.push(
+                body,
+                Inst::alu(op, dst, Operand::Reg(src), Operand::Imm((k % 7) as i64 + 1)),
+            );
+        }
+        b.push(
+            body,
+            Inst::alu(
+                AluOp::Add,
+                Reg(3),
+                Operand::Reg(Reg(3)),
+                Operand::Reg(Reg(7)),
+            ),
+        );
+        b.push(
+            body,
+            Inst::alu(
+                AluOp::Xor,
+                Reg(3),
+                Operand::Reg(Reg(3)),
+                Operand::Imm(site as i64 + 1),
+            ),
+        );
+        b.push(
+            body,
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            body,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: body,
+            },
+        );
+        let next = b.block(format!("after{site}"));
+        b.fallthrough(body, next);
+        prev = next;
+    }
+    b.push(prev, Inst::Halt);
+    b.finish().unwrap()
+}
+
+/// Best-of-[`STEADY_ROUNDS`] wall time of the gate kernel with the
+/// given replay policy, plus the final round's result.
+fn run_steady(program: &Program, replay: bool) -> (f64, SimResult) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..STEADY_ROUNDS {
+        let mut sim = Simulator::new(
+            program,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.set_replay(replay);
+        let started = Instant::now();
+        let r = sim.run().expect("steady-state kernel simulates cleanly");
+        best = best.min(started.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (best, result.unwrap())
+}
+
+struct ReplayBenchResult {
+    on_secs: f64,
+    off_secs: f64,
+    speedup: f64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    replayed_cycles: u64,
+    cycles: u64,
+}
+
+/// Runs the steady-state kernel replay-on and replay-off, asserting the
+/// committed state and every statistic are bit-identical.
+fn replay_microbench() -> ReplayBenchResult {
+    let program = steady_state_program();
+    let (on_secs, on) = run_steady(&program, true);
+    let (off_secs, off) = run_steady(&program, false);
+    assert_eq!(on.stats, off.stats, "replay changed reported statistics");
+    assert_eq!(on.regs, off.regs, "replay changed architectural registers");
+    assert_eq!(on.stop, off.stop, "replay changed the stop cause");
+    assert_eq!(
+        on.memory.written_words(),
+        off.memory.written_words(),
+        "replay changed committed memory"
+    );
+    let total = on.replay.hits + on.replay.misses;
+    ReplayBenchResult {
+        on_secs,
+        off_secs,
+        speedup: off_secs / on_secs,
+        hits: on.replay.hits,
+        misses: on.replay.misses,
+        hit_rate: if total == 0 {
+            0.0
+        } else {
+            on.replay.hits as f64 / total as f64
+        },
+        replayed_cycles: on.replay.replayed_cycles,
+        cycles: on.stats.cycles,
+    }
 }
 
 fn json_f(v: f64) -> String {
@@ -190,21 +482,61 @@ fn main() {
         mem.speedup
     );
 
-    eprintln!("[perfbench] quick-suite sweep (4-wide, Combined24KB) ...");
-    let (stats, benchmarks, suite_wall) = quick_suite();
+    eprintln!("[perfbench] steady-state replay microbenchmark: {STEADY_SITES} sites x {STEADY_ITERS} iterations ...");
+    let replay = replay_microbench();
     eprintln!(
-        "[perfbench] {} jobs, {:.1} ms wall, {:.2} MIPS/worker",
+        "[perfbench] replay on {:.1} ms, off {:.1} ms, speedup {:.2}x, hit rate {:.1}%",
+        replay.on_secs * 1e3,
+        replay.off_secs * 1e3,
+        replay.speedup,
+        replay.hit_rate * 100.0
+    );
+
+    eprintln!("[perfbench] quick-suite sweep (4-wide, Combined24KB, replay on + off) ...");
+    let qs = quick_suite();
+    let (stats, benchmarks) = (&qs.stats, qs.benchmarks);
+    eprintln!(
+        "[perfbench] {} jobs, {:.1} ms wall (replay on) vs {:.1} ms (off), {:.2} MIPS/worker",
         stats.sim_jobs,
-        suite_wall * 1e3,
+        qs.wall_on * 1e3,
+        qs.wall_off * 1e3,
         stats.sim_mips()
     );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"vanguard-perfbench-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"vanguard-perfbench-v2\",");
     let _ = writeln!(json, "  \"quick_suite\": {{");
     let _ = writeln!(json, "    \"benchmarks\": {benchmarks},");
-    let _ = writeln!(json, "    \"wall_clock_ms\": {},", json_f(suite_wall * 1e3));
+    let _ = writeln!(json, "    \"wall_clock_ms\": {},", json_f(qs.wall_on * 1e3));
+    let _ = writeln!(
+        json,
+        "    \"wall_clock_ms_replay_off\": {},",
+        json_f(qs.wall_off * 1e3)
+    );
+    let _ = writeln!(json, "    \"replay_hits\": {},", stats.replay_hits);
+    let _ = writeln!(
+        json,
+        "    \"replay_divergences\": {},",
+        stats.replay_divergences
+    );
+    let _ = writeln!(json, "    \"replayed_cycles\": {},", stats.replayed_cycles);
+    let _ = writeln!(json, "    \"per_benchmark_replay\": [");
+    for (i, row) in qs.rows.iter().enumerate() {
+        let comma = if i + 1 == qs.rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"name\": \"{}\", \"hits\": {}, \"misses\": {}, \
+             \"hit_rate\": {}, \"replayed_cycles\": {}, \"cycles\": {}}}{comma}",
+            row.name,
+            row.hits,
+            row.misses,
+            json_f(row.hit_rate()),
+            row.replayed_cycles,
+            row.cycles,
+        );
+    }
+    let _ = writeln!(json, "    ],");
     let _ = writeln!(json, "    \"profile_runs\": {},", stats.profile_misses);
     let _ = writeln!(
         json,
@@ -228,6 +560,31 @@ fn main() {
         json,
         "    \"sim_mips_per_worker\": {}",
         json_f(stats.sim_mips())
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"steady_state_replay\": {{");
+    let _ = writeln!(json, "    \"sites\": {STEADY_SITES},");
+    let _ = writeln!(json, "    \"iterations_per_site\": {STEADY_ITERS},");
+    let _ = writeln!(json, "    \"rounds\": {STEADY_ROUNDS},");
+    let _ = writeln!(
+        json,
+        "    \"replay_on_ms\": {},",
+        json_f(replay.on_secs * 1e3)
+    );
+    let _ = writeln!(
+        json,
+        "    \"replay_off_ms\": {},",
+        json_f(replay.off_secs * 1e3)
+    );
+    let _ = writeln!(json, "    \"hits\": {},", replay.hits);
+    let _ = writeln!(json, "    \"misses\": {},", replay.misses);
+    let _ = writeln!(json, "    \"hit_rate\": {},", json_f(replay.hit_rate));
+    let _ = writeln!(json, "    \"replayed_cycles\": {},", replay.replayed_cycles);
+    let _ = writeln!(json, "    \"total_cycles\": {},", replay.cycles);
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_replay_off\": {}",
+        json_f(replay.speedup)
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"memory_microbench\": {{");
@@ -254,11 +611,22 @@ fn main() {
     std::fs::write(out_path, &json).expect("write BENCH_sim.json");
     eprintln!("[perfbench] wrote {out_path}");
 
+    let mut failed = false;
     if check && mem.speedup < 3.0 {
         eprintln!(
             "[perfbench] FAIL: paged memory speedup {:.2}x below the 3x gate",
             mem.speedup
         );
+        failed = true;
+    }
+    if check && replay.speedup < 3.0 {
+        eprintln!(
+            "[perfbench] FAIL: steady-state replay speedup {:.2}x below the 3x gate",
+            replay.speedup
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
     if check {

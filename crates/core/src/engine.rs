@@ -50,7 +50,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 use vanguard_ir::Profile;
 use vanguard_isa::{parse_program, BlockId, DecodedImage, Program};
-use vanguard_sim::{MachineConfig, SimError, SimStats, Simulator, StopCause};
+use vanguard_sim::{MachineConfig, ReplayStats, SimError, SimStats, Simulator, StopCause};
 
 pub use vanguard_bpred::LadderRung as PredictorKind;
 
@@ -97,6 +97,9 @@ pub struct JobSuccess {
     /// Wall-clock time of the simulate stage alone (excludes cached or
     /// shared profile/compile work).
     pub sim_elapsed: Duration,
+    /// Steady-state replay-layer counters for this job (all zero when
+    /// replay was disabled or the predictor does not support it).
+    pub replay: ReplayStats,
     /// Whether this result came from a retry after a transient failure.
     pub retried: bool,
 }
@@ -115,8 +118,9 @@ impl JobSuccess {
 /// aborts the process or the rest of the suite.
 #[derive(Clone, Debug)]
 pub enum JobResult {
-    /// The simulation ran to completion.
-    Completed(JobSuccess),
+    /// The simulation ran to completion (boxed: the success payload
+    /// carries full statistics and dwarfs the failure variants).
+    Completed(Box<JobSuccess>),
     /// The guest program trapped on the committed path.
     Faulted {
         /// The job that trapped.
@@ -168,7 +172,7 @@ impl JobResult {
     /// The success payload, if the job completed.
     pub fn success(&self) -> Option<&JobSuccess> {
         match self {
-            JobResult::Completed(s) => Some(s),
+            JobResult::Completed(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -196,7 +200,7 @@ impl JobResult {
     /// Panics if the job did not complete.
     pub fn expect_completed(&self) -> &JobSuccess {
         match self {
-            JobResult::Completed(s) => s,
+            JobResult::Completed(s) => s.as_ref(),
             other => panic!(
                 "job expected to complete: {}",
                 other
@@ -322,8 +326,11 @@ pub struct ProfileKey {
 
 /// Exact-valued (bit-pattern) form of [`TransformOptions`] usable as a
 /// hash-map key. Constructed with [`TransformKey::from_options`]; two
-/// keys are equal iff every option field is identical, so distinct
-/// option sets can never collide in the artifact cache.
+/// keys are equal iff every *program-affecting* option field is
+/// identical, so distinct option sets can never collide in the artifact
+/// cache. [`TransformOptions::replay`] is deliberately excluded: the
+/// replay policy only changes how the simulator executes, never the
+/// compiled program, so both policies share one cached pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TransformKey {
     /// The transform pass (`kind`) — distinct variants of the same
@@ -632,6 +639,15 @@ pub struct EngineStats {
     /// Compile-stage executions served from the on-disk cache (a subset
     /// of `compile_misses`).
     pub pair_disk_hits: u64,
+    /// Steady-state loop iterations replayed from the memo table,
+    /// summed over simulate stages.
+    pub replay_hits: u64,
+    /// Cycles skipped by applying memoized iteration deltas.
+    pub replayed_cycles: u64,
+    /// Replay verification failures that fell back to full simulation.
+    pub replay_divergences: u64,
+    /// Iteration recordings completed into the memo table.
+    pub replay_recordings: u64,
 }
 
 impl EngineStats {
@@ -656,6 +672,8 @@ impl EngineStats {
             "profile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
              compile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
              simulate: {:>4} jobs, {:>21.1} ms, {:>7.2} MIPS/worker\n\
+             replay  : {:>4} hits, {} cycles replayed, {} divergences, \
+             {} recordings\n\
              outcomes: {:>4} ok, {} faulted, {} timed out, {} failed, \
              {} retried, {} corrupt cache entries",
             self.profile_misses,
@@ -667,6 +685,10 @@ impl EngineStats {
             self.sim_jobs,
             ms(self.sim_nanos),
             self.sim_mips(),
+            self.replay_hits,
+            self.replayed_cycles,
+            self.replay_divergences,
+            self.replay_recordings,
             self.jobs_ok,
             self.jobs_faulted,
             self.jobs_timed_out,
@@ -765,6 +787,10 @@ pub struct Engine {
     cache_corrupt: AtomicU64,
     profile_disk_hits: AtomicU64,
     pair_disk_hits: AtomicU64,
+    replay_hits: AtomicU64,
+    replayed_cycles: AtomicU64,
+    replay_divergences: AtomicU64,
+    replay_recordings: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -837,6 +863,10 @@ impl Engine {
             cache_corrupt: AtomicU64::new(0),
             profile_disk_hits: AtomicU64::new(0),
             pair_disk_hits: AtomicU64::new(0),
+            replay_hits: AtomicU64::new(0),
+            replayed_cycles: AtomicU64::new(0),
+            replay_divergences: AtomicU64::new(0),
+            replay_recordings: AtomicU64::new(0),
         }
     }
 
@@ -919,6 +949,10 @@ impl Engine {
             cache_corrupt: self.cache_corrupt.load(Ordering::Relaxed),
             profile_disk_hits: self.profile_disk_hits.load(Ordering::Relaxed),
             pair_disk_hits: self.pair_disk_hits.load(Ordering::Relaxed),
+            replay_hits: self.replay_hits.load(Ordering::Relaxed),
+            replayed_cycles: self.replayed_cycles.load(Ordering::Relaxed),
+            replay_divergences: self.replay_divergences.load(Ordering::Relaxed),
+            replay_recordings: self.replay_recordings.load(Ordering::Relaxed),
         }
     }
 
@@ -1206,6 +1240,7 @@ impl Engine {
         for &(r, v) in &ref_input.init_regs {
             sim.set_reg(r, v);
         }
+        sim.set_replay(options.replay.enabled());
         let policy = &self.fault_policy;
         let deadline = policy.job_timeout.map(|t| Instant::now() + t);
         if policy.max_cycles.is_some() || deadline.is_some() {
@@ -1227,12 +1262,21 @@ impl Engine {
             Ok(res) => {
                 self.sim_insts
                     .fetch_add(res.stats.committed(), Ordering::Relaxed);
-                JobResult::Completed(JobSuccess {
+                self.replay_hits
+                    .fetch_add(res.replay.hits, Ordering::Relaxed);
+                self.replayed_cycles
+                    .fetch_add(res.replay.replayed_cycles, Ordering::Relaxed);
+                self.replay_divergences
+                    .fetch_add(res.replay.divergences, Ordering::Relaxed);
+                self.replay_recordings
+                    .fetch_add(res.replay.recordings, Ordering::Relaxed);
+                JobResult::Completed(Box::new(JobSuccess {
                     job: *job,
                     stats: res.stats,
                     sim_elapsed,
+                    replay: res.replay,
                     retried: false,
-                })
+                }))
             }
             Err(fault) => JobResult::Faulted {
                 job: *job,

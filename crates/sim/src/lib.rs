@@ -46,11 +46,13 @@
 mod config;
 mod front;
 mod pipeline;
+mod replay;
 mod stats;
 mod store_buffer;
 
 pub use config::MachineConfig;
 pub use front::{FetchedInst, FrontEnd, PredInfo};
 pub use pipeline::{SimError, SimFault, SimResult, Simulator, StopCause, TraceEvent};
+pub use replay::ReplayStats;
 pub use stats::SimStats;
 pub use store_buffer::{StoreBuffer, StoreEntry};

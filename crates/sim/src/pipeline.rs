@@ -3,6 +3,7 @@
 
 use crate::config::MachineConfig;
 use crate::front::{FetchSnapshot, FrontEnd, PredInfo};
+use crate::replay::{ReplayEngine, ReplayStats};
 use crate::stats::SimStats;
 use crate::store_buffer::StoreBuffer;
 use std::fmt;
@@ -11,7 +12,7 @@ use std::time::Instant;
 use vanguard_isa::{
     eval_alu, BlockId, DecodedImage, FpOp, FuClass, Inst, Memory, Operand, Program, NUM_ARCH_REGS,
 };
-use vanguard_mem::{AccessKind, MemSystem};
+use vanguard_mem::{AccessKind, Level, MemSystem};
 
 /// Why the simulation stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -143,12 +144,15 @@ pub struct SimResult {
     pub memory: Memory,
     /// Why the run ended.
     pub stop: StopCause,
+    /// Steady-state replay layer statistics (all zeros when replay was
+    /// disabled or unsupported by the predictor).
+    pub replay: ReplayStats,
 }
 
 /// Trace sink type (see [`Simulator::run_traced`]).
 type TraceSink<'t> = Box<dyn FnMut(&TraceEvent) + 't>;
 
-struct PendingRedirect {
+pub(crate) struct PendingRedirect {
     redirect_cycle: u64,
     target: BlockId,
     regs: [u64; NUM_ARCH_REGS],
@@ -167,26 +171,30 @@ struct PendingRedirect {
 /// drive with [`run`](Self::run). Simulations of the same program can share
 /// one pre-decoded image via [`with_image`](Self::with_image).
 pub struct Simulator<'t> {
-    config: MachineConfig,
-    front: FrontEnd,
-    mem_sys: MemSystem,
-    memory: Memory,
-    regs: [u64; NUM_ARCH_REGS],
-    reg_ready: [u64; NUM_ARCH_REGS],
-    store_buffer: StoreBuffer,
-    stats: SimStats,
-    cycle: u64,
-    next_seq: u64,
-    pending: Option<PendingRedirect>,
-    halted: bool,
+    pub(crate) config: MachineConfig,
+    pub(crate) front: FrontEnd,
+    pub(crate) mem_sys: MemSystem,
+    pub(crate) memory: Memory,
+    pub(crate) regs: [u64; NUM_ARCH_REGS],
+    pub(crate) reg_ready: [u64; NUM_ARCH_REGS],
+    pub(crate) store_buffer: StoreBuffer,
+    pub(crate) stats: SimStats,
+    pub(crate) cycle: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) pending: Option<PendingRedirect>,
+    pub(crate) halted: bool,
     trace: Option<TraceSink<'t>>,
     /// Watchdog cycle budget (`u64::MAX` = disabled): exceeding it stops
     /// the run with [`StopCause::TimedOut`], unlike the architectural
     /// `config.max_cycles` limit which reports [`StopCause::CycleLimit`].
-    watchdog_cycles: u64,
+    pub(crate) watchdog_cycles: u64,
     /// Watchdog wall-clock deadline, checked every 4096 cycles so the
     /// clean-run hot loop never pays a syscall per cycle.
-    watchdog_deadline: Option<Instant>,
+    pub(crate) watchdog_deadline: Option<Instant>,
+    /// Steady-state iteration replay (present iff enabled and the
+    /// predictor supports it; boxed — it is cold relative to the fields
+    /// the per-cycle loop touches).
+    pub(crate) replay: Option<Box<ReplayEngine>>,
 }
 
 impl<'t> fmt::Debug for Simulator<'t> {
@@ -227,6 +235,9 @@ impl<'t> Simulator<'t> {
         config: MachineConfig,
         predictor: Box<dyn vanguard_bpred::DirectionPredictor>,
     ) -> Self {
+        let replay = predictor
+            .replay_supported()
+            .then(|| Box::new(ReplayEngine::new()));
         Simulator {
             config,
             front: FrontEnd::new(image, config, predictor),
@@ -243,6 +254,32 @@ impl<'t> Simulator<'t> {
             trace: None,
             watchdog_cycles: u64::MAX,
             watchdog_deadline: None,
+            replay,
+        }
+    }
+
+    /// Enables or disables steady-state iteration replay (enabled by
+    /// default whenever the predictor supports it — replay is
+    /// bit-identical on all committed state and statistics, so goldens
+    /// are safe either way).
+    pub fn set_replay(&mut self, enabled: bool) {
+        if enabled {
+            if self.replay.is_none() && self.front.predictor.replay_supported() {
+                self.replay = Some(Box::new(ReplayEngine::new()));
+            }
+        } else {
+            self.replay = None;
+        }
+    }
+
+    /// Arms replay fault injection: every memoized iteration recorded
+    /// from now on has one guarded quantity corrupted. The divergence
+    /// guards must catch every corruption and fall back to full
+    /// simulation, leaving all architectural results bit-identical —
+    /// this is the `replay-divergence` fault-injection class.
+    pub fn set_replay_corruption(&mut self, seed: u64) {
+        if let Some(r) = self.replay.as_deref_mut() {
+            r.set_corruption(seed);
         }
     }
 
@@ -268,6 +305,9 @@ impl<'t> Simulator<'t> {
     /// Returns a [`SimError`] on a committed-path architectural fault.
     pub fn run_traced(mut self, sink: impl FnMut(&TraceEvent) + 't) -> Result<SimResult, SimError> {
         self.trace = Some(Box::new(sink));
+        // Replayed iterations would emit no per-instruction trace events;
+        // tracing runs see every cycle simulated in full.
+        self.replay = None;
         self.run()
     }
 
@@ -329,9 +369,20 @@ impl<'t> Simulator<'t> {
             if self.pending.is_none() {
                 self.front.compact_journal();
             }
+            // 1b. Steady-state replay trigger: a backward steer armed the
+            //     engine last fetch; this point (post-redirect-apply,
+            //     post-compaction, pre-fetch) is the loop-head fixed point
+            //     at which iteration signatures are comparable.
+            if self.replay.as_ref().is_some_and(|r| r.armed) {
+                self.replay_tick();
+            }
             // 2. Fetch.
-            self.front
-                .fetch_cycle(self.cycle, &mut self.mem_sys, &mut self.stats);
+            self.front.fetch_cycle(
+                self.cycle,
+                &mut self.mem_sys,
+                &mut self.stats,
+                self.replay.as_deref_mut(),
+            );
             // 3. Issue.
             if let Err(error) = self.issue_cycle() {
                 return Err(SimFault {
@@ -359,6 +410,7 @@ impl<'t> Simulator<'t> {
             regs: self.regs,
             memory: self.memory,
             stop,
+            replay: self.replay.as_ref().map(|r| r.stats()).unwrap_or_default(),
         })
     }
 
@@ -465,6 +517,9 @@ impl<'t> Simulator<'t> {
             }
             let seq = self.next_seq;
             self.next_seq += 1;
+            // Conditional outcome recorded for replay (`Branch`: taken,
+            // `Resolve`: mispredicted), set by the arms below.
+            let mut rec_outcome = false;
 
             match fi.inst {
                 Inst::Alu { op, dst, a, b } => {
@@ -512,13 +567,24 @@ impl<'t> Simulator<'t> {
                     self.regs[dst.index()] = value;
                     let acc = self.mem_sys.access(self.cycle, addr, AccessKind::Load);
                     self.reg_ready[dst.index()] = acc.complete;
+                    if acc.level != Level::L1 {
+                        // Non-L1 data timing is not memoizable.
+                        if let Some(r) = self.replay.as_deref_mut() {
+                            r.abort_recording();
+                        }
+                    }
                 }
                 Inst::Store { src, base, offset } => {
                     let addr = self.regs[base.index()].wrapping_add(offset as u64);
                     self.store_buffer
                         .push(addr, self.regs[src.index()], seq, self.cycle);
                     // Timing: write-allocate probe; completion never blocks.
-                    let _ = self.mem_sys.access(self.cycle, addr, AccessKind::Store);
+                    let acc = self.mem_sys.access(self.cycle, addr, AccessKind::Store);
+                    if acc.level != Level::L1 {
+                        if let Some(r) = self.replay.as_deref_mut() {
+                            r.abort_recording();
+                        }
+                    }
                 }
                 Inst::Branch { cond, src, target } => {
                     let taken = cond.eval(self.regs[src.index()]);
@@ -532,8 +598,12 @@ impl<'t> Simulator<'t> {
                             detail: "branch fetched without prediction",
                         });
                     };
+                    rec_outcome = taken;
                     if !wrong_path {
                         self.stats.branches += 1;
+                        if let Some(r) = self.replay.as_deref_mut() {
+                            r.on_update(fi.pc, &meta, taken, &*self.front.predictor);
+                        }
                         self.front.predictor.update(fi.pc, &meta, taken);
                         if taken != predicted_taken {
                             self.stats.branch_mispredicts += 1;
@@ -558,11 +628,20 @@ impl<'t> Simulator<'t> {
                             detail: "resolve fetched without DBB index",
                         });
                     };
+                    rec_outcome = mispredicted;
                     if !wrong_path {
                         self.stats.resolves += 1;
                         // Train the predict instruction's entry via the DBB.
                         if let Some(entry) = self.front.dbb.get(dbb_index) {
                             let actual = entry.meta.taken ^ mispredicted;
+                            if let Some(r) = self.replay.as_deref_mut() {
+                                r.on_update(
+                                    entry.predict_pc,
+                                    &entry.meta,
+                                    actual,
+                                    &*self.front.predictor,
+                                );
+                            }
                             self.front
                                 .predictor
                                 .update(entry.predict_pc, &entry.meta, actual);
@@ -601,6 +680,9 @@ impl<'t> Simulator<'t> {
                     });
                 }
             }
+            if let Some(r) = self.replay.as_deref_mut() {
+                r.on_issue(fi.inst, rec_outcome);
+            }
         }
         Ok(())
     }
@@ -613,6 +695,12 @@ impl<'t> Simulator<'t> {
         repair: Option<(vanguard_bpred::PredMeta, bool)>,
     ) {
         debug_assert!(self.pending.is_none());
+        // A redirect invalidates any in-flight replay recording: the
+        // iteration's trajectory includes a flush whose wrong-path side
+        // effects the memoized delta cannot reproduce.
+        if let Some(r) = self.replay.as_deref_mut() {
+            r.abort_recording();
+        }
         self.stats.redirects += 1;
         self.pending = Some(PendingRedirect {
             redirect_cycle: self.cycle + 1 + u64::from(self.config.redirect_latency),
@@ -764,7 +852,7 @@ mod tests {
         );
     }
 
-    fn countdown_loop(iters: i64) -> Program {
+    pub(super) fn countdown_loop(iters: i64) -> Program {
         let mut b = ProgramBuilder::new();
         let e = b.block("entry");
         let body = b.block("body");
@@ -1309,5 +1397,339 @@ bb5 <exit>:
         assert_eq!(flushes as u64, r.stats.redirects);
         assert_eq!(wrong_path_issues as u64, r.stats.issued_wrong_path);
         assert!(flushes > 5, "unpredictable branch must flush: {flushes}");
+    }
+}
+
+/// Steady-state iteration replay: bit-identity, non-vacuity, divergence
+/// fallback, fault injection, and watchdog interaction.
+#[cfg(test)]
+mod replay_tests {
+    use super::tests::countdown_loop;
+    use super::*;
+    use vanguard_bpred::Combined;
+    use vanguard_isa::{AluOp, CmpKind, CondKind, Memory, ProgramBuilder, Reg};
+
+    fn run_replay_pair(p: &Program, mem: &Memory) -> (SimResult, SimResult) {
+        let mk = || {
+            Simulator::new(
+                p,
+                mem.clone(),
+                MachineConfig::four_wide(),
+                Box::new(Combined::ptlsim_default()),
+            )
+        };
+        let on = mk().run().expect("replay-on run");
+        let mut sim = mk();
+        sim.set_replay(false);
+        let off = sim.run().expect("replay-off run");
+        (on, off)
+    }
+
+    fn assert_bit_identical(on: &SimResult, off: &SimResult) {
+        assert_eq!(on.stats, off.stats, "SimStats must be replay-invariant");
+        assert_eq!(on.regs, off.regs, "registers must be replay-invariant");
+        assert_eq!(on.stop, off.stop, "stop cause must be replay-invariant");
+        assert_eq!(
+            off.replay,
+            crate::ReplayStats::default(),
+            "replay-off must report zero replay stats"
+        );
+        assert_eq!(
+            on.memory.written_words(),
+            off.memory.written_words(),
+            "memory must be replay-invariant"
+        );
+    }
+
+    #[test]
+    fn replay_is_bit_identical_and_non_vacuous() {
+        // Long enough for the predictor and caches to converge: the memo
+        // table must take over the steady state.
+        let p = countdown_loop(2000);
+        let (on, off) = run_replay_pair(&p, &Memory::new());
+        assert_bit_identical(&on, &off);
+        assert!(
+            on.replay.hits > 100,
+            "steady-state loop must replay: {:?}",
+            on.replay
+        );
+        assert!(on.replay.replayed_cycles > 0);
+        assert!(on.replay.recordings >= 1);
+    }
+
+    #[test]
+    fn replay_survives_memory_writing_loops() {
+        // Stores with a per-iteration fresh address (pointer walk): the
+        // pre-pass recomputes addresses from live registers, so these
+        // replay despite no two iterations writing the same word.
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.push(e, Inst::mov(Reg(1), Operand::Imm(1500)));
+        b.push(e, Inst::mov(Reg(3), Operand::Imm(0x8000)));
+        b.fallthrough(e, body);
+        b.push(
+            body,
+            Inst::alu(AluOp::Sub, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+        );
+        b.push(body, Inst::store(Reg(1), Reg(3), 0));
+        b.push(body, Inst::load(Reg(4), Reg(3), 0));
+        b.push(
+            body,
+            Inst::alu(AluOp::Add, Reg(3), Operand::Reg(Reg(3)), Operand::Imm(8)),
+        );
+        b.push(
+            body,
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            body,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: body,
+            },
+        );
+        b.fallthrough(body, exit);
+        b.push(exit, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+        // Pre-map the stored range so loads after stores always hit
+        // mapped memory and page-crossing store misses stay rare.
+        let mut mem = Memory::new();
+        mem.load_words(0x8000, &vec![0u64; 1500]);
+
+        let (on, off) = run_replay_pair(&p, &mem);
+        assert_bit_identical(&on, &off);
+        assert!(
+            on.replay.hits > 50,
+            "pointer-walk loop must replay: {:?}",
+            on.replay
+        );
+    }
+
+    #[test]
+    fn replay_diverges_on_store_to_cold_page() {
+        // Two passes over the same loop head: the second pass stores to a
+        // page the cache has never seen. The memoized entry's pre-state
+        // matches (registers are not part of the signature) but the
+        // pre-pass L1 probe misses, so the guard must fall back — and the
+        // result must stay bit-identical.
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let outer = b.block("outer");
+        let body = b.block("body");
+        let next = b.block("next");
+        let exit = b.block("exit");
+        b.push(e, Inst::mov(Reg(6), Operand::Imm(2))); // outer trips
+        b.push(e, Inst::mov(Reg(3), Operand::Imm(0x10000))); // page A
+        b.fallthrough(e, outer);
+        b.push(outer, Inst::mov(Reg(1), Operand::Imm(600))); // inner trips
+        b.fallthrough(outer, body);
+        b.push(
+            body,
+            Inst::alu(AluOp::Sub, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+        );
+        b.push(body, Inst::store(Reg(1), Reg(3), 0)); // fixed address
+        b.push(
+            body,
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            body,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: body,
+            },
+        );
+        b.fallthrough(body, next);
+        // Advance far past L2/L3 reach: a genuinely cold page.
+        b.push(
+            next,
+            Inst::alu(
+                AluOp::Add,
+                Reg(3),
+                Operand::Reg(Reg(3)),
+                Operand::Imm(0x4000_0000),
+            ),
+        );
+        b.push(
+            next,
+            Inst::alu(AluOp::Sub, Reg(6), Operand::Reg(Reg(6)), Operand::Imm(1)),
+        );
+        b.push(
+            next,
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(7),
+                a: Reg(6),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            next,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(7),
+                target: outer,
+            },
+        );
+        b.fallthrough(next, exit);
+        b.push(exit, Inst::Halt);
+        b.set_entry(e);
+        let p = b.finish().unwrap();
+
+        let (on, off) = run_replay_pair(&p, &Memory::new());
+        assert_bit_identical(&on, &off);
+        assert!(
+            on.replay.hits > 50,
+            "first pass must replay: {:?}",
+            on.replay
+        );
+        assert!(
+            on.replay.divergences >= 1,
+            "cold-page store must diverge: {:?}",
+            on.replay
+        );
+    }
+
+    #[test]
+    fn replay_corruption_is_always_caught() {
+        // The replay-divergence fault class: corrupt every memoized entry
+        // and require the guards to catch each one, with the run still
+        // completing bit-identically to replay-off.
+        let p = countdown_loop(2000);
+        let mut sim = Simulator::new(
+            &p,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.set_replay_corruption(0x5eed_cafe);
+        let on = sim.run().expect("corrupted-replay run");
+        let mut sim = Simulator::new(
+            &p,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.set_replay(false);
+        let off = sim.run().expect("replay-off run");
+        assert_bit_identical(&on, &off);
+        assert!(
+            on.replay.corrupted_entries >= 1,
+            "corruption must have been injected: {:?}",
+            on.replay
+        );
+        assert_eq!(
+            on.replay.hits, 0,
+            "every corrupted entry must be rejected: {:?}",
+            on.replay
+        );
+        // Divergences are capped below corrupted_entries by the
+        // eviction/ban backoff (persistently failing entries are dropped
+        // and their loop head banned), but every *attempted* replay of a
+        // corrupted entry must have been caught.
+        assert!(
+            on.replay.divergences >= 1,
+            "corruption must surface as divergences: {:?}",
+            on.replay
+        );
+    }
+
+    #[test]
+    fn replay_never_crosses_a_watchdog_poll_boundary() {
+        // With a wall-clock deadline armed, the simulator polls every
+        // 4096 cycles; a replayed span must never skip a poll. With a
+        // generous deadline the run completes normally and stays
+        // bit-identical; every hit's span stayed within a poll window.
+        let p = countdown_loop(2000);
+        let mut sim = Simulator::new(
+            &p,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.set_watchdog(
+            None,
+            Some(Instant::now() + std::time::Duration::from_secs(3600)),
+        );
+        let on = sim.run().expect("deadline-armed run");
+        assert_eq!(on.stop, StopCause::Halted);
+        let mut sim = Simulator::new(
+            &p,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.set_replay(false);
+        sim.set_watchdog(
+            None,
+            Some(Instant::now() + std::time::Duration::from_secs(3600)),
+        );
+        let off = sim.run().expect("deadline-armed replay-off run");
+        assert_bit_identical(&on, &off);
+        // The loop still replays inside poll windows.
+        assert!(on.replay.hits > 50, "windowed replay: {:?}", on.replay);
+    }
+
+    #[test]
+    fn replay_respects_cycle_limit_and_watchdog_budget() {
+        // Cut the run mid-loop with both kinds of cycle budget: partial
+        // statistics must be bit-identical to replay-off.
+        let p = countdown_loop(5000);
+        for (limit, watchdog) in [(4000u64, None), (u64::MAX, Some(3500u64))] {
+            let mk = || {
+                let mut cfg = MachineConfig::four_wide();
+                if limit != u64::MAX {
+                    cfg.max_cycles = limit;
+                }
+                let mut sim =
+                    Simulator::new(&p, Memory::new(), cfg, Box::new(Combined::ptlsim_default()));
+                sim.set_watchdog(watchdog, None);
+                sim
+            };
+            let on = mk().run().expect("budgeted run");
+            let mut sim = mk();
+            sim.set_replay(false);
+            let off = sim.run().expect("budgeted replay-off run");
+            assert_bit_identical(&on, &off);
+            assert_ne!(on.stop, StopCause::Halted, "budget must cut the loop");
+            assert!(on.replay.hits > 0, "budgeted replay: {:?}", on.replay);
+        }
+    }
+
+    #[test]
+    fn traced_runs_disable_replay() {
+        let p = countdown_loop(2000);
+        let sim = Simulator::new(
+            &p,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        let mut issues = 0u64;
+        let r = sim
+            .run_traced(|e| {
+                if matches!(e, TraceEvent::Issue { .. }) {
+                    issues += 1;
+                }
+            })
+            .unwrap();
+        assert_eq!(r.replay, crate::ReplayStats::default());
+        // The committed halt bumps `issued` without a trace event.
+        assert_eq!(issues, r.stats.issued - 1, "every issue must be traced");
     }
 }

@@ -1,0 +1,896 @@
+//! Steady-state iteration replay: memoize converged loop iterations.
+//!
+//! Hot loops quickly reach a steady state in which the front end, the
+//! predictor, the caches, and the scoreboard all repeat the same
+//! per-iteration trajectory. This module fingerprints the
+//! iteration-relevant machine state at every backward steer (the loop
+//! head); when an identical fingerprint recurs and a set of conservative
+//! guards all pass, the memoized per-iteration delta — cycles, statistics,
+//! register file, memory stores, predictor interactions, and the complete
+//! front-end post-state — is applied in O(iteration) *functional* work
+//! instead of O(iteration × pipeline) simulation.
+//!
+//! # Bit-identity invariant
+//!
+//! Replay-on must be indistinguishable from replay-off on every committed
+//! architectural value and every reported [`crate::SimStats`] field. The
+//! design achieves this by construction, not by approximation:
+//!
+//! * The signature ([`PreState`]) covers *all* state a recorded iteration
+//!   reads other than registers and memory: the complete front end
+//!   (relativized), the predictor's speculative words, and the scoreboard
+//!   (relativized). Register- and memory-dependence is discharged by a
+//!   functional pre-pass at replay time that re-executes the recorded
+//!   issue steps against the *live* registers and memory, requiring every
+//!   conditional to take its recorded direction and every data access to
+//!   hit L1.
+//! * Predictor table state is guarded by first-touch cell verification:
+//!   the recording logs each predictor cell's value the first time an
+//!   interaction touches it; replay re-probes those cells against the live
+//!   tables and falls back on any difference.
+//! * Anything the guards cannot cover cheaply aborts the recording
+//!   outright: redirects, BTB misses, non-L1 accesses, `halt`, wrong-path
+//!   returns, and iterations longer than a fixed step budget.
+//! * Timing guards refuse to replay across the cycle limit, the watchdog
+//!   budget, or a wall-clock poll boundary, so stop causes and partial
+//!   statistics are unchanged.
+//!
+//! Cache and predictor side effects are *re-applied live* (real
+//! `MemSystem::access` calls on the recorded/re-derived addresses, real
+//! `update` calls on the recorded metadata), so their internal state and
+//! statistics evolve exactly as full simulation would — L1 hits are
+//! cycle-independent, which is what makes this sound.
+
+use crate::front::FrontSnapshot;
+use crate::pipeline::Simulator;
+use crate::stats::SimStats;
+use std::collections::{HashMap, HashSet};
+use vanguard_bpred::{DirectionPredictor, PredMeta};
+use vanguard_isa::{eval_alu, FpOp, Inst, Operand, NUM_ARCH_REGS};
+use vanguard_mem::AccessKind;
+
+/// Memo-table entry budget; reaching it clears the whole table (a
+/// deterministic, order-independent eviction policy).
+const TABLE_CAP: usize = 4096;
+/// Longest iteration (in issued instructions) worth memoizing.
+const STEP_BUDGET: usize = 2048;
+/// Consecutive verify failures before an entry is evicted.
+const MAX_ENTRY_FAILS: u32 = 4;
+/// Entry evictions before a loop-head PC is banned from re-recording.
+const MAX_PC_FAILS: u32 = 8;
+
+/// Statistics for the steady-state iteration-replay layer.
+///
+/// Reported on [`crate::SimResult::replay`]; deliberately *not* part of
+/// [`crate::SimStats`], whose fields must be bit-identical with replay on
+/// or off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Loop iterations applied from the memo table without simulation.
+    pub hits: u64,
+    /// Trigger points with no matching memo entry.
+    pub misses: u64,
+    /// Memoized iterations whose guards failed at replay time (fell back
+    /// to full simulation).
+    pub divergences: u64,
+    /// Iterations recorded into the memo table.
+    pub recordings: u64,
+    /// Recordings discarded before finalization (redirect, BTB miss,
+    /// non-L1 access, step budget, …).
+    pub aborted_recordings: u64,
+    /// Simulated cycles skipped by replay hits.
+    pub replayed_cycles: u64,
+    /// Issued instructions accounted by replay hits.
+    pub replayed_insts: u64,
+    /// Memo entries deliberately corrupted by fault injection
+    /// (see [`crate::Simulator::set_replay_corruption`]).
+    pub corrupted_entries: u64,
+}
+
+/// Incremental FNV-1a over `u64` words, used for the replay signature
+/// hash. Collisions are harmless: buckets are resolved by the exact
+/// [`PreState`] compare.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x100_0000_01b3);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `std::hash::Hasher` adapter over [`Fnv`] for the replay-internal maps.
+/// SipHash's DoS resistance buys nothing here (keys are simulator state,
+/// not attacker input) and its per-lookup cost is material on the hit
+/// path.
+#[derive(Clone, Copy, Debug, Default)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
+/// The exact iteration signature: everything an iteration's trajectory
+/// depends on *except* registers and memory (those are discharged by the
+/// functional pre-pass in [`verify`]).
+#[derive(Clone, Debug, PartialEq)]
+struct PreState {
+    front: FrontSnapshot,
+    /// Predictor speculative words (e.g. global history).
+    spec: Vec<u64>,
+    /// Scoreboard, relativized (`ready − cycle`, clamped at zero: a ready
+    /// cycle in the past behaves identically to one equal to `cycle`).
+    reg_ready_rel: [u64; NUM_ARCH_REGS],
+}
+
+/// One recorded issue step: enough to functionally re-execute the
+/// iteration against live registers/memory and check every conditional
+/// took its recorded direction.
+#[derive(Clone, Debug)]
+struct RecStep {
+    inst: Inst,
+    /// `Branch`: taken; `Resolve`: mispredicted; others: unused.
+    outcome: bool,
+}
+
+/// One predictor interaction, in global order.
+#[derive(Clone, Debug)]
+enum PredEvent {
+    /// A fetch-time `predict()` whose speculative-history side effect is
+    /// re-applied via [`DirectionPredictor::replay_advance`].
+    Advance { pc: u64, meta: PredMeta },
+    /// An issue-time training `update()`, re-applied for real.
+    Update {
+        pc: u64,
+        meta: PredMeta,
+        taken: bool,
+    },
+}
+
+/// A finalized memoized iteration.
+#[derive(Clone, Debug)]
+struct MemoEntry {
+    pre: PreState,
+    steps: Vec<RecStep>,
+    inters: Vec<PredEvent>,
+    /// First-touch predictor cells `(id, value)` in discovery order.
+    cells: Vec<(u64, u64)>,
+    /// I-side line-transition addresses (all L1 hits).
+    iaccesses: Vec<u64>,
+    /// BTB-hit steers `(from_pc, target_addr)` taken by the iteration.
+    steers: Vec<(u64, u64)>,
+    post: FrontSnapshot,
+    post_reg_ready_rel: [u64; NUM_ARCH_REGS],
+    d_cycle: u64,
+    d_seq: u64,
+    /// Per-iteration statistics delta (`mem` zeroed — memory statistics
+    /// accrue live through the re-applied accesses).
+    d_stats: SimStats,
+    d_updates: u64,
+    d_dbb_inserts: u64,
+    d_dbb_spurious: u64,
+    /// The iteration is a signature fixed point: its relativized post
+    /// state equals its pre state, so after one replay the very same
+    /// entry is guaranteed to match again. Enables the burst fast path
+    /// (skip re-hash/re-match, restore the front end once per burst).
+    chains: bool,
+    /// Consecutive verify failures (reset on every hit).
+    fails: u32,
+}
+
+/// An in-flight recording between two backward-steer triggers.
+#[derive(Debug)]
+struct Recording {
+    key: (u32, u64),
+    pre: PreState,
+    start_cycle: u64,
+    start_seq: u64,
+    start_stats: SimStats,
+    start_dbb_inserts: u64,
+    start_dbb_spurious: u64,
+    /// Update-count guard captured at the start (e.g. TAGE distance to
+    /// the next aging event); re-checked against the live predictor at
+    /// every replay.
+    guard_at_start: u64,
+    steps: Vec<RecStep>,
+    inters: Vec<PredEvent>,
+    cells: Vec<(u64, u64)>,
+    seen: HashSet<u64, FnvBuild>,
+    iaccesses: Vec<u64>,
+    steers: Vec<(u64, u64)>,
+    d_updates: u64,
+    aborted: bool,
+}
+
+/// Reusable buffers for signature computation, verification, and the
+/// functional pre-pass (kept out of [`MemoEntry`] borrows so the table and
+/// the scratch space can be borrowed simultaneously).
+#[derive(Debug)]
+struct Scratch {
+    spec: Vec<u64>,
+    cells: Vec<(u64, u64)>,
+    /// First-touch dedup for the verify cell induction. A linear-scan
+    /// `Vec` beats a hash set: a converged iteration touches a handful
+    /// of distinct cells.
+    seen: Vec<u64>,
+    regs: [u64; NUM_ARCH_REGS],
+    /// Word-aligned store overlay emulating store-buffer forwarding.
+    overlay: HashMap<u64, u64, FnvBuild>,
+    /// Region stores `(word_addr, value)` in program order.
+    store_log: Vec<(u64, u64)>,
+    /// Region data accesses in program order (all L1 hits).
+    daccesses: Vec<(u64, AccessKind)>,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Scratch {
+            spec: Vec::new(),
+            cells: Vec::new(),
+            seen: Vec::new(),
+            regs: [0; NUM_ARCH_REGS],
+            overlay: HashMap::default(),
+            store_log: Vec::new(),
+            daccesses: Vec::new(),
+        }
+    }
+}
+
+/// The replay engine: trigger arming, the active recording, and the memo
+/// table. Owned by the [`Simulator`] when the predictor supports replay.
+#[derive(Debug)]
+pub(crate) struct ReplayEngine {
+    /// Set by a backward steer during fetch; consumed at the fixed trigger
+    /// point in the simulator's main loop.
+    pub(crate) armed: bool,
+    recording: Option<Recording>,
+    table: HashMap<(u32, u64), Vec<MemoEntry>, FnvBuild>,
+    entry_count: usize,
+    /// Evictions per loop-head PC; persistent verify failures ban the PC.
+    fail_counts: HashMap<u32, u32, FnvBuild>,
+    scratch: Scratch,
+    corrupt_seed: Option<u64>,
+    stats: ReplayStats,
+}
+
+impl ReplayEngine {
+    pub(crate) fn new() -> Self {
+        ReplayEngine {
+            armed: false,
+            recording: None,
+            table: HashMap::default(),
+            entry_count: 0,
+            fail_counts: HashMap::default(),
+            scratch: Scratch::default(),
+            corrupt_seed: None,
+            stats: ReplayStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// Arms fault injection: every subsequently finalized memo entry has
+    /// one guarded quantity corrupted, which the verify guards must catch.
+    pub(crate) fn set_corruption(&mut self, seed: u64) {
+        self.corrupt_seed = Some(seed | 1);
+    }
+
+    /// A backward (loop-closing) steer was predicted/taken this fetch
+    /// cycle: request a trigger at the next main-loop fixed point.
+    pub(crate) fn note_backward(&mut self) {
+        self.armed = true;
+    }
+
+    /// Irrecoverably poisons the active recording (redirect, BTB miss,
+    /// non-L1 access, `halt`, wrong-path return, …).
+    pub(crate) fn abort_recording(&mut self) {
+        if let Some(rec) = self.recording.as_mut() {
+            rec.aborted = true;
+        }
+    }
+
+    /// Observes a fetch-time `predict()` (called immediately after it).
+    pub(crate) fn on_predict(&mut self, pc: u64, meta: &PredMeta, pred: &dyn DirectionPredictor) {
+        let Some(rec) = self.recording.as_mut() else {
+            return;
+        };
+        if rec.aborted {
+            return;
+        }
+        self.scratch.cells.clear();
+        pred.probe_cells(pc, meta, &mut self.scratch.cells);
+        for &(id, val) in &self.scratch.cells {
+            if rec.seen.insert(id) {
+                rec.cells.push((id, val));
+            }
+        }
+        rec.inters.push(PredEvent::Advance { pc, meta: *meta });
+    }
+
+    /// Observes an issue-time training update (called immediately
+    /// *before* `predictor.update`, so cell values are pre-update).
+    pub(crate) fn on_update(
+        &mut self,
+        pc: u64,
+        meta: &PredMeta,
+        taken: bool,
+        pred: &dyn DirectionPredictor,
+    ) {
+        let Some(rec) = self.recording.as_mut() else {
+            return;
+        };
+        if rec.aborted {
+            return;
+        }
+        self.scratch.cells.clear();
+        pred.probe_cells(pc, meta, &mut self.scratch.cells);
+        for &(id, val) in &self.scratch.cells {
+            if rec.seen.insert(id) {
+                rec.cells.push((id, val));
+            }
+        }
+        rec.d_updates += 1;
+        rec.inters.push(PredEvent::Update {
+            pc,
+            meta: *meta,
+            taken,
+        });
+    }
+
+    /// Observes an I-side cache line access (L1-hit path; misses abort).
+    pub(crate) fn on_ifetch(&mut self, pc: u64) {
+        if let Some(rec) = self.recording.as_mut() {
+            if !rec.aborted {
+                rec.iaccesses.push(pc);
+            }
+        }
+    }
+
+    /// Observes a BTB-hit steer.
+    pub(crate) fn on_steer(&mut self, from_pc: u64, target_addr: u64) {
+        if let Some(rec) = self.recording.as_mut() {
+            if !rec.aborted {
+                rec.steers.push((from_pc, target_addr));
+            }
+        }
+    }
+
+    /// Observes an issued instruction. `outcome` is the taken direction
+    /// for `Branch`, the mispredicted flag for `Resolve`.
+    pub(crate) fn on_issue(&mut self, inst: Inst, outcome: bool) {
+        let Some(rec) = self.recording.as_mut() else {
+            return;
+        };
+        if rec.aborted {
+            return;
+        }
+        if rec.steps.len() >= STEP_BUDGET {
+            rec.aborted = true;
+            return;
+        }
+        rec.steps.push(RecStep { inst, outcome });
+    }
+
+    /// The trigger: runs at the main loop's fixed point (after
+    /// redirect-apply and journal compaction, before fetch) when a
+    /// backward steer armed the engine. Finalizes any active recording,
+    /// then replays memoized iterations for as long as they keep
+    /// matching, else starts a new recording.
+    fn tick(&mut self, sim: &mut Simulator<'_>) {
+        self.armed = false;
+        if sim.pending.is_some() || sim.front.is_halted() || sim.halted {
+            // A redirect is in flight (the recording, if any, is already
+            // aborted) or the machine is stopping: not a steady-state
+            // boundary.
+            return;
+        }
+        // All buffered stores are correct-path here (any conditional that
+        // could squash them has resolved), so draining is invisible to
+        // the architectural state and makes memory the single source of
+        // truth for the pre-pass.
+        sim.store_buffer.drain_all(&mut sim.memory);
+        if let Some(rec) = self.recording.take() {
+            self.finalize(rec, sim);
+        }
+        let mut record_key = None;
+        loop {
+            let pc = sim.front.replay_pc();
+            let mut h = Fnv::new();
+            sim.front.replay_hash(sim.cycle, &mut h);
+            self.scratch.spec.clear();
+            sim.front.predictor.spec_words(&mut self.scratch.spec);
+            for &w in &self.scratch.spec {
+                h.u64(w);
+            }
+            for &r in sim.reg_ready.iter() {
+                h.u64(r.saturating_sub(sim.cycle));
+            }
+            let key = (pc, h.finish());
+            let spec = &self.scratch.spec;
+            let Some(bucket) = self.table.get_mut(&key) else {
+                self.stats.misses += 1;
+                record_key = Some(key);
+                break;
+            };
+            let pos = bucket.iter().position(|e| {
+                e.pre.spec == *spec
+                    && sim
+                        .reg_ready
+                        .iter()
+                        .zip(e.pre.reg_ready_rel.iter())
+                        .all(|(&a, &rel)| a.saturating_sub(sim.cycle) == rel)
+                    && sim.front.replay_matches(&e.pre.front, sim.cycle)
+            });
+            let Some(i) = pos else {
+                self.stats.misses += 1;
+                record_key = Some(key);
+                break;
+            };
+            let entry = &mut bucket[i];
+            let ok = verify(entry, &mut self.scratch, sim);
+            if ok {
+                if entry.chains {
+                    // Burst fast path: the entry's post state equals its
+                    // pre state (relativized), so after each application
+                    // this same entry is guaranteed to match again —
+                    // skip re-hashing/re-matching and apply-verify until
+                    // a guard fails, then restore the front end and the
+                    // scaled deltas once.
+                    let mut k = 0u64;
+                    loop {
+                        apply_core(entry, &self.scratch, sim);
+                        k += 1;
+                        if !verify(entry, &mut self.scratch, sim) {
+                            break;
+                        }
+                    }
+                    apply_finish(entry, k, sim);
+                    self.stats.hits += k;
+                    self.stats.replayed_cycles += k * entry.d_cycle;
+                    self.stats.replayed_insts += k * entry.d_stats.issued;
+                    // The burst always ends in a failed verify on an
+                    // entry the signature still matched: the same
+                    // divergence the slow path would have counted.
+                    self.stats.divergences += 1;
+                    entry.fails = 1;
+                    break;
+                }
+                apply_core(entry, &self.scratch, sim);
+                apply_finish(entry, 1, sim);
+                entry.fails = 0;
+                self.stats.hits += 1;
+                self.stats.replayed_cycles += entry.d_cycle;
+                self.stats.replayed_insts += entry.d_stats.issued;
+                continue; // chain into the next iteration
+            }
+            self.stats.divergences += 1;
+            entry.fails += 1;
+            if entry.fails >= MAX_ENTRY_FAILS {
+                bucket.swap_remove(i);
+                self.entry_count -= 1;
+                *self.fail_counts.entry(pc).or_insert(0) += 1;
+            }
+            break;
+        }
+        if let Some(key) = record_key {
+            self.maybe_start_record(key, sim);
+        }
+    }
+
+    fn maybe_start_record(&mut self, key: (u32, u64), sim: &Simulator<'_>) {
+        if self
+            .fail_counts
+            .get(&key.0)
+            .is_some_and(|&c| c >= MAX_PC_FAILS)
+        {
+            return;
+        }
+        let pre = PreState {
+            front: sim.front.replay_capture(sim.cycle),
+            // Computed for this exact state by the trigger loop above.
+            spec: self.scratch.spec.clone(),
+            reg_ready_rel: rel_regs(&sim.reg_ready, sim.cycle),
+        };
+        self.recording = Some(Recording {
+            key,
+            pre,
+            start_cycle: sim.cycle,
+            start_seq: sim.next_seq,
+            start_stats: sim.stats,
+            start_dbb_inserts: sim.front.dbb.inserts(),
+            start_dbb_spurious: sim.front.dbb.spurious_lookups(),
+            guard_at_start: sim.front.predictor.replay_guard(),
+            steps: Vec::new(),
+            inters: Vec::new(),
+            cells: Vec::new(),
+            seen: HashSet::default(),
+            iaccesses: Vec::new(),
+            steers: Vec::new(),
+            d_updates: 0,
+            aborted: false,
+        });
+    }
+
+    fn finalize(&mut self, rec: Recording, sim: &Simulator<'_>) {
+        if rec.aborted {
+            self.stats.aborted_recordings += 1;
+            return;
+        }
+        let d_cycle = sim.cycle - rec.start_cycle;
+        if d_cycle == 0 || rec.d_updates >= rec.guard_at_start {
+            self.stats.aborted_recordings += 1;
+            return;
+        }
+        let post = sim.front.replay_capture(sim.cycle);
+        let post_reg_ready_rel = rel_regs(&sim.reg_ready, sim.cycle);
+        // Fixed-point detection for the burst fast path: the iteration
+        // maps its own signature onto itself (front end, scoreboard, and
+        // predictor speculative words — the latter evolve as a fixed
+        // function of the recorded interactions, so recurrence at
+        // finalize implies recurrence on every subsequent application).
+        self.scratch.spec.clear();
+        sim.front.predictor.spec_words(&mut self.scratch.spec);
+        let chains = rec.pre.front == post
+            && rec.pre.reg_ready_rel == post_reg_ready_rel
+            && rec.pre.spec == self.scratch.spec;
+        let mut entry = MemoEntry {
+            pre: rec.pre,
+            steps: rec.steps,
+            inters: rec.inters,
+            cells: rec.cells,
+            iaccesses: rec.iaccesses,
+            steers: rec.steers,
+            post,
+            post_reg_ready_rel,
+            d_cycle,
+            d_seq: sim.next_seq - rec.start_seq,
+            d_stats: sim.stats.replay_delta(&rec.start_stats),
+            d_updates: rec.d_updates,
+            d_dbb_inserts: sim.front.dbb.inserts() - rec.start_dbb_inserts,
+            d_dbb_spurious: sim.front.dbb.spurious_lookups() - rec.start_dbb_spurious,
+            chains,
+            fails: 0,
+        };
+        if let Some(seed) = self.corrupt_seed.as_mut() {
+            if corrupt_entry(&mut entry, seed) {
+                self.stats.corrupted_entries += 1;
+            }
+        }
+        self.stats.recordings += 1;
+        if self.entry_count >= TABLE_CAP {
+            self.table.clear();
+            self.entry_count = 0;
+        }
+        let bucket = self.table.entry(rec.key).or_default();
+        if let Some(i) = bucket.iter().position(|e| e.pre == entry.pre) {
+            bucket[i] = entry;
+        } else {
+            bucket.push(entry);
+            self.entry_count += 1;
+        }
+    }
+}
+
+impl Simulator<'_> {
+    /// Runs the replay trigger with the engine temporarily taken out of
+    /// `self`, so the engine and the rest of the machine can be borrowed
+    /// simultaneously.
+    pub(crate) fn replay_tick(&mut self) {
+        let Some(mut eng) = self.replay.take() else {
+            return;
+        };
+        eng.tick(self);
+        self.replay = Some(eng);
+    }
+}
+
+fn rel_regs(reg_ready: &[u64; NUM_ARCH_REGS], cycle: u64) -> [u64; NUM_ARCH_REGS] {
+    let mut out = [0u64; NUM_ARCH_REGS];
+    for (o, &r) in out.iter_mut().zip(reg_ready.iter()) {
+        *o = r.saturating_sub(cycle);
+    }
+    out
+}
+
+fn opval(regs: &[u64; NUM_ARCH_REGS], o: Operand) -> u64 {
+    match o {
+        Operand::Reg(r) => regs[r.index()],
+        Operand::Imm(v) => v as u64,
+    }
+}
+
+/// Checks every guard for replaying `e` at the simulator's current state,
+/// running the functional pre-pass into `s`. Pure with respect to the
+/// simulator (only `&Simulator`); on `true` the pre-pass results in `s`
+/// are ready for [`apply`].
+fn verify(e: &MemoEntry, s: &mut Scratch, sim: &Simulator<'_>) -> bool {
+    // -- Timing guards: never replay across a stop or poll boundary. --
+    let Some(end) = sim.cycle.checked_add(e.d_cycle) else {
+        return false;
+    };
+    if end > sim.config.max_cycles || end > sim.watchdog_cycles {
+        return false;
+    }
+    // The wall-clock watchdog polls every 4096 cycles; skipping a poll
+    // would change the (inherently wall-time-dependent) TimedOut point.
+    if sim.watchdog_deadline.is_some() && (sim.cycle >> 12) != (end >> 12) {
+        return false;
+    }
+    // -- Predictor epoch guard (e.g. TAGE aging distance). --
+    if e.d_updates >= sim.front.predictor.replay_guard() {
+        return false;
+    }
+    // -- Steer guard: every recorded steer must still be a BTB hit. --
+    for &(from, target) in &e.steers {
+        if !sim.front.replay_btb_hit(from, target) {
+            return false;
+        }
+    }
+    // -- I-side guard: every recorded line access must still hit L1. --
+    for &pc in &e.iaccesses {
+        if !sim.mem_sys.probe_l1(pc, AccessKind::InstFetch) {
+            return false;
+        }
+    }
+    // -- Predictor first-touch cell induction: re-derive each cell's
+    //    first-touch value against the live tables; equality means the
+    //    recorded interaction sequence evolves identically. --
+    s.seen.clear();
+    let mut ci = 0usize;
+    for ev in &e.inters {
+        let (pc, meta) = match ev {
+            PredEvent::Advance { pc, meta } | PredEvent::Update { pc, meta, .. } => (*pc, meta),
+        };
+        s.cells.clear();
+        sim.front.predictor.probe_cells(pc, meta, &mut s.cells);
+        for &cell in &s.cells {
+            if !s.seen.contains(&cell.0) {
+                s.seen.push(cell.0);
+                if ci >= e.cells.len() || e.cells[ci] != cell {
+                    return false;
+                }
+                ci += 1;
+            }
+        }
+    }
+    if ci != e.cells.len() {
+        return false;
+    }
+    // -- Functional pre-pass: re-execute the recorded issue steps against
+    //    live registers/memory. Conditionals must take their recorded
+    //    directions (anything else is a different trajectory) and every
+    //    data access must hit L1 (anything else had different timing). --
+    s.regs = sim.regs;
+    s.overlay.clear();
+    s.store_log.clear();
+    s.daccesses.clear();
+    for step in &e.steps {
+        match step.inst {
+            Inst::Alu { op, dst, a, b } => {
+                let av = opval(&s.regs, a);
+                let bv = opval(&s.regs, b);
+                s.regs[dst.index()] = eval_alu(op, av, bv);
+            }
+            Inst::Fp { op, dst, a, b } => {
+                let av = f64::from_bits(s.regs[a.index()]);
+                let bv = f64::from_bits(s.regs[b.index()]);
+                let r = match op {
+                    FpOp::Add => av + bv,
+                    FpOp::Sub => av - bv,
+                    FpOp::Mul => av * bv,
+                    FpOp::Div => av / bv,
+                };
+                s.regs[dst.index()] = r.to_bits();
+            }
+            Inst::Cmp { kind, dst, a, b } => {
+                let av = s.regs[a.index()];
+                let bv = opval(&s.regs, b);
+                s.regs[dst.index()] = kind.eval(av, bv) as u64;
+            }
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                speculative,
+            } => {
+                let addr = s.regs[base.index()].wrapping_add(offset as u64);
+                if !sim.mem_sys.probe_l1(addr, AccessKind::Load) {
+                    return false;
+                }
+                let w = addr & !7;
+                // Store-buffer forwarding semantics: youngest region store
+                // to the word wins, else architectural memory (drained at
+                // the region boundary).
+                let value = match s.overlay.get(&w).copied().or_else(|| sim.memory.read(addr)) {
+                    Some(v) => v,
+                    None if speculative => 0,
+                    None => return false, // would have faulted: diverge
+                };
+                s.regs[dst.index()] = value;
+                s.daccesses.push((addr, AccessKind::Load));
+            }
+            Inst::Store { src, base, offset } => {
+                let addr = s.regs[base.index()].wrapping_add(offset as u64);
+                if !sim.mem_sys.probe_l1(addr, AccessKind::Store) {
+                    return false;
+                }
+                let w = addr & !7;
+                let v = s.regs[src.index()];
+                s.overlay.insert(w, v);
+                s.store_log.push((w, v));
+                s.daccesses.push((addr, AccessKind::Store));
+            }
+            Inst::Branch { cond, src, .. } | Inst::Resolve { cond, src, .. } => {
+                if cond.eval(s.regs[src.index()]) != step.outcome {
+                    return false;
+                }
+            }
+            Inst::Nop => {}
+            // Front-end-only instructions never issue; a recording cannot
+            // contain them.
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Applies the per-iteration half of a verified memo entry:
+/// architectural state from the pre-pass, live cache/predictor side
+/// effects, and the cycle advance. Must only be called with the `s`
+/// produced by a successful [`verify`] of the same entry, and must be
+/// followed by [`apply_finish`] before control returns to the
+/// simulator's main loop.
+fn apply_core(e: &MemoEntry, s: &Scratch, sim: &mut Simulator<'_>) {
+    let at = sim.cycle;
+    sim.regs = s.regs;
+    for &(w, v) in &s.store_log {
+        sim.memory.write(w, v);
+    }
+    // Re-apply cache traffic for real so hierarchy state and MemStats
+    // evolve exactly as full simulation would (all L1 hits, whose
+    // side effects are cycle-independent).
+    for &(addr, kind) in &s.daccesses {
+        let _ = sim.mem_sys.access(at, addr, kind);
+    }
+    for &pc in &e.iaccesses {
+        let _ = sim.mem_sys.access(at, pc, AccessKind::InstFetch);
+    }
+    // Re-apply predictor interactions in global order.
+    for ev in &e.inters {
+        match ev {
+            PredEvent::Advance { pc, meta } => sim.front.predictor.replay_advance(*pc, meta),
+            PredEvent::Update { pc, meta, taken } => sim.front.predictor.update(*pc, meta, *taken),
+        }
+    }
+    sim.cycle = at + e.d_cycle;
+}
+
+/// Applies the once-per-burst half: the front-end post-snapshot, the
+/// scoreboard, and the memoized per-iteration deltas scaled by the `k`
+/// consecutive [`apply_core`] applications of `e` that preceded it.
+/// Intermediate front-end/scoreboard states are never observed, so
+/// restoring only the final one is behavior-identical to restoring each.
+fn apply_finish(e: &MemoEntry, k: u64, sim: &mut Simulator<'_>) {
+    let end = sim.cycle;
+    sim.front
+        .replay_restore(&e.post, end, k * e.d_dbb_inserts, k * e.d_dbb_spurious);
+    for (rr, &rel) in sim.reg_ready.iter_mut().zip(e.post_reg_ready_rel.iter()) {
+        *rr = end + rel;
+    }
+    sim.stats.add_replay_delta(&e.d_stats, k);
+    sim.next_seq += k * e.d_seq;
+}
+
+/// Fault injection: corrupts exactly one *guarded* quantity of a freshly
+/// recorded entry — a conditional's recorded outcome (caught by the
+/// pre-pass) or a first-touch cell value (caught by cell induction) — so
+/// the divergence guards must detect it and fall back. Returns whether a
+/// corruptible quantity existed.
+fn corrupt_entry(e: &mut MemoEntry, seed: &mut u64) -> bool {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    let conds: Vec<usize> = e
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(_, st)| matches!(st.inst, Inst::Branch { .. } | Inst::Resolve { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    if !conds.is_empty() {
+        let i = conds[(*seed % conds.len() as u64) as usize];
+        e.steps[i].outcome = !e.steps[i].outcome;
+        return true;
+    }
+    if !e.cells.is_empty() {
+        let i = (*seed % e.cells.len() as u64) as usize;
+        e.cells[i].1 = e.cells[i].1.wrapping_add(1);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_order_and_value() {
+        let mut a = Fnv::new();
+        a.u64(1);
+        a.u64(2);
+        let mut b = Fnv::new();
+        b.u64(2);
+        b.u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.u64(1);
+        c.u64(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn corruption_flips_a_guarded_quantity() {
+        let mut seed = 0x1234_5678_9abc_def0u64 | 1;
+        let mut e = MemoEntry {
+            pre: PreState {
+                front: FrontSnapshot::empty_for_test(),
+                spec: Vec::new(),
+                reg_ready_rel: [0; NUM_ARCH_REGS],
+            },
+            steps: vec![RecStep {
+                inst: Inst::Nop,
+                outcome: false,
+            }],
+            inters: Vec::new(),
+            cells: vec![(7, 3)],
+            iaccesses: Vec::new(),
+            steers: Vec::new(),
+            post: FrontSnapshot::empty_for_test(),
+            post_reg_ready_rel: [0; NUM_ARCH_REGS],
+            d_cycle: 1,
+            d_seq: 1,
+            d_stats: SimStats::default(),
+            d_updates: 0,
+            d_dbb_inserts: 0,
+            d_dbb_spurious: 0,
+            chains: false,
+            fails: 0,
+        };
+        // No conditional steps: the cell value must be bumped.
+        assert!(corrupt_entry(&mut e, &mut seed));
+        assert_ne!(e.cells[0].1, 3);
+    }
+}

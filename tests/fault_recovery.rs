@@ -79,6 +79,11 @@ fn bitflipped_cache_entry_is_evicted_and_recomputed() {
     assert_class_contained(FaultClass::CacheBitflip);
 }
 
+#[test]
+fn corrupted_replay_memo_is_detected_and_falls_back() {
+    assert_class_contained(FaultClass::ReplayDivergence);
+}
+
 /// The quarantine reproducer is genuinely replayable: `program.asm`
 /// re-parses to the victim program and `repro.txt` records the failing
 /// job's coordinates.
