@@ -38,6 +38,7 @@ fn json_str(s: &str) -> String {
 }
 
 fn main() {
+    vanguard_bench::sweep::maybe_run_worker();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed: u64 = args
         .iter()

@@ -19,6 +19,7 @@
 //! The module is the library behind the `faultinject` binary and the
 //! `tests/fault_recovery.rs` integration tests.
 
+use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -57,17 +58,23 @@ pub enum FaultClass {
     /// replay verify guards must detect it and fall back to full
     /// simulation bit-identically.
     ReplayDivergence,
+    /// A sweep worker *process* is `SIGKILL`ed mid-sweep; the resumed
+    /// sweep must complete off the journal with no job's side effects
+    /// run twice and a merged output byte-identical to an uninterrupted
+    /// serial run, at shard counts 1, 2, and 4.
+    KillAndResume,
 }
 
 impl FaultClass {
     /// Every class, in the order the harness runs them.
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 7] = [
         FaultClass::GuestTrap,
         FaultClass::Hang,
         FaultClass::WorkerPanic,
         FaultClass::CacheTruncation,
         FaultClass::CacheBitflip,
         FaultClass::ReplayDivergence,
+        FaultClass::KillAndResume,
     ];
 
     /// The CLI name of the class.
@@ -79,6 +86,7 @@ impl FaultClass {
             FaultClass::CacheTruncation => "cache-truncation",
             FaultClass::CacheBitflip => "cache-bitflip",
             FaultClass::ReplayDivergence => "replay-divergence",
+            FaultClass::KillAndResume => "kill-and-resume",
         }
     }
 
@@ -717,6 +725,172 @@ fn replay_divergence_class(seed: u64) -> ClassReport {
     }
 }
 
+/// Shard counts the kill-and-resume scenario must hold at.
+const KILL_RESUME_SHARDS: [usize; 3] = [1, 2, 4];
+
+/// Stages the kill-and-resume class: a quick sweep is run sharded, its
+/// worker processes are `SIGKILL`ed after a seed-chosen number of jobs
+/// journal, and the sweep is resumed off the journal. At every shard
+/// count the contract is the same: the interruption is real (partial
+/// journal), the resume completes, no job's side effects ran twice
+/// (zero duplicate journal records), and the merged output is
+/// byte-identical to an uninterrupted serial single-process run.
+///
+/// Worker processes are spawned from [`sweep::harness_worker_exe`]:
+/// the `faultinject` and `vanguard-sweep` binaries re-exec themselves
+/// (both hook [`sweep::maybe_run_worker`]); test harnesses must point
+/// `VANGUARD_SWEEP_WORKER_EXE` at the `vanguard-sweep` binary instead
+/// (a re-exec'd libtest binary would run the whole test suite).
+fn kill_and_resume_class(seed: u64, scratch: &Path) -> ClassReport {
+    use crate::sweep::{self, ShardOptions, Sweep, SweepRequest};
+    use vanguard_core::Journal;
+
+    let mut checks = Vec::new();
+    let mut summary = String::new();
+    let report = |checks, summary| ClassReport {
+        class: FaultClass::KillAndResume,
+        checks,
+        summary,
+    };
+    let worker_exe = match sweep::harness_worker_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            push_check(
+                &mut checks,
+                "worker executable resolves",
+                false,
+                e.to_string(),
+            );
+            return report(checks, summary);
+        }
+    };
+    let request = SweepRequest::ci_quick();
+    // The serial reference runs in its own cache directory: the
+    // byte-identity claim must not depend on artifacts the sharded
+    // runs produced.
+    let serial_dir = scratch.join("kill-resume-serial");
+    let _ = fs::remove_dir_all(&serial_dir);
+    let serial_policy = FaultPolicy {
+        cache_dir: Some(serial_dir.join("cache")),
+        ..isolated_policy()
+    };
+    let serial = match Sweep::build(request.clone(), serial_policy) {
+        Ok(sweep) => sweep.run_serial(),
+        Err(e) => {
+            push_check(&mut checks, "serial reference sweep builds", false, e);
+            return report(checks, summary);
+        }
+    };
+
+    for shards in KILL_RESUME_SHARDS {
+        let dir = scratch.join(format!("kill-resume-{shards}"));
+        let _ = fs::remove_dir_all(&dir);
+        let cache_dir = dir.join("cache");
+        let policy = FaultPolicy {
+            cache_dir: Some(cache_dir.clone()),
+            ..isolated_policy()
+        };
+        let sweep_run = match Sweep::build(request.clone(), policy) {
+            Ok(s) => s,
+            Err(e) => {
+                push_check(&mut checks, "sharded sweep builds", false, e);
+                continue;
+            }
+        };
+        let total = sweep_run.plan().len();
+        let journal = Journal::new(dir.join("journal.vgj"));
+        // Seed-chosen kill point, early enough that in-flight jobs
+        // (one per shard, each throttled 40 ms) cannot finish the
+        // sweep before the SIGKILL lands.
+        let kill_after = 1 + (seed as usize % 2);
+        let mut sink = std::io::sink();
+        let first = sweep::run_sharded(
+            &sweep_run,
+            &journal,
+            &ShardOptions {
+                worker_exe: worker_exe.clone(),
+                shards,
+                cache_dir: cache_dir.clone(),
+                kill_after: Some(kill_after),
+                throttle_ms: Some(40),
+            },
+            &mut sink,
+        );
+        let partial = match &first {
+            Ok(run) => run.killed && run.completed < total,
+            Err(_) => false,
+        };
+        push_check(
+            &mut checks,
+            "SIGKILL mid-sweep leaves a partial journal",
+            partial,
+            format!("shards={shards}: kill after {kill_after} -> {first:?} of {total} jobs"),
+        );
+        let second = sweep::run_sharded(
+            &sweep_run,
+            &journal,
+            &ShardOptions {
+                worker_exe: worker_exe.clone(),
+                shards,
+                cache_dir: cache_dir.clone(),
+                kill_after: None,
+                throttle_ms: None,
+            },
+            &mut sink,
+        );
+        let resumed = matches!(&second, Ok(run) if run.complete());
+        push_check(
+            &mut checks,
+            "resume completes the sweep off the journal",
+            resumed,
+            format!("shards={shards}: {second:?}"),
+        );
+        let snapshot = match journal.read() {
+            Ok(s) => s,
+            Err(e) => {
+                push_check(
+                    &mut checks,
+                    "journal readable after resume",
+                    false,
+                    format!("shards={shards}: {e}"),
+                );
+                continue;
+            }
+        };
+        let duplicates = snapshot.duplicate_keys();
+        push_check(
+            &mut checks,
+            "no job ran its side effects twice",
+            duplicates.is_empty(),
+            format!(
+                "shards={shards}: {} records, duplicates {duplicates:?}",
+                snapshot.records.len()
+            ),
+        );
+        let merged = sweep_run.merged(&snapshot);
+        let identical = merged.as_deref() == Ok(serial.as_str());
+        push_check(
+            &mut checks,
+            "merged output byte-identical to serial run",
+            identical,
+            match &merged {
+                Ok(m) if identical => format!("shards={shards}: {} bytes", m.len()),
+                Ok(_) => format!("shards={shards}: merged text diverged from serial"),
+                Err(missing) => format!("shards={shards}: merge missing {} jobs", missing.len()),
+            },
+        );
+        let first_completed = first.map(|r| r.completed).unwrap_or(0);
+        let _ = writeln!(
+            summary,
+            "shards={shards}: killed at {first_completed}/{total}, resumed to {}/{total}",
+            snapshot.records.len()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+    let _ = fs::remove_dir_all(&serial_dir);
+    report(checks, summary)
+}
+
 /// Stages one fault class against the suite and checks the containment
 /// contract. `scratch` hosts quarantine/cache directories (created as
 /// needed); `clean` is the [`clean_suite_stats`] reference.
@@ -729,6 +903,7 @@ pub fn run_class(class: FaultClass, seed: u64, scratch: &Path, clean: &[SimStats
             cache_class(class, seed, scratch, clean)
         }
         FaultClass::ReplayDivergence => replay_divergence_class(seed),
+        FaultClass::KillAndResume => kill_and_resume_class(seed, scratch),
     }
 }
 

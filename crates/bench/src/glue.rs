@@ -229,7 +229,7 @@ impl SuiteEngine {
     }
 
     /// Runs a flat job list with the configured transform options.
-    /// Infallible: each job yields its own [`JobResult`] outcome.
+    /// Infallible: each job yields its own [`JobResult`](vanguard_core::engine::JobResult) outcome.
     pub fn run_jobs(&self, jobs: &[SimJob]) -> Vec<vanguard_core::engine::JobResult> {
         self.engine
             .run_jobs(jobs, &self.transform, DEFAULT_MAX_PROFILE_STEPS)

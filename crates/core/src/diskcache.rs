@@ -20,8 +20,19 @@
 //!   `quarantine/` subdirectory (preserved for postmortem) and reported
 //!   as [`CorruptEntry`]; the caller recomputes and re-stores. A flaky
 //!   disk degrades throughput, never correctness.
+//! * **Cross-process claims** — [`DiskCache::claim`] hands exactly one
+//!   process the right to produce a missing entry (an OS file lock on a
+//!   `claim-…` file); everyone else blocks until the producer stores and
+//!   releases, then re-loads. A `SIGKILL`ed producer releases its lock
+//!   with its process, so a dead claim never wedges the farm. Two
+//!   workers never recompute the same artifact while both are healthy.
+//! * **Content-addressed payloads** — [`DiskCache::store_content`] keys
+//!   an entry by the FNV-1a hash of its payload, so identical artifacts
+//!   produced anywhere in the farm share one entry, and
+//!   [`DiskCache::load_content`] re-verifies the address against the
+//!   bytes (a mismatch is quarantined like any other corruption).
 
-use std::fs;
+use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use vanguard_ir::Profile;
@@ -183,6 +194,106 @@ impl DiskCache {
         result
     }
 
+    /// Stores a payload content-addressed: the entry key is the FNV-1a
+    /// hash of the payload itself, so identical artifacts share one
+    /// entry regardless of who produced them. Returns the key. Storing
+    /// an already-present entry is a cheap no-op (the bytes are by
+    /// construction identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error; callers treat a failed store as a future
+    /// cache miss, never a run failure.
+    pub fn store_content(&self, tag: &str, payload: &[u8]) -> io::Result<u64> {
+        let key = fnv1a(payload);
+        if !self.entry_path(tag, key).exists() {
+            self.store_bytes(tag, key, payload)?;
+        }
+        Ok(key)
+    }
+
+    /// Loads a content-addressed entry, re-verifying that the payload
+    /// still hashes to its key (the content address is a second,
+    /// independent checksum: an envelope that validates but no longer
+    /// matches its address is quarantined).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptEntry`] when the entry fails envelope validation
+    /// or its payload no longer hashes to `key`.
+    pub fn load_content(&self, tag: &str, key: u64) -> Result<Option<Vec<u8>>, CorruptEntry> {
+        let Some(payload) = self.load_bytes(tag, key)? else {
+            return Ok(None);
+        };
+        if fnv1a(&payload) != key {
+            return Err(self.reject(tag, key, "content address mismatch"));
+        }
+        Ok(Some(payload))
+    }
+
+    fn claim_path(&self, tag: &str, key: u64) -> PathBuf {
+        self.dir.join(format!("claim-{tag}-{key:016x}.lock"))
+    }
+
+    /// Claims the right to produce the entry for `(tag, key)` across
+    /// concurrent *processes*. Returns `Some(guard)` when this caller
+    /// won the claim — it should double-check the entry (the previous
+    /// holder may have stored it), compute, store, and drop the guard.
+    /// Returns `None` after **blocking** until the current holder
+    /// released — the caller re-loads, and only re-claims if the entry
+    /// is still missing (the holder died or failed to store).
+    ///
+    /// The claim is an OS file lock, so a `SIGKILL`ed holder releases it
+    /// automatically: a dead producer costs one recompute, never a hang.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from creating or locking the claim file;
+    /// callers treat a failed claim as "compute it myself" (correctness
+    /// never depends on claims, only at-most-once economy does).
+    pub fn claim(&self, tag: &str, key: u64) -> io::Result<Option<ClaimGuard>> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.claim_path(tag, key);
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => Ok(Some(ClaimGuard { file, path })),
+            Err(_) => {
+                // Another process holds the claim: wait for it to finish
+                // (or die — the OS releases the lock either way).
+                file.lock()?;
+                let _ = File::unlock(&file);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`DiskCache::claim`]: returns `None`
+    /// *immediately* when another process holds the claim, instead of
+    /// waiting for it. The sweep workers steal work with this — a
+    /// contended job means someone else is running it, so the worker
+    /// moves on to the next one rather than convoying.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from creating or locking the claim file.
+    pub fn try_claim(&self, tag: &str, key: u64) -> io::Result<Option<ClaimGuard>> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.claim_path(tag, key);
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => Ok(Some(ClaimGuard { file, path })),
+            Err(_) => Ok(None),
+        }
+    }
+
     /// Quarantines the entry for `(tag, key)` whose *payload* failed the
     /// caller's structural validation (the envelope was intact, so
     /// [`DiskCache::load_bytes`] returned it as a hit).
@@ -192,9 +303,15 @@ impl DiskCache {
 
     /// Moves a poisoned entry into `quarantine/`, falling back to
     /// deletion so the corrupt bytes can never be re-read as a hit.
+    /// Also sweeps the entry's orphaned `.tmp-…` files: a writer that
+    /// died between `create` and `rename` leaves its private temp file
+    /// behind, and a rejected entry is the natural point to reclaim
+    /// them (a temp file removed under a *live* writer only fails that
+    /// writer's rename, which it already treats as a cache miss).
     fn quarantine(&self, path: &Path, detail: String) -> CorruptEntry {
         let qdir = self.quarantine_dir();
         let _ = fs::create_dir_all(&qdir);
+        self.sweep_orphaned_tmp(path);
         let dest = qdir.join(
             path.file_name()
                 .map(|n| n.to_string_lossy().into_owned())
@@ -209,6 +326,39 @@ impl DiskCache {
                 detail,
             }
         }
+    }
+
+    /// Removes `.tmp-<stem>-<pid>` leftovers for the entry at `path`
+    /// (stem = file name without the `.bin` extension). Best-effort.
+    fn sweep_orphaned_tmp(&self, path: &Path) {
+        let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
+            return;
+        };
+        let prefix = format!(".tmp-{stem}-");
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().starts_with(&prefix) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// An exclusive cross-process claim on one cache entry, released (and
+/// its claim file removed, best-effort) on drop. See
+/// [`DiskCache::claim`].
+#[derive(Debug)]
+pub struct ClaimGuard {
+    file: File,
+    path: PathBuf,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        let _ = File::unlock(&self.file);
+        let _ = fs::remove_file(&self.path);
     }
 }
 
@@ -307,6 +457,84 @@ mod tests {
         let err = cache.reject("pair", 13, "undecodable pair");
         assert!(err.path.starts_with(cache.quarantine_dir()), "{err:?}");
         assert!(cache.load_bytes("pair", 13).unwrap().is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn reject_sweeps_orphaned_tmp_files() {
+        let cache = temp_cache("tmp-orphans");
+        cache.store_bytes("pair", 21, b"payload").unwrap();
+        // A writer that died mid-store leaves its private temp file.
+        let orphan = cache.dir().join(format!(".tmp-pair-{:016x}-99999", 21u64));
+        let unrelated = cache.dir().join(format!(".tmp-pair-{:016x}-99999", 22u64));
+        fs::write(&orphan, b"half-written").unwrap();
+        fs::write(&unrelated, b"someone else's in-flight write").unwrap();
+        cache.reject("pair", 21, "structurally invalid");
+        assert!(!orphan.exists(), "orphaned .tmp swept on reject");
+        assert!(
+            unrelated.exists(),
+            "other keys' in-flight temp files are left alone"
+        );
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn content_addressed_entries_roundtrip_and_self_verify() {
+        let cache = temp_cache("content");
+        let key = cache.store_content("image", b"some program text").unwrap();
+        assert_eq!(key, fnv1a(b"some program text"));
+        assert_eq!(
+            cache.load_content("image", key).unwrap().as_deref(),
+            Some(&b"some program text"[..])
+        );
+        // Storing the same content again is a no-op on the same key.
+        assert_eq!(
+            cache.store_content("image", b"some program text").unwrap(),
+            key
+        );
+        // An entry whose payload no longer matches its address is
+        // quarantined even though the envelope checksum validates.
+        cache
+            .store_bytes("image", 0x1234, b"address mismatch")
+            .unwrap();
+        let err = cache.load_content("image", 0x1234).unwrap_err();
+        assert!(err.detail.contains("content address"), "{err:?}");
+        assert!(cache.load_content("image", 0x1234).unwrap().is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn claim_admits_one_producer_and_releases_waiters() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cache = temp_cache("claims");
+        let produced = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| loop {
+                    if cache.load_bytes("pair", 77).unwrap().is_some() {
+                        break;
+                    }
+                    if let Some(_guard) = cache.claim("pair", 77).unwrap() {
+                        if cache.load_bytes("pair", 77).unwrap().is_none() {
+                            produced.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            cache.store_bytes("pair", 77, b"artifact").unwrap();
+                        }
+                        break;
+                    }
+                    // claim() returned after the holder released: re-load.
+                });
+            }
+        });
+        assert_eq!(
+            produced.load(Ordering::Relaxed),
+            1,
+            "exactly one producer computed the artifact"
+        );
+        assert_eq!(
+            cache.load_bytes("pair", 77).unwrap().as_deref(),
+            Some(&b"artifact"[..])
+        );
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -37,7 +37,7 @@
 //! checksummed and crash-safe: corrupt entries are quarantined and
 //! recomputed, never trusted. See DESIGN.md §7.8 for the fault model.
 
-use crate::diskcache::{fnv1a, DiskCache};
+use crate::diskcache::{fnv1a, ClaimGuard, DiskCache};
 use crate::error::{ErrorKind, VanguardError};
 use crate::experiment::{Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, RefRun};
 use crate::passes::TransformKind;
@@ -421,12 +421,18 @@ pub struct CompiledPair {
 /// Disk-cache entry namespace for compiled pairs.
 const PAIR_TAG: &str = "pair";
 
-/// Serializes a compiled pair for the disk cache: a small report header
-/// followed by the exact disassembly of both programs. The assembler
-/// round-trip is a textual fixpoint (block names, layout, and
-/// fall-throughs are preserved), so the decoded pair is bit-identical
-/// to the compiled one.
-fn encode_pair(pair: &CompiledPair) -> Vec<u8> {
+/// Disk-cache entry namespace for content-addressed program images
+/// (exact disassembly text, keyed by its own FNV-1a hash). A pair entry
+/// *references* its two images by content address instead of inlining
+/// them, so identical programs — every transform kind's baseline of the
+/// same (benchmark, profile, width), for instance — share one image
+/// entry across every process of the farm.
+const IMAGE_TAG: &str = "image";
+
+/// Serializes a compiled pair's header for the disk cache: the
+/// transformation report plus the content addresses of the two program
+/// images (stored separately under [`IMAGE_TAG`]).
+fn encode_pair_header(pair: &CompiledPair, baseline_key: u64, transformed_key: u64) -> Vec<u8> {
     let r = &pair.report;
     let mut out = String::new();
     out.push_str(&format!(
@@ -448,25 +454,19 @@ fn encode_pair(pair: &CompiledPair) -> Vec<u8> {
     for (b, reason) in &r.skipped {
         out.push_str(&format!("skip {} {}\n", b.0, reason.replace('\n', " ")));
     }
-    out.push_str("--- baseline\n");
-    out.push_str(&pair.baseline.disassemble());
-    out.push_str("--- transformed\n");
-    out.push_str(&pair.transformed.disassemble());
+    out.push_str(&format!("baseline-image {baseline_key:016x}\n"));
+    out.push_str(&format!("transformed-image {transformed_key:016x}\n"));
     out.into_bytes()
 }
 
-/// Structurally validates and decodes a disk-cached pair entry,
-/// rebuilding the pre-decoded images. Any malformation is an error (the
-/// caller quarantines the entry and recompiles).
-fn decode_pair(bytes: &[u8]) -> Result<CompiledPair, String> {
-    let text = std::str::from_utf8(bytes).map_err(|e| format!("not utf-8: {e}"))?;
-    let (header, programs) = text
-        .split_once("--- baseline\n")
-        .ok_or("missing baseline marker")?;
-    let (baseline_text, transformed_text) = programs
-        .split_once("--- transformed\n")
-        .ok_or("missing transformed marker")?;
-
+/// Structurally validates and decodes a disk-cached pair header,
+/// returning the report and the two image content addresses. Any
+/// malformation is an error (the caller quarantines the entry and
+/// recompiles).
+fn decode_pair_header(bytes: &[u8]) -> Result<(TransformReport, u64, u64), String> {
+    let header = std::str::from_utf8(bytes).map_err(|e| format!("not utf-8: {e}"))?;
+    let mut baseline_key = None;
+    let mut transformed_key = None;
     let mut report = TransformReport::default();
     let mut saw_report = false;
     for line in header.lines() {
@@ -510,24 +510,104 @@ fn decode_pair(bytes: &[u8]) -> Result<CompiledPair, String> {
                     reason.to_string(),
                 ));
             }
+            "baseline-image" => {
+                baseline_key = Some(
+                    u64::from_str_radix(rest, 16).map_err(|e| format!("baseline-image: {e}"))?,
+                );
+            }
+            "transformed-image" => {
+                transformed_key = Some(
+                    u64::from_str_radix(rest, 16).map_err(|e| format!("transformed-image: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown header tag `{other}`")),
         }
     }
     if !saw_report {
         return Err("missing report line".into());
     }
+    let baseline_key = baseline_key.ok_or("missing baseline-image line")?;
+    let transformed_key = transformed_key.ok_or("missing transformed-image line")?;
+    Ok((report, baseline_key, transformed_key))
+}
 
-    let baseline = parse_program(baseline_text).map_err(|e| format!("baseline: {e}"))?;
-    let transformed = parse_program(transformed_text).map_err(|e| format!("transformed: {e}"))?;
-    let baseline_image = Arc::new(DecodedImage::build(&baseline));
-    let transformed_image = Arc::new(DecodedImage::build(&transformed));
-    Ok(CompiledPair {
-        baseline: Arc::new(baseline),
-        transformed: Arc::new(transformed),
+/// Parses a content-addressed program image back into a program and its
+/// pre-decoded form.
+fn decode_image(text: &[u8]) -> Result<(Arc<Program>, Arc<DecodedImage>), String> {
+    let text = std::str::from_utf8(text).map_err(|e| format!("not utf-8: {e}"))?;
+    let program = parse_program(text).map_err(|e| format!("image: {e}"))?;
+    let image = Arc::new(DecodedImage::build(&program));
+    Ok((Arc::new(program), image))
+}
+
+/// The outcome of a disk-cache pair lookup.
+enum PairLoad {
+    /// Entry present and fully reconstructed.
+    Hit(CompiledPair),
+    /// No entry (or a referenced image was evicted) — compile fresh.
+    Miss,
+    /// Entry or a referenced image failed validation and was
+    /// quarantined — compile fresh and count the corruption.
+    Corrupt,
+}
+
+/// Loads a compiled pair from the disk cache, fetching its two
+/// content-addressed images. A missing image entry (shared images can
+/// be evicted independently of the pair headers that reference them)
+/// degrades to a clean miss; a malformed header or image quarantines
+/// the offending entry.
+fn load_pair(cache: &DiskCache, dk: u64) -> PairLoad {
+    let header = match cache.load_bytes(PAIR_TAG, dk) {
+        Ok(Some(bytes)) => bytes,
+        Ok(None) => return PairLoad::Miss,
+        Err(_) => return PairLoad::Corrupt,
+    };
+    let (report, baseline_key, transformed_key) = match decode_pair_header(&header) {
+        Ok(decoded) => decoded,
+        Err(detail) => {
+            let _ = cache.reject(PAIR_TAG, dk, &detail);
+            return PairLoad::Corrupt;
+        }
+    };
+    let mut images = Vec::with_capacity(2);
+    for (what, key) in [("baseline", baseline_key), ("transformed", transformed_key)] {
+        let text = match cache.load_content(IMAGE_TAG, key) {
+            Ok(Some(text)) => text,
+            Ok(None) => return PairLoad::Miss,
+            Err(_) => return PairLoad::Corrupt,
+        };
+        match decode_image(&text) {
+            Ok(decoded) => images.push(decoded),
+            Err(detail) => {
+                let _ = cache.reject(IMAGE_TAG, key, format!("{what}: {detail}"));
+                return PairLoad::Corrupt;
+            }
+        }
+    }
+    let (transformed, transformed_image) = images.pop().expect("two images");
+    let (baseline, baseline_image) = images.pop().expect("two images");
+    PairLoad::Hit(CompiledPair {
+        baseline,
+        transformed,
         baseline_image,
         transformed_image,
         report,
     })
+}
+
+/// Stores a compiled pair: both program images content-addressed under
+/// [`IMAGE_TAG`], then the header referencing them under [`PAIR_TAG`].
+/// Image-first ordering means a reader never sees a header whose images
+/// have not landed yet.
+fn store_pair(cache: &DiskCache, dk: u64, pair: &CompiledPair) -> std::io::Result<()> {
+    let baseline_key = cache.store_content(IMAGE_TAG, pair.baseline.disassemble().as_bytes())?;
+    let transformed_key =
+        cache.store_content(IMAGE_TAG, pair.transformed.disassemble().as_bytes())?;
+    cache.store_bytes(
+        PAIR_TAG,
+        dk,
+        &encode_pair_header(pair, baseline_key, transformed_key),
+    )
 }
 
 /// A pipeline stage, for observer events and timing attribution.
@@ -1010,6 +1090,25 @@ impl Engine {
         fnv1a(&bytes)
     }
 
+    /// Content-addressed key of one simulation job: the pair identity
+    /// material plus the full machine configuration, REF input index,
+    /// and variant. Stable across processes (it hashes names, program
+    /// text, and option bytes, never registration ids or pointers), so
+    /// it keys the sweep journal: a resumed sweep in a fresh process
+    /// recognises completed jobs by this key alone.
+    pub fn job_key(&self, job: &SimJob, options: &TransformOptions, max_steps: u64) -> u64 {
+        let mut bytes = self.bench_identity_bytes(job.bench, job.predictor, max_steps);
+        bytes.extend_from_slice(format!("{:?}", job.machine).as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&(job.ref_input as u64).to_le_bytes());
+        bytes.push(match job.variant {
+            Variant::Baseline => 0,
+            Variant::Transformed => 1,
+        });
+        bytes.extend_from_slice(&TransformKey::from_options(options).disk_bytes());
+        fnv1a(&bytes)
+    }
+
     /// Stage 1 — profile: the TRAIN-input profile for a benchmark under
     /// a predictor, computed at most once per [`ProfileKey`].
     ///
@@ -1040,19 +1139,56 @@ impl Engine {
                 .disk_cache
                 .as_ref()
                 .map(|_| self.profile_disk_key(bench, predictor, max_steps));
+            let mut claim: Option<ClaimGuard> = None;
             if let (Some(cache), Some(dk)) = (&self.disk_cache, disk_key) {
-                match cache.load(dk) {
-                    Ok(Some(profile)) => {
-                        self.profile_disk_hits.fetch_add(1, Ordering::Relaxed);
-                        for o in &self.observers {
-                            o.stage_completed(Stage::Profile, &input.name, Duration::ZERO, true);
+                // Cross-process claim loop: serve a hit, win the claim
+                // and produce, or block on the producing process and
+                // re-load once it finishes. Claims are an economy (two
+                // workers never recompute the same artifact), not a
+                // correctness mechanism — if claiming fails we just
+                // compute and let the atomic store race benignly.
+                loop {
+                    match cache.load(dk) {
+                        Ok(Some(profile)) => {
+                            self.profile_disk_hits.fetch_add(1, Ordering::Relaxed);
+                            for o in &self.observers {
+                                o.stage_completed(
+                                    Stage::Profile,
+                                    &input.name,
+                                    Duration::ZERO,
+                                    true,
+                                );
+                            }
+                            return Ok(Arc::new(profile));
                         }
-                        return Ok(Arc::new(profile));
+                        Ok(None) => {}
+                        Err(_corrupt) => {
+                            // Quarantined by the cache; recompute below.
+                            self.cache_corrupt.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
                     }
-                    Ok(None) => {}
-                    Err(_corrupt) => {
-                        // Quarantined by the cache; recompute below.
-                        self.cache_corrupt.fetch_add(1, Ordering::Relaxed);
+                    match cache.claim(DiskCache::PROFILE_TAG, dk) {
+                        Ok(Some(guard)) => {
+                            // Double-check: a producer may have landed
+                            // the entry between our miss and the lock.
+                            if let Ok(Some(profile)) = cache.load(dk) {
+                                self.profile_disk_hits.fetch_add(1, Ordering::Relaxed);
+                                for o in &self.observers {
+                                    o.stage_completed(
+                                        Stage::Profile,
+                                        &input.name,
+                                        Duration::ZERO,
+                                        true,
+                                    );
+                                }
+                                return Ok(Arc::new(profile));
+                            }
+                            claim = Some(guard);
+                            break;
+                        }
+                        Ok(None) => continue, // producer finished; re-load
+                        Err(_) => break,      // claims unavailable; compute
                     }
                 }
             }
@@ -1076,6 +1212,9 @@ impl Engine {
                 // A failed store is a future cache miss, never an error.
                 let _ = cache.store(dk, profile);
             }
+            // Release the claim only after the store landed, so waiting
+            // processes re-load and hit instead of recomputing.
+            drop(claim);
             out
         });
         if computed {
@@ -1130,10 +1269,13 @@ impl Engine {
             let disk_key = self.disk_cache.as_ref().map(|_| {
                 self.pair_disk_key(bench, predictor, max_steps, machine.width, &key.options)
             });
+            let mut claim: Option<ClaimGuard> = None;
             if let (Some(cache), Some(dk)) = (&self.disk_cache, disk_key) {
-                match cache.load_bytes(PAIR_TAG, dk) {
-                    Ok(Some(payload)) => match decode_pair(&payload) {
-                        Ok(pair) => {
+                // Same cross-process claim loop as `profile`: hit, or
+                // win the claim and produce, or wait and re-load.
+                loop {
+                    match load_pair(cache, dk) {
+                        PairLoad::Hit(pair) => {
                             self.pair_disk_hits.fetch_add(1, Ordering::Relaxed);
                             for o in &self.observers {
                                 o.stage_completed(
@@ -1145,17 +1287,34 @@ impl Engine {
                             }
                             return pair;
                         }
-                        Err(detail) => {
-                            // Envelope was intact but the payload is not
-                            // a pair; quarantine and recompile.
-                            let _ = cache.reject(PAIR_TAG, dk, detail);
+                        PairLoad::Miss => {}
+                        PairLoad::Corrupt => {
+                            // Quarantined (header or image); recompile.
                             self.cache_corrupt.fetch_add(1, Ordering::Relaxed);
+                            break;
                         }
-                    },
-                    Ok(None) => {}
-                    Err(_corrupt) => {
-                        // Quarantined by the cache; recompile below.
-                        self.cache_corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    match cache.claim(PAIR_TAG, dk) {
+                        Ok(Some(guard)) => {
+                            // Double-check: a producer may have landed
+                            // the entry between our miss and the lock.
+                            if let PairLoad::Hit(pair) = load_pair(cache, dk) {
+                                self.pair_disk_hits.fetch_add(1, Ordering::Relaxed);
+                                for o in &self.observers {
+                                    o.stage_completed(
+                                        Stage::Compile,
+                                        &input.name,
+                                        Duration::ZERO,
+                                        true,
+                                    );
+                                }
+                                return pair;
+                            }
+                            claim = Some(guard);
+                            break;
+                        }
+                        Ok(None) => continue, // producer finished; re-load
+                        Err(_) => break,      // claims unavailable; compute
                     }
                 }
             }
@@ -1184,8 +1343,11 @@ impl Engine {
             };
             if let (Some(cache), Some(dk)) = (&self.disk_cache, disk_key) {
                 // A failed store is a future cache miss, never an error.
-                let _ = cache.store_bytes(PAIR_TAG, dk, &encode_pair(&pair));
+                let _ = store_pair(cache, dk, &pair);
             }
+            // Release the claim only after the store landed, so waiting
+            // processes re-load and hit instead of recompiling.
+            drop(claim);
             pair
         });
         if computed {
@@ -1826,6 +1988,21 @@ mod tests {
             })
             .count();
         assert_eq!(pair_entries, 2);
+        // ...but their images are content-addressed and shared: on this
+        // benchmark the meld pass has nothing to meld, so both kinds
+        // produce byte-identical programs and the four image references
+        // collapse to two entries (one baseline, one transformed).
+        let image_entries = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("image-")
+            })
+            .count();
+        assert_eq!(image_entries, 2);
 
         // A fresh engine (empty in-memory caches) is served from disk,
         // bit-identically per variant.

@@ -38,6 +38,7 @@ mod diskcache;
 pub mod engine;
 mod error;
 mod experiment;
+pub mod journal;
 mod lint;
 mod passes;
 mod report;
@@ -46,12 +47,13 @@ mod slice;
 mod transform;
 mod verify;
 
-pub use diskcache::{fnv1a, CorruptEntry, DiskCache};
+pub use diskcache::{fnv1a, ClaimGuard, CorruptEntry, DiskCache};
 pub use error::{ErrorKind, VanguardError};
 pub use experiment::{
     Experiment, ExperimentError, ExperimentInput, ExperimentOutcome, PredictorKind, RefRun,
     RunInput,
 };
+pub use journal::{Journal, JournalRecord, JournalSnapshot};
 pub use lint::{lint_program, lint_variant, LintDiagnostic, LintKind};
 pub use passes::{
     apply_transform, pass_for, MeldPass, PassContract, PassOptions, PassReport, ShadowPass,

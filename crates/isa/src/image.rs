@@ -45,7 +45,7 @@ pub struct DecodedInst {
     pub next: u32,
 }
 
-/// A flat, pre-decoded program image (see the [module docs](self)).
+/// A flat, pre-decoded program image (see the module docs).
 #[derive(Clone, Debug)]
 pub struct DecodedImage {
     insts: Vec<DecodedInst>,
