@@ -267,6 +267,10 @@ pub struct FaultPolicy {
     /// Root of the crash-safe on-disk profile cache
     /// (`VANGUARD_CACHE_DIR`); `None` keeps artifacts in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the on-disk cache (`VANGUARD_CACHE_BUDGET`):
+    /// stores evict unclaimed entries oldest-first to stay under it;
+    /// `None` lets the cache grow without bound.
+    pub cache_budget: Option<u64>,
 }
 
 impl Default for FaultPolicy {
@@ -278,6 +282,7 @@ impl Default for FaultPolicy {
             backoff: Duration::from_millis(50),
             quarantine_dir: None,
             cache_dir: None,
+            cache_budget: None,
         }
     }
 }
@@ -285,7 +290,8 @@ impl Default for FaultPolicy {
 impl FaultPolicy {
     /// The default policy with the environment overrides applied:
     /// `VANGUARD_JOB_TIMEOUT` (seconds, fractional allowed),
-    /// `VANGUARD_QUARANTINE_DIR`, and `VANGUARD_CACHE_DIR`.
+    /// `VANGUARD_QUARANTINE_DIR`, `VANGUARD_CACHE_DIR`, and
+    /// `VANGUARD_CACHE_BUDGET` (bytes; `0` disables).
     pub fn from_env() -> Self {
         let mut policy = FaultPolicy::default();
         if let Ok(v) = std::env::var("VANGUARD_JOB_TIMEOUT") {
@@ -303,6 +309,13 @@ impl FaultPolicy {
         if let Ok(v) = std::env::var("VANGUARD_CACHE_DIR") {
             if !v.trim().is_empty() {
                 policy.cache_dir = Some(PathBuf::from(v));
+            }
+        }
+        if let Ok(v) = std::env::var("VANGUARD_CACHE_BUDGET") {
+            if let Ok(bytes) = v.trim().parse::<u64>() {
+                if bytes > 0 {
+                    policy.cache_budget = Some(bytes);
+                }
             }
         }
         policy
@@ -728,6 +741,13 @@ pub struct EngineStats {
     pub replay_divergences: u64,
     /// Iteration recordings completed into the memo table.
     pub replay_recordings: u64,
+    /// Disk-cache stores that failed (full disk, unwritable cache dir):
+    /// the artifact was computed and used but not persisted — the
+    /// degrade-to-compute-without-store path under disk pressure.
+    pub cache_store_failures: u64,
+    /// Unclaimed disk-cache entries evicted to stay under the
+    /// `VANGUARD_CACHE_BUDGET` byte budget.
+    pub cache_evictions: u64,
 }
 
 impl EngineStats {
@@ -755,7 +775,8 @@ impl EngineStats {
              replay  : {:>4} hits, {} cycles replayed, {} divergences, \
              {} recordings\n\
              outcomes: {:>4} ok, {} faulted, {} timed out, {} failed, \
-             {} retried, {} corrupt cache entries",
+             {} retried, {} corrupt cache entries, {} store failures, \
+             {} evicted",
             self.profile_misses,
             self.profile_hits,
             ms(self.profile_nanos),
@@ -775,6 +796,8 @@ impl EngineStats {
             self.jobs_failed,
             self.jobs_retried,
             self.cache_corrupt,
+            self.cache_store_failures,
+            self.cache_evictions,
         )
     }
 }
@@ -865,6 +888,7 @@ pub struct Engine {
     jobs_failed: AtomicU64,
     jobs_retried: AtomicU64,
     cache_corrupt: AtomicU64,
+    cache_store_failures: AtomicU64,
     profile_disk_hits: AtomicU64,
     pair_disk_hits: AtomicU64,
     replay_hits: AtomicU64,
@@ -916,7 +940,10 @@ impl Engine {
     /// [`Engine::set_fault_policy`].
     pub fn with_workers(workers: usize) -> Self {
         let fault_policy = FaultPolicy::from_env();
-        let disk_cache = fault_policy.cache_dir.clone().map(DiskCache::new);
+        let disk_cache = fault_policy
+            .cache_dir
+            .clone()
+            .map(|dir| DiskCache::with_budget(dir, fault_policy.cache_budget));
         Engine {
             workers: workers.max(1),
             benchmarks: Vec::new(),
@@ -941,6 +968,7 @@ impl Engine {
             jobs_failed: AtomicU64::new(0),
             jobs_retried: AtomicU64::new(0),
             cache_corrupt: AtomicU64::new(0),
+            cache_store_failures: AtomicU64::new(0),
             profile_disk_hits: AtomicU64::new(0),
             pair_disk_hits: AtomicU64::new(0),
             replay_hits: AtomicU64::new(0),
@@ -958,7 +986,10 @@ impl Engine {
     /// Replaces the fault policy (and rebuilds the disk cache handle
     /// from `policy.cache_dir`).
     pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
-        self.disk_cache = policy.cache_dir.clone().map(DiskCache::new);
+        self.disk_cache = policy
+            .cache_dir
+            .clone()
+            .map(|dir| DiskCache::with_budget(dir, policy.cache_budget));
         self.fault_policy = policy;
     }
 
@@ -1027,6 +1058,12 @@ impl Engine {
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
             cache_corrupt: self.cache_corrupt.load(Ordering::Relaxed),
+            cache_store_failures: self.cache_store_failures.load(Ordering::Relaxed),
+            cache_evictions: self
+                .disk_cache
+                .as_ref()
+                .map(DiskCache::evictions)
+                .unwrap_or(0),
             profile_disk_hits: self.profile_disk_hits.load(Ordering::Relaxed),
             pair_disk_hits: self.pair_disk_hits.load(Ordering::Relaxed),
             replay_hits: self.replay_hits.load(Ordering::Relaxed),
@@ -1209,8 +1246,11 @@ impl Engine {
                 o.stage_completed(Stage::Profile, &input.name, elapsed, false);
             }
             if let (Some(cache), Some(dk), Ok(profile)) = (&self.disk_cache, disk_key, &out) {
-                // A failed store is a future cache miss, never an error.
-                let _ = cache.store(dk, profile);
+                // A failed store (full disk) is a future cache miss,
+                // never an error: degrade to compute-without-store.
+                if cache.store(dk, profile).is_err() {
+                    self.cache_store_failures.fetch_add(1, Ordering::Relaxed);
+                }
             }
             // Release the claim only after the store landed, so waiting
             // processes re-load and hit instead of recomputing.
@@ -1342,8 +1382,11 @@ impl Engine {
                 report,
             };
             if let (Some(cache), Some(dk)) = (&self.disk_cache, disk_key) {
-                // A failed store is a future cache miss, never an error.
-                let _ = store_pair(cache, dk, &pair);
+                // A failed store (full disk) is a future cache miss,
+                // never an error: degrade to compute-without-store.
+                if store_pair(cache, dk, &pair).is_err() {
+                    self.cache_store_failures.fetch_add(1, Ordering::Relaxed);
+                }
             }
             // Release the claim only after the store landed, so waiting
             // processes re-load and hit instead of recompiling.

@@ -24,15 +24,31 @@
 //!   reported as [`JournalSnapshot::dropped_bytes`] and the jobs it
 //!   might have described are simply recomputed. A corrupt journal
 //!   degrades a resume into extra work, never into wrong results.
+//! * **Bounded growth** — when the tail file exceeds a threshold
+//!   (`VANGUARD_JOURNAL_COMPACT_BYTES`; `0` disables), an append folds
+//!   every record into a sibling `.snap` snapshot (same `VGJ1` format,
+//!   written temp+rename) and truncates the tail back to its magic, all
+//!   under the append lock. [`Journal::read`] transparently merges
+//!   snapshot + tail; the tail is read *first*, so a compaction racing a
+//!   reader can only grow the merged view, never shrink it, and a crash
+//!   between the snapshot rename and the tail truncation leaves records
+//!   present in both files, which the merge deduplicates (the snapshot
+//!   wins — the payloads are identical by construction).
 
 use crate::diskcache::fnv1a;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Journal file magic ("Vanguard Journal v1").
 pub const JOURNAL_MAGIC: &[u8; 4] = b"VGJ1";
+
+/// Env var: journal compaction threshold in bytes (`0` disables).
+pub const COMPACT_BYTES_ENV: &str = "VANGUARD_JOURNAL_COMPACT_BYTES";
+
+/// Default tail-size threshold that triggers compaction on append.
+pub const DEFAULT_COMPACT_BYTES: u64 = 4 * 1024 * 1024;
 
 /// Per-record header size: key (8) + payload length (4) + checksum (8).
 const RECORD_HEADER: usize = 20;
@@ -102,100 +118,238 @@ impl JournalSnapshot {
     }
 }
 
+/// Parses the record stream after the magic into the longest valid
+/// prefix; everything after the first malformed record is counted in
+/// `dropped_bytes`.
+fn parse_body(body: &[u8]) -> JournalSnapshot {
+    let mut snapshot = JournalSnapshot::default();
+    let mut at = 0;
+    while at < body.len() {
+        let rest = &body[at..];
+        if rest.len() < RECORD_HEADER {
+            break; // torn header
+        }
+        let key = u64::from_le_bytes(rest[0..8].try_into().unwrap());
+        let len = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(rest[12..20].try_into().unwrap());
+        let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + len) else {
+            break; // torn payload
+        };
+        if record_checksum(key, payload) != checksum {
+            break; // corrupt record: drop it and everything after
+        }
+        snapshot.records.push(JournalRecord {
+            key,
+            payload: payload.to_vec(),
+        });
+        at += RECORD_HEADER + len;
+    }
+    snapshot.dropped_bytes = (body.len() - at) as u64;
+    snapshot
+}
+
 /// A handle on an append-only journal file. Cheap to construct; every
 /// operation opens the file fresh, so any number of handles (across any
 /// number of processes) can share one journal.
 #[derive(Clone, Debug)]
 pub struct Journal {
     path: PathBuf,
+    /// Tail size (bytes) past which an append compacts; `None` disables.
+    compact_threshold: Option<u64>,
 }
 
 impl Journal {
-    /// A journal at `path` (the file is created on first append).
+    /// A journal at `path` (the file is created on first append). The
+    /// compaction threshold comes from `VANGUARD_JOURNAL_COMPACT_BYTES`
+    /// (default [`DEFAULT_COMPACT_BYTES`]; `0` disables).
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Journal { path: path.into() }
+        let threshold = match std::env::var(COMPACT_BYTES_ENV) {
+            Ok(v) => v.trim().parse::<u64>().ok(),
+            Err(_) => Some(DEFAULT_COMPACT_BYTES),
+        };
+        Journal {
+            path: path.into(),
+            compact_threshold: threshold.filter(|&b| b > 0),
+        }
     }
 
-    /// The journal file path.
+    /// Overrides the compaction threshold (`None` disables).
+    pub fn set_compact_threshold(&mut self, bytes: Option<u64>) {
+        self.compact_threshold = bytes.filter(|&b| b > 0);
+    }
+
+    /// The journal file path (the "tail" once a snapshot exists).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Reads and validates the journal. A missing file is an empty
-    /// snapshot (a sweep that has not started yet); a present file must
-    /// open with the `VGJ1` magic.
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O error, or [`io::ErrorKind::InvalidData`] when the
-    /// file exists but does not start with the journal magic (it is not
-    /// a journal — resuming from it would be meaningless).
-    pub fn read(&self) -> io::Result<JournalSnapshot> {
-        let bytes = match fs::read(&self.path) {
+    /// The compaction snapshot path: `<path>.snap`, same `VGJ1` format.
+    pub fn snapshot_path(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".snap");
+        PathBuf::from(os)
+    }
+
+    /// Reads one VGJ1 file into the longest-valid-prefix snapshot.
+    /// `strict` controls what a bad magic means: the tail is `strict`
+    /// (resuming from a non-journal would be meaningless → error), the
+    /// compaction snapshot is not (a corrupt snapshot degrades into
+    /// recomputed work → every byte counted dropped).
+    fn read_file(&self, path: &Path, strict: bool) -> io::Result<JournalSnapshot> {
+        let bytes = match fs::read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalSnapshot::default()),
             Err(e) => return Err(e),
         };
         if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{} is not a VGJ1 journal", self.path.display()),
-            ));
-        }
-        let mut snapshot = JournalSnapshot::default();
-        let mut at = JOURNAL_MAGIC.len();
-        while at < bytes.len() {
-            let rest = &bytes[at..];
-            if rest.len() < RECORD_HEADER {
-                break; // torn header
+            if strict {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} is not a VGJ1 journal", path.display()),
+                ));
             }
-            let key = u64::from_le_bytes(rest[0..8].try_into().unwrap());
-            let len = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
-            let checksum = u64::from_le_bytes(rest[12..20].try_into().unwrap());
-            let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + len) else {
-                break; // torn payload
-            };
-            if record_checksum(key, payload) != checksum {
-                break; // corrupt record: drop it and everything after
-            }
-            snapshot.records.push(JournalRecord {
-                key,
-                payload: payload.to_vec(),
+            return Ok(JournalSnapshot {
+                records: Vec::new(),
+                dropped_bytes: bytes.len() as u64,
             });
-            at += RECORD_HEADER + len;
         }
-        snapshot.dropped_bytes = (bytes.len() - at) as u64;
-        Ok(snapshot)
+        Ok(parse_body(&bytes[JOURNAL_MAGIC.len()..]))
+    }
+
+    /// Merges a compaction snapshot with tail records: snapshot records
+    /// first (in their original append order), then tail records whose
+    /// key the snapshot does not already hold. The overlap case only
+    /// arises from a crash between the snapshot rename and the tail
+    /// truncation, where both files hold the same records — dropping
+    /// the tail copy loses nothing.
+    fn merge(snap: JournalSnapshot, tail: JournalSnapshot) -> JournalSnapshot {
+        if snap.records.is_empty() && snap.dropped_bytes == 0 {
+            return tail;
+        }
+        let seen: HashSet<u64> = snap.records.iter().map(|r| r.key).collect();
+        let mut merged = snap;
+        merged.dropped_bytes += tail.dropped_bytes;
+        merged
+            .records
+            .extend(tail.records.into_iter().filter(|r| !seen.contains(&r.key)));
+        merged
+    }
+
+    /// Reads and validates the journal, transparently merging the
+    /// compaction snapshot (if any) with the tail. A missing file is an
+    /// empty snapshot (a sweep that has not started yet); a present
+    /// tail must open with the `VGJ1` magic.
+    ///
+    /// The tail is read *before* the snapshot: records only ever move
+    /// tail → snapshot (under the append lock), so this ordering means
+    /// a compaction racing the read can only grow the merged view.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error, or [`io::ErrorKind::InvalidData`] when the
+    /// tail file exists but does not start with the journal magic (it is
+    /// not a journal — resuming from it would be meaningless).
+    pub fn read(&self) -> io::Result<JournalSnapshot> {
+        let tail = self.read_file(&self.path, true)?;
+        let snap = self.read_file(&self.snapshot_path(), false)?;
+        Ok(Self::merge(snap, tail))
+    }
+
+    /// Opens (creating if needed) and exclusively locks the tail file.
+    fn open_locked(&self) -> io::Result<File> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        file.lock()?;
+        Ok(file)
     }
 
     /// Appends one completed-job record under an exclusive file lock
     /// (creating the file with its magic on first use). The record is
     /// written with a single `write_all` and synced, so a reader — or a
     /// resume after a crash — sees either the whole record or a torn
-    /// tail it will drop.
+    /// tail it will drop. If the tail then exceeds the compaction
+    /// threshold, it is compacted (best-effort) before the lock drops.
     ///
     /// # Errors
     ///
     /// Returns the I/O error; the caller treats a failed append as "job
     /// not journaled" and the job will be re-run on resume.
     pub fn append(&self, key: u64, payload: &[u8]) -> io::Result<()> {
-        if let Some(parent) = self.path.parent() {
-            if !parent.as_os_str().is_empty() {
-                fs::create_dir_all(parent)?;
-            }
-        }
-        let mut file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(&self.path)?;
-        file.lock()?;
+        let mut file = self.open_locked()?;
         let result = self.append_locked(&mut file, key, payload);
+        if result.is_ok() {
+            self.maybe_compact_locked(&mut file);
+        }
+        let _ = File::unlock(&file);
+        result
+    }
+
+    /// Appends a record only if no record for `key` exists in the
+    /// merged (snapshot + tail) view, checked under the same exclusive
+    /// lock the append itself holds. This is the dedup that lets a live
+    /// worker *steal* a lease-expired claim: even if the original
+    /// holder is wedged rather than dead and later finishes the same
+    /// job, at most one journal record for the key ever lands.
+    ///
+    /// Returns whether the record was written (`false` = already
+    /// journaled, nothing to do).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error, or [`io::ErrorKind::InvalidData`] for a
+    /// non-journal tail file — same contract as [`Journal::append`].
+    pub fn append_new(&self, key: u64, payload: &[u8]) -> io::Result<bool> {
+        let mut file = self.open_locked()?;
+        let result = (|| {
+            let mut bytes = Vec::new();
+            file.seek(SeekFrom::Start(0))?;
+            file.read_to_end(&mut bytes)?;
+            let journaled = if bytes.is_empty() {
+                false
+            } else {
+                if bytes.len() < JOURNAL_MAGIC.len()
+                    || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{} is not a VGJ1 journal", self.path.display()),
+                    ));
+                }
+                parse_body(&bytes[JOURNAL_MAGIC.len()..]).contains(key)
+            };
+            if journaled || self.read_file(&self.snapshot_path(), false)?.contains(key) {
+                return Ok(false);
+            }
+            self.append_locked(&mut file, key, payload)?;
+            self.maybe_compact_locked(&mut file);
+            Ok(true)
+        })();
         let _ = File::unlock(&file);
         result
     }
 
     fn append_locked(&self, file: &mut File, key: u64, payload: &[u8]) -> io::Result<()> {
+        self.ensure_magic_locked(file)?;
+        let mut record = Vec::with_capacity(RECORD_HEADER + payload.len());
+        record.extend_from_slice(&key.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&record_checksum(key, payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        file.write_all(&record)?;
+        file.sync_all()
+    }
+
+    /// Writes the magic into an empty tail, or verifies it on an
+    /// existing one, leaving the cursor at the end of the file.
+    fn ensure_magic_locked(&self, file: &mut File) -> io::Result<()> {
         let end = file.seek(SeekFrom::End(0))?;
         if end == 0 {
             file.write_all(JOURNAL_MAGIC)?;
@@ -212,13 +366,87 @@ impl Journal {
             }
             file.seek(SeekFrom::End(0))?;
         }
-        let mut record = Vec::with_capacity(RECORD_HEADER + payload.len());
-        record.extend_from_slice(&key.to_le_bytes());
-        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        record.extend_from_slice(&record_checksum(key, payload).to_le_bytes());
-        record.extend_from_slice(payload);
-        file.write_all(&record)?;
+        Ok(())
+    }
+
+    /// Compacts if the tail has outgrown the threshold. Best-effort:
+    /// the append that triggered this is already durable, so a failed
+    /// compaction costs nothing but tail size.
+    fn maybe_compact_locked(&self, file: &mut File) {
+        let Some(threshold) = self.compact_threshold else {
+            return;
+        };
+        match file.seek(SeekFrom::End(0)) {
+            Ok(end) if end > threshold => {
+                let _ = self.compact_locked(file);
+            }
+            _ => {}
+        }
+    }
+
+    /// Folds every record (snapshot + tail, deduplicated first-wins by
+    /// key to match [`JournalSnapshot::get`]) into the `.snap` snapshot
+    /// via temp + rename, then truncates the tail back to its magic.
+    /// Caller holds the tail lock. Crash-safe at every step: dying
+    /// before the rename leaves the old snapshot + full tail; dying
+    /// between rename and truncation leaves records in both files,
+    /// which [`Journal::read`] deduplicates.
+    fn compact_locked(&self, file: &mut File) -> io::Result<()> {
+        self.ensure_magic_locked(file)?;
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+        let tail = parse_body(&bytes[JOURNAL_MAGIC.len()..]);
+        let snap = self.read_file(&self.snapshot_path(), false)?;
+        let merged = Self::merge(snap, tail);
+
+        let mut out = Vec::with_capacity(bytes.len() + JOURNAL_MAGIC.len());
+        out.extend_from_slice(JOURNAL_MAGIC);
+        let mut seen: HashSet<u64> = HashSet::new();
+        for r in &merged.records {
+            if !seen.insert(r.key) {
+                continue; // first payload wins, matching get()
+            }
+            out.extend_from_slice(&r.key.to_le_bytes());
+            out.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&record_checksum(r.key, &r.payload).to_le_bytes());
+            out.extend_from_slice(&r.payload);
+        }
+
+        let snap_path = self.snapshot_path();
+        let tmp = {
+            let mut os = snap_path.as_os_str().to_os_string();
+            os.push(format!(".tmp-{}", std::process::id()));
+            PathBuf::from(os)
+        };
+        let write_result = (|| {
+            let mut tmp_file = File::create(&tmp)?;
+            tmp_file.write_all(&out)?;
+            tmp_file.sync_all()?;
+            fs::rename(&tmp, &snap_path)
+        })();
+        if write_result.is_err() {
+            let _ = fs::remove_file(&tmp);
+            return write_result;
+        }
+        // Snapshot is durable; retire the tail down to its magic.
+        file.set_len(JOURNAL_MAGIC.len() as u64)?;
         file.sync_all()
+    }
+
+    /// Compacts the journal now, regardless of size. Used by tests and
+    /// the property-based compaction adversary; production compaction
+    /// happens automatically on append past the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error, or [`io::ErrorKind::InvalidData`] for a
+    /// non-journal tail file.
+    pub fn compact(&self) -> io::Result<()> {
+        let mut file = self.open_locked()?;
+        let result = self.compact_locked(&mut file);
+        let _ = File::unlock(&file);
+        result
     }
 }
 
@@ -334,6 +562,112 @@ mod tests {
         fs::write(j.path(), b"not a journal at all").unwrap();
         assert_eq!(j.read().unwrap_err().kind(), io::ErrorKind::InvalidData);
         assert!(j.append(1, b"x").is_err());
+        cleanup(&j);
+    }
+
+    #[test]
+    fn compaction_roundtrips_and_truncates_the_tail() {
+        let j = temp_journal("compact");
+        j.append(1, b"one").unwrap();
+        j.append(2, b"two").unwrap();
+        j.append(3, b"three").unwrap();
+        let before = j.read().unwrap();
+        j.compact().unwrap();
+        assert!(j.snapshot_path().exists(), "compaction writes the .snap");
+        assert_eq!(
+            fs::metadata(j.path()).unwrap().len(),
+            JOURNAL_MAGIC.len() as u64,
+            "tail retires to its magic"
+        );
+        let after = j.read().unwrap();
+        assert_eq!(after.records, before.records, "merged view is unchanged");
+        assert_eq!(after.dropped_bytes, 0);
+        // Appends keep landing in the tail and merge after the snapshot.
+        j.append(4, b"four").unwrap();
+        let merged = j.read().unwrap();
+        assert_eq!(merged.records.len(), 4);
+        assert_eq!(merged.records[3].key, 4);
+        assert_eq!(merged.get(2), Some(&b"two"[..]));
+        cleanup(&j);
+    }
+
+    #[test]
+    fn crash_overlap_between_snapshot_and_tail_deduplicates() {
+        let j = temp_journal("overlap");
+        j.append(1, b"one").unwrap();
+        j.append(2, b"two").unwrap();
+        // Simulate dying between the snapshot rename and the tail
+        // truncation: compact, then restore the pre-compaction tail so
+        // both files hold the same records.
+        let tail_bytes = fs::read(j.path()).unwrap();
+        j.compact().unwrap();
+        fs::write(j.path(), &tail_bytes).unwrap();
+        let snap = j.read().unwrap();
+        assert_eq!(snap.records.len(), 2, "overlapping records deduplicate");
+        assert!(snap.duplicate_keys().is_empty());
+        assert_eq!(snap.get(1), Some(&b"one"[..]));
+        cleanup(&j);
+    }
+
+    #[test]
+    fn append_new_skips_journaled_keys_across_compaction() {
+        let j = temp_journal("appendnew");
+        assert!(j.append_new(1, b"one").unwrap());
+        assert!(!j.append_new(1, b"one-again").unwrap(), "tail dedup");
+        j.compact().unwrap();
+        assert!(
+            !j.append_new(1, b"one-after-compact").unwrap(),
+            "snapshot dedup"
+        );
+        assert!(j.append_new(2, b"two").unwrap());
+        let snap = j.read().unwrap();
+        assert_eq!(snap.records.len(), 2);
+        assert_eq!(snap.get(1), Some(&b"one"[..]));
+        assert!(snap.duplicate_keys().is_empty());
+        cleanup(&j);
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_dropped_bytes() {
+        let j = temp_journal("badsnap");
+        j.append(1, b"one").unwrap();
+        j.compact().unwrap();
+        j.append(2, b"two").unwrap();
+        // Flip a payload byte inside the snapshot: its records drop
+        // (recomputed on resume) but the read still succeeds and the
+        // tail survives.
+        let mut snap_bytes = fs::read(j.snapshot_path()).unwrap();
+        let at = snap_bytes.len() - 1;
+        snap_bytes[at] ^= 0x20;
+        fs::write(j.snapshot_path(), &snap_bytes).unwrap();
+        let snap = j.read().unwrap();
+        assert_eq!(snap.records.len(), 1);
+        assert_eq!(snap.records[0].key, 2);
+        assert!(snap.dropped_bytes > 0);
+        // A snapshot that is not VGJ1 at all degrades the same way.
+        fs::write(j.snapshot_path(), b"junk").unwrap();
+        let snap = j.read().unwrap();
+        assert_eq!(snap.records.len(), 1);
+        assert_eq!(snap.dropped_bytes, 4);
+        cleanup(&j);
+    }
+
+    #[test]
+    fn appends_auto_compact_past_the_threshold() {
+        let mut j = temp_journal("autocompact");
+        j.set_compact_threshold(Some(64));
+        for key in 0..8u64 {
+            j.append(key, &[0xAB; 32]).unwrap();
+        }
+        assert!(j.snapshot_path().exists(), "threshold triggered compaction");
+        assert!(
+            fs::metadata(j.path()).unwrap().len() <= 64,
+            "tail stays bounded"
+        );
+        let snap = j.read().unwrap();
+        assert_eq!(snap.records.len(), 8);
+        assert!(snap.duplicate_keys().is_empty());
+        assert_eq!(snap.dropped_bytes, 0);
         cleanup(&j);
     }
 

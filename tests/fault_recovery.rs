@@ -84,6 +84,16 @@ fn corrupted_replay_memo_is_detected_and_falls_back() {
     assert_class_contained(FaultClass::ReplayDivergence);
 }
 
+/// Disk pressure (failed stores, budget eviction) degrades to
+/// compute-without-store, bit-identically. The other new daemon
+/// classes (dead-claim-holder, compaction-under-kill) spawn worker
+/// *processes* and run through the `faultinject` binary in CI instead:
+/// a libtest binary must never re-exec itself as a worker.
+#[test]
+fn cache_disk_pressure_degrades_without_store() {
+    assert_class_contained(FaultClass::CacheEnospc);
+}
+
 /// The quarantine reproducer is genuinely replayable: `program.asm`
 /// re-parses to the victim program and `repro.txt` records the failing
 /// job's coordinates.
