@@ -131,6 +131,10 @@ fn main() {
     }));
     eprintln!("[engine] {} workers", eng.engine().workers());
     let started = Instant::now();
+    // Per-item replay visibility (`--verbose`): deltas of the engine's
+    // replay counters across each item, so a suite with a 0% hit rate is
+    // visible in the log without opening BENCH_sim.json.
+    let mut replay_mark = eng.engine().stats();
 
     for item in what {
         let item_started = Instant::now();
@@ -302,6 +306,27 @@ fn main() {
             item,
             item_started.elapsed().as_secs_f64() * 1e3
         );
+        if verbose {
+            let now = eng.engine().stats();
+            let hits = now.replay_hits - replay_mark.replay_hits;
+            let triggers = hits
+                + (now.replay_misses - replay_mark.replay_misses)
+                + (now.replay_divergences - replay_mark.replay_divergences)
+                + (now.replay_suppressed - replay_mark.replay_suppressed);
+            if triggers > 0 {
+                eprintln!(
+                    "[replay] item {:<12} {:.1}% hit rate ({} hits / {} triggers), \
+                     {} sites armed, {} disarmed",
+                    item,
+                    hits as f64 * 100.0 / triggers as f64,
+                    hits,
+                    triggers,
+                    now.replay_armed_sites - replay_mark.replay_armed_sites,
+                    now.replay_disarmed_sites - replay_mark.replay_disarmed_sites,
+                );
+            }
+            replay_mark = now;
+        }
     }
 
     eprintln!(

@@ -4,6 +4,7 @@
 //! cargo run --release -p vanguard-bench --bin perfbench           # writes BENCH_sim.json
 //! cargo run --release -p vanguard-bench --bin perfbench -- --check
 //! cargo run --release -p vanguard-bench --bin perfbench -- --out target/BENCH_sim.json
+//! cargo run --release -p vanguard-bench --bin perfbench -- --profile-hotloop
 //! ```
 //!
 //! Three measurements, written as JSON (hand-rolled; no serde
@@ -11,10 +12,13 @@
 //!
 //! 1. **Quick-suite throughput** — runs the full benchmark suite at
 //!    quick scale (the CI figure workload) through the experiment
-//!    engine — once with the steady-state replay layer on and once with
-//!    it off, sharing profiles and compiled pairs — asserts the two
-//!    sweeps are bit-identical, and reports per-stage wall-clock,
-//!    simulated-instruction throughput (committed MIPS per worker), and
+//!    engine: one untimed warm-up sweep computes every profile and
+//!    compiled pair, then a replay-on and a replay-off sweep are timed
+//!    against the warm caches (so the two walls compare pure
+//!    simulation). The sweeps are asserted bit-identical per job, and
+//!    the report carries per-stage wall-clock, simulated-instruction
+//!    throughput (committed MIPS per worker, replay-on sweep only), the
+//!    MIPS trajectory (`history`, appended across runs), and
 //!    per-benchmark replay hit rates.
 //! 2. **Steady-state replay microbenchmark** — a loop-dominated kernel
 //!    (three ~8000-iteration sites over an 8 KB data footprint) run
@@ -26,21 +30,31 @@
 //!    implementation replaced, kept as the executable specification)
 //!    and reports the speedup ratio.
 //!
-//! `--check` exits non-zero unless the paged store beats the reference
-//! store by at least 3x on the memory microbenchmark AND replay beats
-//! replay-off by at least 3x on the steady-state kernel — the
-//! regression gates CI applies alongside byte-identity of the figure
-//! output.
+//! `--profile-hotloop` additionally runs the steady-state kernel (both
+//! replay modes) and a low-convergence irregular kernel under
+//! [`Simulator::run_profiled`], reporting per-stage wall shares
+//! (fetch / fused issue+execute / commit / replay / batch-entry) to
+//! stderr and a `hotloop_profile` JSON section — the attribution data
+//! future perf PRs cite.
+//!
+//! `--check` exits non-zero unless ALL of:
+//!
+//! * the paged store beats the reference store by ≥ 3x;
+//! * replay beats replay-off by ≥ 3x on the steady-state kernel;
+//! * quick-suite replay-ON wall ≤ 1.05x replay-OFF (replay must never
+//!   cost throughput on a real suite — the gate the adaptive arming
+//!   layer exists to hold);
+//! * quick-suite throughput ≥ 9.4 committed MIPS per worker.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use vanguard_bench::{BenchScale, SuiteEngine};
 use vanguard_bpred::Combined;
-use vanguard_core::engine::{PredictorKind, SimJob, Variant};
+use vanguard_core::engine::{EngineStats, PredictorKind, SimJob, Variant};
 use vanguard_isa::{
     AluOp, CmpKind, CondKind, Inst, Memory, Operand, Program, ProgramBuilder, ReferenceMemory, Reg,
 };
-use vanguard_sim::{MachineConfig, SimResult, Simulator};
+use vanguard_sim::{HotloopProfile, MachineConfig, SimResult, Simulator};
 use vanguard_workloads::suite;
 
 /// Deterministic xorshift64* stream (no external randomness).
@@ -164,6 +178,7 @@ struct BenchReplayRow {
     name: String,
     hits: u64,
     misses: u64,
+    suppressed: u64,
     replayed_cycles: u64,
     cycles: u64,
 }
@@ -179,18 +194,54 @@ impl BenchReplayRow {
 }
 
 struct QuickSuiteResult {
-    /// Engine statistics snapshotted after the replay-on sweep.
-    stats: vanguard_core::engine::EngineStats,
+    /// Engine counters for one timed replay-on sweep (warm-up counters
+    /// subtracted), with `sim_nanos` replaced by the per-job
+    /// best-of-rounds sum and profile/compile fields taken from the
+    /// warm-up (the timed sweeps hit those caches by design).
+    stats: EngineStats,
     benchmarks: usize,
+    /// Worker-summed per-job best-of-rounds simulate seconds, replay on.
     wall_on: f64,
+    /// Worker-summed per-job best-of-rounds simulate seconds, replay off.
     wall_off: f64,
     rows: Vec<BenchReplayRow>,
 }
 
-/// Runs the quick-scale suite twice — replay on, then replay off — on
-/// one shared engine (profiles and compiled pairs are computed once;
-/// the replay policy is not part of the artifact key) and asserts the
-/// two sweeps produced bit-identical statistics for every job.
+/// Timed replay-on/replay-off sweep rounds over the warm engine.
+const SUITE_ROUNDS: usize = 3;
+
+/// The sweep-delta of the engine counters across one timed sweep:
+/// `after` minus `before` for the per-sweep counters, with the
+/// profile/compile fields left as `after`'s cumulative values (the
+/// caller overrides them from the warm-up snapshot — the timed sweeps
+/// hit those caches by design, so their deltas read zero).
+fn sweep_delta(after: EngineStats, before: &EngineStats) -> EngineStats {
+    let mut d = after;
+    d.sim_jobs -= before.sim_jobs;
+    d.sim_insts -= before.sim_insts;
+    d.sim_nanos -= before.sim_nanos;
+    d.jobs_ok -= before.jobs_ok;
+    d.replay_hits -= before.replay_hits;
+    d.replay_misses -= before.replay_misses;
+    d.replay_divergences -= before.replay_divergences;
+    d.replay_recordings -= before.replay_recordings;
+    d.replayed_cycles -= before.replayed_cycles;
+    d.replay_suppressed -= before.replay_suppressed;
+    d.replay_armed_sites -= before.replay_armed_sites;
+    d.replay_disarmed_sites -= before.replay_disarmed_sites;
+    d
+}
+
+/// Runs the quick-scale suite on one shared engine: an untimed warm-up
+/// sweep that computes every profile and compiled pair (the replay
+/// policy is not part of the artifact key), then [`SUITE_ROUNDS`]
+/// alternating timed replay-on / replay-off sweeps against the warm
+/// caches. `wall_on` and `wall_off` are worker-summed *per-job*
+/// best-of-rounds simulate times — the best-of-N idiom the microbenches
+/// use, applied per job, so a burst of host noise must hit the same job
+/// in every round to bias the 1.05x regression gate. Every round's
+/// replay-on sweep is asserted bit-identical to its replay-off sweep
+/// per job.
 fn quick_suite() -> QuickSuiteResult {
     let mut engine = SuiteEngine::new(BenchScale::Quick);
     let specs = suite::all_benchmarks();
@@ -208,14 +259,55 @@ fn quick_suite() -> QuickSuiteResult {
         }
     }
     engine.set_replay(true);
-    let started = Instant::now();
-    let on = engine.run_jobs(&jobs);
-    let wall_on = started.elapsed().as_secs_f64();
-    let stats = engine.engine().stats();
-    engine.set_replay(false);
-    let started = Instant::now();
-    let off = engine.run_jobs(&jobs);
-    let wall_off = started.elapsed().as_secs_f64();
+    let _ = engine.run_jobs(&jobs); // warm-up: profiles + compiled pairs
+    let warm = engine.engine().stats();
+
+    let mut best_on = vec![f64::INFINITY; jobs.len()];
+    let mut best_off = vec![f64::INFINITY; jobs.len()];
+    let mut stats = EngineStats::default();
+    let mut first_on: Vec<vanguard_core::engine::JobResult> = Vec::new();
+    for round in 0..SUITE_ROUNDS {
+        let before = engine.engine().stats();
+        // Each job runs replay-on and replay-off back to back, so a
+        // burst of host noise lands on both sides of the ratio alike.
+        for (j, job) in jobs.iter().enumerate() {
+            engine.set_replay(true);
+            let on = engine.run_jobs(std::slice::from_ref(job));
+            engine.set_replay(false);
+            let off = engine.run_jobs(std::slice::from_ref(job));
+            let (ja, jb) = (on[0].expect_completed(), off[0].expect_completed());
+            assert_eq!(
+                ja.stats, jb.stats,
+                "replay-on vs replay-off divergence on {:?}",
+                ja.job
+            );
+            best_on[j] = best_on[j].min(ja.sim_elapsed.as_secs_f64());
+            best_off[j] = best_off[j].min(jb.sim_elapsed.as_secs_f64());
+            if round == 0 {
+                first_on.extend(on);
+            }
+        }
+        if round == 0 {
+            // The round interleaved replay-off jobs; keep only the
+            // replay-on halves of the counters by halving nothing —
+            // the off jobs contribute no replay counters, and the
+            // sim_insts/sim_jobs double-count is corrected here.
+            let mut d = sweep_delta(engine.engine().stats(), &before);
+            d.sim_jobs /= 2;
+            d.sim_insts /= 2;
+            d.jobs_ok /= 2;
+            stats = d;
+        }
+    }
+    let wall_on: f64 = best_on.iter().sum();
+    let wall_off: f64 = best_off.iter().sum();
+    // Profile/compile counters happened in the warm-up, and the timing
+    // aggregates come from the per-job bests rather than one round.
+    stats.profile_misses = warm.profile_misses;
+    stats.profile_nanos = warm.profile_nanos;
+    stats.compile_misses = warm.compile_misses;
+    stats.compile_nanos = warm.compile_nanos;
+    stats.sim_nanos = (wall_on * 1e9) as u64;
 
     let mut rows: Vec<BenchReplayRow> = specs
         .iter()
@@ -223,20 +315,17 @@ fn quick_suite() -> QuickSuiteResult {
             name: s.name.clone(),
             hits: 0,
             misses: 0,
+            suppressed: 0,
             replayed_cycles: 0,
             cycles: 0,
         })
         .collect();
-    for (a, b) in on.iter().zip(off.iter()) {
-        let (ja, jb) = (a.expect_completed(), b.expect_completed());
-        assert_eq!(
-            ja.stats, jb.stats,
-            "replay-on vs replay-off divergence on {:?}",
-            ja.job
-        );
+    for a in first_on.iter() {
+        let ja = a.expect_completed();
         let row = &mut rows[ja.job.bench];
         row.hits += ja.replay.hits;
         row.misses += ja.replay.misses;
+        row.suppressed += ja.replay.suppressed_ticks;
         row.replayed_cycles += ja.replay.replayed_cycles;
         row.cycles += ja.stats.cycles;
     }
@@ -456,6 +545,195 @@ fn replay_microbench() -> ReplayBenchResult {
     }
 }
 
+// ------------------------------------------------------------------
+// Hot-loop stage profiling (--profile-hotloop)
+// ------------------------------------------------------------------
+
+const IRREGULAR_ITERS: i64 = 20_000;
+const IRREGULAR_BASE: i64 = 0x8_0000;
+
+/// A low-convergence kernel for profiling: a data-driven hammock whose
+/// branch direction follows a pseudo-random word stream, so iteration
+/// signatures never stabilise and the replay layer's probing filter is
+/// exercised without ever arming — the branch behaviour the quick
+/// suite's irregular benchmarks exhibit.
+fn irregular_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    b.set_entry(entry);
+    let head = b.block("head");
+    let even = b.block("even");
+    let odd = b.block("odd");
+    let join = b.block("join");
+    let done = b.block("done");
+    b.push(entry, Inst::mov(Reg(1), Operand::Imm(IRREGULAR_ITERS)));
+    b.push(entry, Inst::mov(Reg(4), Operand::Imm(IRREGULAR_BASE)));
+    b.fallthrough(entry, head);
+    b.push(
+        head,
+        Inst::Load {
+            dst: Reg(5),
+            base: Reg(4),
+            offset: 0,
+            speculative: false,
+        },
+    );
+    b.push(
+        head,
+        Inst::alu(AluOp::And, Reg(6), Operand::Reg(Reg(5)), Operand::Imm(1)),
+    );
+    b.push(
+        head,
+        Inst::Branch {
+            cond: CondKind::Nz,
+            src: Reg(6),
+            target: odd,
+        },
+    );
+    b.fallthrough(head, even);
+    // Even path: accumulate the word.
+    b.push(
+        even,
+        Inst::alu(
+            AluOp::Add,
+            Reg(3),
+            Operand::Reg(Reg(3)),
+            Operand::Reg(Reg(5)),
+        ),
+    );
+    b.push(even, Inst::Jump { target: join });
+    // Odd path: fold it in with a different operation.
+    b.push(
+        odd,
+        Inst::alu(
+            AluOp::Xor,
+            Reg(3),
+            Operand::Reg(Reg(3)),
+            Operand::Reg(Reg(5)),
+        ),
+    );
+    b.fallthrough(odd, join);
+    b.push(
+        join,
+        Inst::alu(AluOp::Add, Reg(4), Operand::Reg(Reg(4)), Operand::Imm(8)),
+    );
+    b.push(
+        join,
+        Inst::alu(AluOp::Sub, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+    );
+    b.push(
+        join,
+        Inst::Cmp {
+            kind: CmpKind::Ne,
+            dst: Reg(2),
+            a: Reg(1),
+            b: Operand::Imm(0),
+        },
+    );
+    b.push(
+        join,
+        Inst::Branch {
+            cond: CondKind::Nz,
+            src: Reg(2),
+            target: head,
+        },
+    );
+    b.fallthrough(join, done);
+    b.push(done, Inst::Halt);
+    b.finish().unwrap()
+}
+
+/// One profiled kernel run: label, per-stage nanosecond laps, wall.
+struct HotloopRun {
+    label: &'static str,
+    prof: HotloopProfile,
+    wall: f64,
+}
+
+/// Runs the steady kernel (replay on and off) and the irregular kernel
+/// (replay on, never arms) under the instrumented pipeline loop.
+fn profile_hotloop() -> Vec<HotloopRun> {
+    let mut out = Vec::new();
+    let steady = steady_state_program();
+    for (label, replay) in [("steady_replay_on", true), ("steady_replay_off", false)] {
+        let mut sim = Simulator::new(
+            &steady,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.set_replay(replay);
+        let started = Instant::now();
+        let (_, prof) = sim
+            .run_profiled()
+            .expect("steady-state kernel simulates cleanly");
+        out.push(HotloopRun {
+            label,
+            prof,
+            wall: started.elapsed().as_secs_f64(),
+        });
+    }
+    let irregular = irregular_program();
+    let mut mem = Memory::new();
+    let mut rng = Rng(0xbadc0ffee0ddf00d);
+    let noise: Vec<u64> = (0..IRREGULAR_ITERS).map(|_| rng.next()).collect();
+    mem.load_words(IRREGULAR_BASE as u64, &noise);
+    let mut sim = Simulator::new(
+        &irregular,
+        mem,
+        MachineConfig::four_wide(),
+        Box::new(Combined::ptlsim_default()),
+    );
+    sim.set_replay(true);
+    let started = Instant::now();
+    let (_, prof) = sim
+        .run_profiled()
+        .expect("irregular kernel simulates cleanly");
+    out.push(HotloopRun {
+        label: "irregular_replay_on",
+        prof,
+        wall: started.elapsed().as_secs_f64(),
+    });
+    out
+}
+
+// ------------------------------------------------------------------
+// MIPS history (schema v3)
+// ------------------------------------------------------------------
+
+/// Most history entries to carry forward — enough to see a trend, small
+/// enough that the committed JSON stays readable.
+const HISTORY_CAP: usize = 20;
+
+/// Prior `sim_mips_per_worker` trajectory recovered from an existing
+/// report at `path`: the `history` array if present (v3), else the
+/// single `sim_mips_per_worker` value (v2). String-scanned rather than
+/// parsed — the file is the hand-rolled JSON this binary also writes.
+fn prior_mips_history(path: &str) -> Vec<f64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    if let Some(i) = text.find("\"history\": [") {
+        let rest = &text[i + "\"history\": [".len()..];
+        if let Some(j) = rest.find(']') {
+            return rest[..j]
+                .split(',')
+                .filter_map(|s| s.trim().parse::<f64>().ok())
+                .collect();
+        }
+    }
+    if let Some(i) = text.find("\"sim_mips_per_worker\": ") {
+        let rest = &text[i + "\"sim_mips_per_worker\": ".len()..];
+        let end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            return vec![v];
+        }
+    }
+    Vec::new()
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -467,6 +745,7 @@ fn json_f(v: f64) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let want_hotloop = args.iter().any(|a| a == "--profile-hotloop");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -492,20 +771,69 @@ fn main() {
         replay.hit_rate * 100.0
     );
 
-    eprintln!("[perfbench] quick-suite sweep (4-wide, Combined24KB, replay on + off) ...");
+    eprintln!(
+        "[perfbench] quick-suite sweep (4-wide, Combined24KB, warm-up + replay on + off) ..."
+    );
     let qs = quick_suite();
     let (stats, benchmarks) = (&qs.stats, qs.benchmarks);
+    let wall_ratio = qs.wall_on / qs.wall_off;
     eprintln!(
-        "[perfbench] {} jobs, {:.1} ms wall (replay on) vs {:.1} ms (off), {:.2} MIPS/worker",
+        "[perfbench] {} jobs, {:.1} ms wall (replay on) vs {:.1} ms (off), ratio {:.3}, {:.2} MIPS/worker",
         stats.sim_jobs,
         qs.wall_on * 1e3,
         qs.wall_off * 1e3,
+        wall_ratio,
         stats.sim_mips()
     );
 
+    // MIPS trajectory: append this run to whatever the report at
+    // `out_path` already carried, so CI logs show the delta and the
+    // committed JSON shows the trend.
+    let prior = prior_mips_history(out_path);
+    match prior.last() {
+        Some(prev) => eprintln!(
+            "[perfbench] sim MIPS/worker: {:.2} (prev {:.2}, delta {:+.2})",
+            stats.sim_mips(),
+            prev,
+            stats.sim_mips() - prev
+        ),
+        None => eprintln!(
+            "[perfbench] sim MIPS/worker: {:.2} (no prior history at {out_path})",
+            stats.sim_mips()
+        ),
+    }
+    let mut history = prior;
+    history.push(stats.sim_mips());
+    if history.len() > HISTORY_CAP {
+        history.drain(..history.len() - HISTORY_CAP);
+    }
+
+    let hotloop = if want_hotloop {
+        eprintln!("[perfbench] hot-loop stage profile ...");
+        let runs = profile_hotloop();
+        for run in &runs {
+            let p = &run.prof;
+            let t = p.total_ns().max(1) as f64;
+            eprintln!(
+                "[perfbench] hotloop {:<18} fetch {:>4.1}%  issue+exec {:>4.1}%  commit {:>4.1}%  replay {:>4.1}%  batch-entry {:>4.1}%  ({:.1} ms, {} cycles)",
+                run.label,
+                p.fetch_ns as f64 * 100.0 / t,
+                p.issue_ns as f64 * 100.0 / t,
+                p.commit_ns as f64 * 100.0 / t,
+                p.replay_ns as f64 * 100.0 / t,
+                p.other_ns as f64 * 100.0 / t,
+                run.wall * 1e3,
+                p.cycles,
+            );
+        }
+        Some(runs)
+    } else {
+        None
+    };
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"vanguard-perfbench-v2\",");
+    let _ = writeln!(json, "  \"schema\": \"vanguard-perfbench-v3\",");
     let _ = writeln!(json, "  \"quick_suite\": {{");
     let _ = writeln!(json, "    \"benchmarks\": {benchmarks},");
     let _ = writeln!(json, "    \"wall_clock_ms\": {},", json_f(qs.wall_on * 1e3));
@@ -514,24 +842,42 @@ fn main() {
         "    \"wall_clock_ms_replay_off\": {},",
         json_f(qs.wall_off * 1e3)
     );
+    let _ = writeln!(json, "    \"wall_ratio_on_off\": {},", json_f(wall_ratio));
     let _ = writeln!(json, "    \"replay_hits\": {},", stats.replay_hits);
+    let _ = writeln!(json, "    \"replay_misses\": {},", stats.replay_misses);
     let _ = writeln!(
         json,
         "    \"replay_divergences\": {},",
         stats.replay_divergences
     );
     let _ = writeln!(json, "    \"replayed_cycles\": {},", stats.replayed_cycles);
+    let _ = writeln!(
+        json,
+        "    \"replay_suppressed_ticks\": {},",
+        stats.replay_suppressed
+    );
+    let _ = writeln!(
+        json,
+        "    \"replay_armed_sites\": {},",
+        stats.replay_armed_sites
+    );
+    let _ = writeln!(
+        json,
+        "    \"replay_disarmed_sites\": {},",
+        stats.replay_disarmed_sites
+    );
     let _ = writeln!(json, "    \"per_benchmark_replay\": [");
     for (i, row) in qs.rows.iter().enumerate() {
         let comma = if i + 1 == qs.rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
             "      {{\"name\": \"{}\", \"hits\": {}, \"misses\": {}, \
-             \"hit_rate\": {}, \"replayed_cycles\": {}, \"cycles\": {}}}{comma}",
+             \"hit_rate\": {}, \"suppressed\": {}, \"replayed_cycles\": {}, \"cycles\": {}}}{comma}",
             row.name,
             row.hits,
             row.misses,
             json_f(row.hit_rate()),
+            row.suppressed,
             row.replayed_cycles,
             row.cycles,
         );
@@ -558,10 +904,33 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"sim_mips_per_worker\": {}",
+        "    \"sim_mips_per_worker\": {},",
         json_f(stats.sim_mips())
     );
+    let history_items: Vec<String> = history.iter().map(|&v| json_f(v)).collect();
+    let _ = writeln!(json, "    \"history\": [{}]", history_items.join(", "));
     let _ = writeln!(json, "  }},");
+    if let Some(runs) = &hotloop {
+        let _ = writeln!(json, "  \"hotloop_profile\": {{");
+        for (i, run) in runs.iter().enumerate() {
+            let p = &run.prof;
+            let comma = if i + 1 == runs.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    \"{}\": {{\"fetch_ns\": {}, \"issue_ns\": {}, \"commit_ns\": {}, \
+                 \"replay_ns\": {}, \"other_ns\": {}, \"cycles\": {}, \"wall_ms\": {}}}{comma}",
+                run.label,
+                p.fetch_ns,
+                p.issue_ns,
+                p.commit_ns,
+                p.replay_ns,
+                p.other_ns,
+                p.cycles,
+                json_f(run.wall * 1e3),
+            );
+        }
+        let _ = writeln!(json, "  }},");
+    }
     let _ = writeln!(json, "  \"steady_state_replay\": {{");
     let _ = writeln!(json, "    \"sites\": {STEADY_SITES},");
     let _ = writeln!(json, "    \"iterations_per_site\": {STEADY_ITERS},");
@@ -623,6 +992,21 @@ fn main() {
         eprintln!(
             "[perfbench] FAIL: steady-state replay speedup {:.2}x below the 3x gate",
             replay.speedup
+        );
+        failed = true;
+    }
+    if check && wall_ratio > 1.05 {
+        eprintln!(
+            "[perfbench] FAIL: quick-suite replay-ON wall is {:.3}x replay-OFF \
+             (gate: <= 1.05x — replay must never cost suite throughput)",
+            wall_ratio
+        );
+        failed = true;
+    }
+    if check && stats.sim_mips() < 9.4 {
+        eprintln!(
+            "[perfbench] FAIL: quick-suite throughput {:.2} MIPS/worker below the 9.4 gate",
+            stats.sim_mips()
         );
         failed = true;
     }

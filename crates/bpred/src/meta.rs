@@ -119,6 +119,15 @@ pub trait DirectionPredictor: fmt::Debug {
     fn replay_guard(&self) -> u64 {
         u64::MAX
     }
+
+    /// Consecutive identical iteration-shape observations the replay
+    /// layer's adaptive arming requires at a loop site before it starts
+    /// paying for full signature capture there. Predictors whose steady
+    /// state takes longer to settle (deep histories, slow allocation)
+    /// may raise this to defer the capture cost further.
+    fn replay_probe_streak(&self) -> u32 {
+        2
+    }
 }
 
 /// An n-bit saturating up/down counter (the workhorse of every table).
@@ -227,6 +236,9 @@ impl DirectionPredictor for Box<dyn DirectionPredictor> {
     }
     fn replay_guard(&self) -> u64 {
         (**self).replay_guard()
+    }
+    fn replay_probe_streak(&self) -> u32 {
+        (**self).replay_probe_streak()
     }
 }
 

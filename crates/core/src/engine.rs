@@ -668,6 +668,13 @@ pub trait ProgressObserver: Send + Sync {
         let _ = (index, job, bench_name, stats, elapsed);
     }
 
+    /// A completed job's steady-state replay counters (reported right
+    /// after [`ProgressObserver::job_finished`]; all-zero counters when
+    /// replay was off or unsupported are still delivered).
+    fn job_replay(&self, index: usize, job: &SimJob, bench_name: &str, replay: &ReplayStats) {
+        let _ = (index, job, bench_name, replay);
+    }
+
     /// A job ended in a non-completed outcome (guest trap, watchdog
     /// timeout, or engine failure), after any retry.
     fn job_failed(&self, index: usize, job: &SimJob, bench_name: &str, outcome: &JobResult) {
@@ -741,6 +748,17 @@ pub struct EngineStats {
     pub replay_divergences: u64,
     /// Iteration recordings completed into the memo table.
     pub replay_recordings: u64,
+    /// Replay trigger points with no matching memo entry.
+    pub replay_misses: u64,
+    /// Replay triggers suppressed by the adaptive arming gate (probing
+    /// or disarmed loop sites that skipped all signature work).
+    pub replay_suppressed: u64,
+    /// Loop sites left in the `Armed` state, summed over simulate
+    /// stages.
+    pub replay_armed_sites: u64,
+    /// Loop sites left sitting out a disarm backoff period, summed over
+    /// simulate stages.
+    pub replay_disarmed_sites: u64,
     /// Disk-cache stores that failed (full disk, unwritable cache dir):
     /// the artifact was computed and used but not persisted — the
     /// degrade-to-compute-without-store path under disk pressure.
@@ -761,6 +779,21 @@ impl EngineStats {
         self.sim_insts as f64 / 1e6 / (self.sim_nanos as f64 / 1e9)
     }
 
+    /// Fraction of replay trigger points that applied a memoized
+    /// iteration, in percent (suppressed triggers count as non-hits:
+    /// the rate reflects how often the layer actually paid off, not
+    /// just how often it gambled). Zero when replay never triggered.
+    pub fn replay_hit_rate(&self) -> f64 {
+        let total = self.replay_hits
+            + self.replay_misses
+            + self.replay_divergences
+            + self.replay_suppressed;
+        if total == 0 {
+            return 0.0;
+        }
+        self.replay_hits as f64 * 100.0 / total as f64
+    }
+
     /// Renders the per-stage timing/cache summary (one line per stage,
     /// plus an outcome line counting ok / faulted / timed-out / failed /
     /// retried jobs and quarantined cache entries).
@@ -772,8 +805,9 @@ impl EngineStats {
             "profile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
              compile : {:>4} runs, {:>4} cache hits, {:>9.1} ms\n\
              simulate: {:>4} jobs, {:>21.1} ms, {:>7.2} MIPS/worker\n\
-             replay  : {:>4} hits, {} cycles replayed, {} divergences, \
-             {} recordings\n\
+             replay  : {:>4} hits ({:.1}% of triggers), {} cycles replayed, \
+             {} divergences, {} recordings\n\
+             arming  : {:>4} sites armed, {} disarmed, {} suppressed ticks\n\
              outcomes: {:>4} ok, {} faulted, {} timed out, {} failed, \
              {} retried, {} corrupt cache entries, {} store failures, \
              {} evicted",
@@ -787,9 +821,13 @@ impl EngineStats {
             ms(self.sim_nanos),
             self.sim_mips(),
             self.replay_hits,
+            self.replay_hit_rate(),
             self.replayed_cycles,
             self.replay_divergences,
             self.replay_recordings,
+            self.replay_armed_sites,
+            self.replay_disarmed_sites,
+            self.replay_suppressed,
             self.jobs_ok,
             self.jobs_faulted,
             self.jobs_timed_out,
@@ -895,6 +933,10 @@ pub struct Engine {
     replayed_cycles: AtomicU64,
     replay_divergences: AtomicU64,
     replay_recordings: AtomicU64,
+    replay_misses: AtomicU64,
+    replay_suppressed: AtomicU64,
+    replay_armed_sites: AtomicU64,
+    replay_disarmed_sites: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -975,6 +1017,10 @@ impl Engine {
             replayed_cycles: AtomicU64::new(0),
             replay_divergences: AtomicU64::new(0),
             replay_recordings: AtomicU64::new(0),
+            replay_misses: AtomicU64::new(0),
+            replay_suppressed: AtomicU64::new(0),
+            replay_armed_sites: AtomicU64::new(0),
+            replay_disarmed_sites: AtomicU64::new(0),
         }
     }
 
@@ -1070,6 +1116,10 @@ impl Engine {
             replayed_cycles: self.replayed_cycles.load(Ordering::Relaxed),
             replay_divergences: self.replay_divergences.load(Ordering::Relaxed),
             replay_recordings: self.replay_recordings.load(Ordering::Relaxed),
+            replay_misses: self.replay_misses.load(Ordering::Relaxed),
+            replay_suppressed: self.replay_suppressed.load(Ordering::Relaxed),
+            replay_armed_sites: self.replay_armed_sites.load(Ordering::Relaxed),
+            replay_disarmed_sites: self.replay_disarmed_sites.load(Ordering::Relaxed),
         }
     }
 
@@ -1475,6 +1525,14 @@ impl Engine {
                     .fetch_add(res.replay.divergences, Ordering::Relaxed);
                 self.replay_recordings
                     .fetch_add(res.replay.recordings, Ordering::Relaxed);
+                self.replay_misses
+                    .fetch_add(res.replay.misses, Ordering::Relaxed);
+                self.replay_suppressed
+                    .fetch_add(res.replay.suppressed_ticks, Ordering::Relaxed);
+                self.replay_armed_sites
+                    .fetch_add(res.replay.armed_sites, Ordering::Relaxed);
+                self.replay_disarmed_sites
+                    .fetch_add(res.replay.disarmed_sites, Ordering::Relaxed);
                 JobResult::Completed(Box::new(JobSuccess {
                     job: *job,
                     stats: res.stats,
@@ -1629,6 +1687,7 @@ impl Engine {
                         JobResult::Completed(s) => {
                             for o in &self.observers {
                                 o.job_finished(i, job, name, &s.stats, s.sim_elapsed);
+                                o.job_replay(i, job, name, &s.replay);
                             }
                         }
                         other => {

@@ -7,7 +7,7 @@ use crate::stats::SimStats;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use vanguard_bpred::{Btb, DbbEntry, DecomposedBranchBuffer, DirectionPredictor, PredMeta, Ras};
-use vanguard_isa::{BlockId, DecodedImage, Inst, NO_INST};
+use vanguard_isa::{BlockId, DecodedImage, FuClass, Inst, NO_INST};
 use vanguard_mem::{AccessKind, Level, MemSystem};
 
 /// Prediction state attached to a fetched conditional.
@@ -56,6 +56,64 @@ pub struct FetchSnapshot {
     pub journal_mark: usize,
 }
 
+/// `LaneMeta::ctrl` value: no control significance at issue.
+pub(crate) const CTRL_OTHER: u8 = 0;
+/// `LaneMeta::ctrl` value: a conventional `Branch`.
+pub(crate) const CTRL_BRANCH: u8 = 1;
+/// `LaneMeta::ctrl` value: a `Resolve`.
+pub(crate) const CTRL_RESOLVE: u8 = 2;
+/// `LaneMeta::ctrl` value: a `Halt`.
+pub(crate) const CTRL_HALT: u8 = 3;
+
+/// Issue-stage metadata for one buffered instruction: a packed
+/// structure-of-arrays lane kept in lockstep with the fetch buffer so the
+/// per-cycle ready/scoreboard/port checks — which re-run every cycle the
+/// head stalls — touch 16 contiguous bytes instead of the much larger
+/// [`FetchedInst`] (and never re-derive source registers or the FU class
+/// through `match`es on the instruction encoding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct LaneMeta {
+    /// Cycle at which the instruction clears the front end (mirrors
+    /// `FetchedInst::ready_cycle`).
+    pub ready: u64,
+    /// Source registers read at issue ([`LaneMeta::NO_SRC`] = unused).
+    pub srcs: [u8; 2],
+    /// Functional-unit class.
+    pub fu: FuClass,
+    /// Control class at issue (`CTRL_*`).
+    pub ctrl: u8,
+}
+
+impl LaneMeta {
+    /// Sentinel for an unused source slot (no architectural register has
+    /// this index).
+    pub(crate) const NO_SRC: u8 = u8::MAX;
+
+    /// Derives the lane metadata for `inst` becoming issue-eligible at
+    /// `ready`.
+    pub(crate) fn of(inst: &Inst, ready: u64) -> LaneMeta {
+        let mut srcs = [LaneMeta::NO_SRC; 2];
+        let mut n = 0usize;
+        inst.visit_srcs(|r| {
+            debug_assert!(n < 2, "no instruction reads more than two registers");
+            srcs[n] = r.index() as u8;
+            n += 1;
+        });
+        let ctrl = match inst {
+            Inst::Branch { .. } => CTRL_BRANCH,
+            Inst::Resolve { .. } => CTRL_RESOLVE,
+            Inst::Halt => CTRL_HALT,
+            _ => CTRL_OTHER,
+        };
+        LaneMeta {
+            ready,
+            srcs,
+            fu: inst.fu_class(),
+            ctrl,
+        }
+    }
+}
+
 /// An instruction waiting in the fetch buffer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FetchedInst {
@@ -89,6 +147,14 @@ pub struct FrontEnd {
     pc: u32,
     /// Decoded instructions awaiting issue.
     pub(crate) buffer: VecDeque<FetchedInst>,
+    /// Issue-stage lane metadata, in lockstep with `buffer` (see
+    /// [`LaneMeta`]): the only per-entry state the issue stage reads
+    /// until an instruction actually issues.
+    pub(crate) meta: VecDeque<LaneMeta>,
+    /// Per-flat-index [`LaneMeta`] with `ready = 0`, precomputed at
+    /// construction ([`LaneMeta`] is instruction-determined except for
+    /// the ready cycle, which fetch patches in).
+    meta_tpl: Box<[LaneMeta]>,
     pub(crate) predictor: Box<dyn DirectionPredictor>,
     pub(crate) dbb: DecomposedBranchBuffer,
     btb: Btb,
@@ -129,11 +195,21 @@ impl FrontEnd {
         config: MachineConfig,
         predictor: Box<dyn DirectionPredictor>,
     ) -> Self {
+        // Issue metadata is a pure function of the instruction, so it is
+        // derived once per flat index here; fetch then copies 16 bytes
+        // per instruction instead of re-matching the encoding.
+        let meta_tpl = image
+            .insts()
+            .iter()
+            .map(|di| LaneMeta::of(&di.inst, 0))
+            .collect();
         FrontEnd {
             pc: image.entry_index(),
             image,
             config,
             buffer: VecDeque::with_capacity(config.fetch_buffer),
+            meta: VecDeque::with_capacity(config.fetch_buffer),
+            meta_tpl,
             predictor,
             dbb: DecomposedBranchBuffer::new(config.dbb_entries),
             btb: Btb::table1_default(),
@@ -162,11 +238,18 @@ impl FrontEnd {
     pub fn pop(&mut self) -> Option<FetchedInst> {
         let fi = self.buffer.pop_front();
         if let Some(fi) = &fi {
+            self.meta.pop_front();
+            debug_assert_eq!(self.meta.len(), self.buffer.len(), "meta lane in lockstep");
             if fi.snapshot.is_some() {
                 self.snapshots_in_buffer -= 1;
             }
         }
         fi
+    }
+
+    /// Issue-stage metadata of the oldest buffered instruction.
+    pub(crate) fn head_meta(&self) -> Option<LaneMeta> {
+        self.meta.front().copied()
     }
 
     fn snapshot(&self) -> FetchSnapshot {
@@ -240,8 +323,9 @@ impl FrontEnd {
                     let predicted_taken = meta.taken;
                     if let Some(r) = replay.as_deref_mut() {
                         r.on_predict(pc, &meta, &*self.predictor);
-                        if predicted_taken && self.image.block_entry(target) <= self.pc {
-                            r.note_backward();
+                        let head = self.image.block_entry(target);
+                        if predicted_taken && head <= self.pc {
+                            r.note_backward(head);
                         }
                     }
                     self.dbb.insert(pc, meta);
@@ -259,8 +343,9 @@ impl FrontEnd {
                     let predicted_taken = meta.taken;
                     if let Some(r) = replay.as_deref_mut() {
                         r.on_predict(pc, &meta, &*self.predictor);
-                        if predicted_taken && self.image.block_entry(target) <= self.pc {
-                            r.note_backward();
+                        let head = self.image.block_entry(target);
+                        if predicted_taken && head <= self.pc {
+                            r.note_backward(head);
                         }
                     }
                     self.push_fetched(
@@ -294,8 +379,9 @@ impl FrontEnd {
                 }
                 Inst::Jump { target } => {
                     if let Some(r) = replay.as_deref_mut() {
-                        if self.image.block_entry(target) <= self.pc {
-                            r.note_backward();
+                        let head = self.image.block_entry(target);
+                        if head <= self.pc {
+                            r.note_backward(head);
                         }
                     }
                     if self.steer(cycle, pc, target, replay) {
@@ -358,12 +444,18 @@ impl FrontEnd {
         if snapshot.is_some() {
             self.snapshots_in_buffer += 1;
         }
+        let ready_cycle = cycle + self.config.fe_latency();
+        // `self.pc` still indexes the instruction being pushed: every
+        // fetch arm advances the pc only after pushing.
+        let mut m = self.meta_tpl[self.pc as usize];
+        m.ready = ready_cycle;
+        self.meta.push_back(m);
         self.buffer.push_back(FetchedInst {
             inst: di.inst,
             block: di.block,
             index: di.index as usize,
             pc: di.pc,
-            ready_cycle: cycle + self.config.fe_latency(),
+            ready_cycle,
             pred,
             snapshot,
         });
@@ -402,6 +494,7 @@ impl FrontEnd {
     /// undo journal in reverse down to the snapshot's mark.
     pub fn flush(&mut self, target: BlockId, snap: &FetchSnapshot, resume_cycle: u64) {
         self.buffer.clear();
+        self.meta.clear();
         self.snapshots_in_buffer = 0;
         self.pc = self.image.block_entry(target);
         self.dbb.recover_tail(snap.dbb_tail);
@@ -541,6 +634,12 @@ impl FrontEnd {
             ready_cycle: cycle + fi.ready_cycle,
             ..*fi
         }));
+        self.meta.clear();
+        self.meta.extend(
+            s.buffer
+                .iter()
+                .map(|fi| LaneMeta::of(&fi.inst, cycle + fi.ready_cycle)),
+        );
         self.snapshots_in_buffer = s.buffer.iter().filter(|fi| fi.snapshot.is_some()).count();
         self.journal.clear();
         self.journal.extend_from_slice(&s.journal);

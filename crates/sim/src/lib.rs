@@ -52,7 +52,9 @@ mod store_buffer;
 
 pub use config::MachineConfig;
 pub use front::{FetchedInst, FrontEnd, PredInfo};
-pub use pipeline::{SimError, SimFault, SimResult, Simulator, StopCause, TraceEvent};
+pub use pipeline::{
+    HotloopProfile, SimError, SimFault, SimResult, Simulator, StopCause, TraceEvent,
+};
 pub use replay::ReplayStats;
 pub use stats::SimStats;
 pub use store_buffer::{StoreBuffer, StoreEntry};

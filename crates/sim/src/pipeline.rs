@@ -149,6 +149,48 @@ pub struct SimResult {
     pub replay: ReplayStats,
 }
 
+/// Per-stage wall-clock attribution for the pipeline hot loop, collected
+/// by [`Simulator::run_profiled`].
+///
+/// This simulator executes instructions at issue, so the issue and
+/// execute stages are one bucket (`issue_ns`). Replayed spans advance the
+/// cycle counter without running the per-cycle stages, so `cycles` counts
+/// only cycles simulated in full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotloopProfile {
+    /// Nanoseconds in the fetch stage (I$ probes, prediction, steers).
+    pub fetch_ns: u64,
+    /// Nanoseconds in the fused issue/execute stage.
+    pub issue_ns: u64,
+    /// Nanoseconds committing stores (store-buffer drain).
+    pub commit_ns: u64,
+    /// Nanoseconds in steady-state replay triggers (signature probing,
+    /// capture, and memoized application).
+    pub replay_ns: u64,
+    /// Nanoseconds of batch-entry work: stop checks, watchdog polls,
+    /// redirect application, journal compaction.
+    pub other_ns: u64,
+    /// Cycles simulated in full (excludes replayed spans).
+    pub cycles: u64,
+}
+
+impl HotloopProfile {
+    /// Total attributed nanoseconds across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.fetch_ns + self.issue_ns + self.commit_ns + self.replay_ns + self.other_ns
+    }
+
+    /// Accumulates another profile into this one (for multi-job sums).
+    pub fn merge(&mut self, other: &HotloopProfile) {
+        self.fetch_ns += other.fetch_ns;
+        self.issue_ns += other.issue_ns;
+        self.commit_ns += other.commit_ns;
+        self.replay_ns += other.replay_ns;
+        self.other_ns += other.other_ns;
+        self.cycles += other.cycles;
+    }
+}
+
 /// Trace sink type (see [`Simulator::run_traced`]).
 type TraceSink<'t> = Box<dyn FnMut(&TraceEvent) + 't>;
 
@@ -235,9 +277,11 @@ impl<'t> Simulator<'t> {
         config: MachineConfig,
         predictor: Box<dyn vanguard_bpred::DirectionPredictor>,
     ) -> Self {
-        let replay = predictor
-            .replay_supported()
-            .then(|| Box::new(ReplayEngine::new()));
+        let replay = predictor.replay_supported().then(|| {
+            let mut eng = Box::new(ReplayEngine::new());
+            eng.set_probe_streak(predictor.replay_probe_streak());
+            eng
+        });
         Simulator {
             config,
             front: FrontEnd::new(image, config, predictor),
@@ -265,7 +309,9 @@ impl<'t> Simulator<'t> {
     pub fn set_replay(&mut self, enabled: bool) {
         if enabled {
             if self.replay.is_none() && self.front.predictor.replay_supported() {
-                self.replay = Some(Box::new(ReplayEngine::new()));
+                let mut eng = Box::new(ReplayEngine::new());
+                eng.set_probe_streak(self.front.predictor.replay_probe_streak());
+                self.replay = Some(eng);
             }
         } else {
             self.replay = None;
@@ -280,6 +326,17 @@ impl<'t> Simulator<'t> {
     pub fn set_replay_corruption(&mut self, seed: u64) {
         if let Some(r) = self.replay.as_deref_mut() {
             r.set_corruption(seed);
+        }
+    }
+
+    /// Arms replay-arming chaos injection: the adaptive arming gate is
+    /// replaced by a seeded random admit/suppress decision per trigger,
+    /// exercising arbitrary arm/disarm schedules. Results must stay
+    /// bit-identical to replay-off under every schedule — this backs the
+    /// arming property tests.
+    pub fn set_replay_chaos(&mut self, seed: u64) {
+        if let Some(r) = self.replay.as_deref_mut() {
+            r.set_chaos(seed);
         }
     }
 
@@ -328,24 +385,57 @@ impl<'t> Simulator<'t> {
     ///
     /// Returns a [`SimFault`] on a committed-path architectural fault.
     pub fn run_checked(mut self) -> Result<SimResult, SimFault> {
-        let stop = loop {
+        let mut prof = HotloopProfile::default();
+        let stop = self.run_loop::<false>(&mut prof)?;
+        Ok(self.into_result(stop))
+    }
+
+    /// Runs to completion like [`run_checked`](Self::run_checked), also
+    /// collecting per-stage wall-clock attribution for the hot loop. The
+    /// per-cycle timestamping costs real time; use only for profiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimFault`] on a committed-path architectural fault.
+    pub fn run_profiled(mut self) -> Result<(SimResult, HotloopProfile), SimFault> {
+        let mut prof = HotloopProfile::default();
+        let stop = self.run_loop::<true>(&mut prof)?;
+        Ok((self.into_result(stop), prof))
+    }
+
+    /// The per-cycle loop, restructured as batches: all cold per-cycle
+    /// branch-outs (stop conditions, watchdog poll, redirect apply,
+    /// journal compaction, replay trigger) run once at batch entry, then
+    /// a fused fetch/issue/commit fast path runs until the next cold
+    /// event. The batch limit is the earliest of the cycle/watchdog
+    /// budgets, the next 4096-cycle watchdog poll boundary, and a pending
+    /// redirect's due cycle; a halt, a newly-scheduled redirect, or a
+    /// replay arm ends the batch early. Every cold check therefore fires
+    /// at exactly the cycles the per-cycle loop fired it at, so the
+    /// restructuring is cycle-for-cycle invisible.
+    fn run_loop<const PROFILE: bool>(
+        &mut self,
+        prof: &mut HotloopProfile,
+    ) -> Result<StopCause, SimFault> {
+        loop {
+            let mut mark = if PROFILE { Some(Instant::now()) } else { None };
             if self.halted {
-                break StopCause::Halted;
+                return Ok(StopCause::Halted);
             }
             if self.cycle >= self.config.max_cycles {
-                break StopCause::CycleLimit;
+                return Ok(StopCause::CycleLimit);
             }
             if self.cycle >= self.watchdog_cycles {
-                break StopCause::TimedOut;
+                return Ok(StopCause::TimedOut);
             }
             if self.cycle & 0xFFF == 0 {
                 if let Some(deadline) = self.watchdog_deadline {
                     if Instant::now() >= deadline {
-                        break StopCause::TimedOut;
+                        return Ok(StopCause::TimedOut);
                     }
                 }
             }
-            // 1. Apply a due misprediction redirect.
+            // Apply a due misprediction redirect.
             if let Some(p) = &self.pending {
                 if p.redirect_cycle <= self.cycle {
                     let p = self.pending.take().expect("just checked");
@@ -369,49 +459,97 @@ impl<'t> Simulator<'t> {
             if self.pending.is_none() {
                 self.front.compact_journal();
             }
-            // 1b. Steady-state replay trigger: a backward steer armed the
-            //     engine last fetch; this point (post-redirect-apply,
-            //     post-compaction, pre-fetch) is the loop-head fixed point
-            //     at which iteration signatures are comparable.
+            if PROFILE {
+                let now = Instant::now();
+                prof.other_ns += (now - mark.expect("profiling")).as_nanos() as u64;
+                mark = Some(now);
+            }
+            // Steady-state replay trigger: a backward steer armed the
+            // engine last fetch; this point (post-redirect-apply,
+            // post-compaction, pre-fetch) is the loop-head fixed point
+            // at which iteration signatures are comparable.
             if self.replay.as_ref().is_some_and(|r| r.armed) {
                 self.replay_tick();
-            }
-            // 2. Fetch.
-            self.front.fetch_cycle(
-                self.cycle,
-                &mut self.mem_sys,
-                &mut self.stats,
-                self.replay.as_deref_mut(),
-            );
-            // 3. Issue.
-            if let Err(error) = self.issue_cycle() {
-                return Err(SimFault {
-                    error,
-                    cycle: self.cycle,
-                });
-            }
-            // 4. Commit stores that can no longer be squashed: any older
-            //    conditional has redirected by now (redirect window is
-            //    redirect_latency + 1 cycles).
-            if self.pending.is_none() {
-                let safety = u64::from(self.config.redirect_latency) + 2;
-                if self.cycle >= safety {
-                    self.store_buffer
-                        .drain_older_than(self.cycle - safety, &mut self.memory);
+                if PROFILE {
+                    let now = Instant::now();
+                    prof.replay_ns += (now - mark.expect("profiling")).as_nanos() as u64;
+                    mark = Some(now);
                 }
             }
-            self.cycle += 1;
-        };
+            let mut limit = self
+                .config
+                .max_cycles
+                .min(self.watchdog_cycles)
+                .min((self.cycle | 0xFFF) + 1);
+            if let Some(p) = &self.pending {
+                limit = limit.min(p.redirect_cycle);
+            }
+            while self.cycle < limit {
+                // Fetch.
+                self.front.fetch_cycle(
+                    self.cycle,
+                    &mut self.mem_sys,
+                    &mut self.stats,
+                    self.replay.as_deref_mut(),
+                );
+                if PROFILE {
+                    let now = Instant::now();
+                    prof.fetch_ns += (now - mark.expect("profiling")).as_nanos() as u64;
+                    mark = Some(now);
+                }
+                // Issue (and execute: this pipeline executes at issue).
+                if let Err(error) = self.issue_cycle() {
+                    return Err(SimFault {
+                        error,
+                        cycle: self.cycle,
+                    });
+                }
+                if PROFILE {
+                    let now = Instant::now();
+                    prof.issue_ns += (now - mark.expect("profiling")).as_nanos() as u64;
+                    mark = Some(now);
+                }
+                // Commit stores that can no longer be squashed: any older
+                // conditional has redirected by now (redirect window is
+                // redirect_latency + 1 cycles).
+                if self.pending.is_none() {
+                    let safety = u64::from(self.config.redirect_latency) + 2;
+                    if self.cycle >= safety {
+                        self.store_buffer
+                            .drain_older_than(self.cycle - safety, &mut self.memory);
+                    }
+                }
+                self.cycle += 1;
+                if PROFILE {
+                    prof.cycles += 1;
+                    let now = Instant::now();
+                    prof.commit_ns += (now - mark.expect("profiling")).as_nanos() as u64;
+                    mark = Some(now);
+                }
+                if self.halted
+                    || self.pending.is_some()
+                    || self.replay.as_ref().is_some_and(|r| r.armed)
+                {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drains outstanding stores and packages the final architectural
+    /// state (shared epilogue of the run entry points).
+    fn into_result(mut self, stop: StopCause) -> SimResult {
         self.store_buffer.drain_all(&mut self.memory);
         self.stats.cycles = self.cycle;
         self.stats.mem = self.mem_sys.stats();
-        Ok(SimResult {
+        let replay = self.replay.as_ref().map(|r| r.stats()).unwrap_or_default();
+        SimResult {
             stats: self.stats,
             regs: self.regs,
             memory: self.memory,
             stop,
-            replay: self.replay.as_ref().map(|r| r.stats()).unwrap_or_default(),
-        })
+            replay,
+        }
     }
 
     fn fallthrough_of(&self, block: BlockId, pc: u64) -> Result<BlockId, SimError> {
@@ -431,31 +569,34 @@ impl<'t> Simulator<'t> {
         let mut fp_slots = self.config.fu_fp;
 
         while issued < self.config.width {
-            let Some(head) = self.front.head() else {
+            // The stall checks below re-run every cycle the head waits;
+            // they read only the packed issue lane ([`LaneMeta`]), not
+            // the full [`FetchedInst`], which is touched once — at the
+            // actual issue.
+            let Some(m) = self.front.head_meta() else {
                 if issued == 0 {
                     self.stats.frontend_stall_cycles += 1;
                 }
                 break;
             };
-            if head.ready_cycle > self.cycle {
+            if m.ready > self.cycle {
                 if issued == 0 {
                     self.stats.frontend_stall_cycles += 1;
                 }
                 break;
             }
             // A halt at the head: commit it only on the correct path.
-            if matches!(head.inst, Inst::Halt) {
+            if m.ctrl == crate::front::CTRL_HALT {
                 if self.pending.is_none() {
                     self.stats.issued += 1;
                     self.halted = true;
                 }
                 break;
             }
-            // Operand readiness (scoreboard) — allocation-free: this check
-            // re-runs every cycle the head stalls.
-            let mut blocked = false;
-            head.inst.visit_srcs(|r| {
-                blocked |= self.reg_ready[r.index()] > self.cycle;
+            // Operand readiness (scoreboard), from the pre-extracted
+            // source-register lane.
+            let blocked = m.srcs.iter().any(|&s| {
+                s != crate::front::LaneMeta::NO_SRC && self.reg_ready[s as usize] > self.cycle
             });
             if blocked {
                 if issued == 0 {
@@ -464,13 +605,13 @@ impl<'t> Simulator<'t> {
                     // imminent: the blocked head is the branch itself or an
                     // instruction feeding a branch/resolve a few slots away
                     // (the classic `load → cmp → br` serialization).
-                    for fi in self.front.buffer.iter().take(4) {
-                        match fi.inst {
-                            Inst::Branch { .. } => {
+                    for lm in self.front.meta.iter().take(4) {
+                        match lm.ctrl {
+                            crate::front::CTRL_BRANCH => {
                                 self.stats.branch_stall_cycles += 1;
                                 break;
                             }
-                            Inst::Resolve { .. } => {
+                            crate::front::CTRL_RESOLVE => {
                                 self.stats.resolve_stall_cycles += 1;
                                 break;
                             }
@@ -481,7 +622,7 @@ impl<'t> Simulator<'t> {
                 break;
             }
             // Functional-unit port availability.
-            let slot = match head.inst.fu_class() {
+            let slot = match m.fu {
                 FuClass::Int => &mut int_slots,
                 FuClass::LdSt => &mut ldst_slots,
                 FuClass::Fp => &mut fp_slots,
@@ -489,7 +630,7 @@ impl<'t> Simulator<'t> {
                     // Front-end-only instructions never reach issue; Halt is
                     // handled above. Nothing else should appear.
                     return Err(SimError::MalformedImage {
-                        pc: head.pc,
+                        pc: self.front.head().map_or(0, |h| h.pc),
                         detail: "front-end-only instruction in fetch buffer",
                     });
                 }
@@ -1731,5 +1872,171 @@ mod replay_tests {
         assert_eq!(r.replay, crate::ReplayStats::default());
         // The committed halt bumps `issued` without a trace event.
         assert_eq!(issues, r.stats.issued - 1, "every issue must be traced");
+    }
+
+    #[test]
+    fn site_that_never_arms_is_bit_identical_to_replay_off() {
+        // An unreachable probe streak keeps every site in Probing forever:
+        // the engine pays only the per-trigger proxy hash, never captures
+        // or probes a signature, and the run must match replay-off on
+        // every committed bit.
+        let p = countdown_loop(2000);
+        let mut sim = Simulator::new(
+            &p,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.replay
+            .as_deref_mut()
+            .expect("replay-capable predictor")
+            .set_probe_streak(u32::MAX);
+        let on = sim.run().expect("never-armed run");
+        let mut sim = Simulator::new(
+            &p,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.set_replay(false);
+        let off = sim.run().expect("replay-off run");
+        assert_bit_identical(&on, &off);
+        assert_eq!(on.replay.hits, 0, "a probing site never replays");
+        assert_eq!(on.replay.recordings, 0, "a probing site never records");
+        assert!(
+            on.replay.suppressed_ticks > 100,
+            "every trigger suppressed: {:?}",
+            on.replay
+        );
+    }
+
+    #[test]
+    fn corruption_drives_disarm_and_rearm_cycles() {
+        // With every memoized entry corrupted, each armed window ends in
+        // divergences, the site backs off disarmed, re-arms, and fails
+        // again: the run must stay bit-identical while the backoff keeps
+        // the suppressed-tick count high.
+        let p = countdown_loop(4000);
+        let mut sim = Simulator::new(
+            &p,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.set_replay_corruption(0x5eed_cafe);
+        let on = sim.run().expect("corrupted-replay run");
+        let mut sim = Simulator::new(
+            &p,
+            Memory::new(),
+            MachineConfig::four_wide(),
+            Box::new(Combined::ptlsim_default()),
+        );
+        sim.set_replay(false);
+        let off = sim.run().expect("replay-off run");
+        assert_bit_identical(&on, &off);
+        assert_eq!(on.replay.hits, 0, "corrupted entries never replay");
+        assert!(
+            on.replay.suppressed_ticks > 100,
+            "divergences must disarm the site: {:?}",
+            on.replay
+        );
+        assert!(
+            on.replay.recordings >= 2,
+            "the site must re-arm and record again: {:?}",
+            on.replay
+        );
+    }
+}
+
+/// Property test: arbitrary arm/disarm schedules (chaos injection over
+/// the adaptive-arming gate) never change committed state.
+#[cfg(test)]
+mod replay_chaos_tests {
+    use super::tests::countdown_loop;
+    use super::*;
+    use proptest::prelude::*;
+    use vanguard_bpred::Combined;
+    use vanguard_isa::{AluOp, CmpKind, CondKind, Memory, ProgramBuilder, Reg};
+
+    /// A store/load loop (memory traffic makes arming mistakes visible).
+    fn store_loop(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let e = b.block("entry");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.push(e, Inst::mov(Reg(1), Operand::Imm(iters)));
+        b.push(e, Inst::mov(Reg(3), Operand::Imm(0x8000)));
+        b.fallthrough(e, body);
+        b.push(
+            body,
+            Inst::alu(AluOp::Sub, Reg(1), Operand::Reg(Reg(1)), Operand::Imm(1)),
+        );
+        b.push(body, Inst::store(Reg(1), Reg(3), 0));
+        b.push(body, Inst::load(Reg(4), Reg(3), 0));
+        b.push(
+            body,
+            Inst::alu(AluOp::Add, Reg(3), Operand::Reg(Reg(3)), Operand::Imm(8)),
+        );
+        b.push(
+            body,
+            Inst::Cmp {
+                kind: CmpKind::Ne,
+                dst: Reg(2),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+        );
+        b.push(
+            body,
+            Inst::Branch {
+                cond: CondKind::Nz,
+                src: Reg(2),
+                target: body,
+            },
+        );
+        b.fallthrough(body, exit);
+        b.push(exit, Inst::Halt);
+        b.set_entry(e);
+        b.finish().unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn random_arming_schedules_never_change_committed_state(
+            seed in any::<u64>(),
+            use_stores in any::<bool>(),
+        ) {
+            let p = if use_stores {
+                store_loop(700)
+            } else {
+                countdown_loop(900)
+            };
+            let mut mem = Memory::new();
+            if use_stores {
+                mem.load_words(0x8000, &vec![0u64; 700]);
+            }
+            let mut sim = Simulator::new(
+                &p,
+                mem.clone(),
+                MachineConfig::four_wide(),
+                Box::new(Combined::ptlsim_default()),
+            );
+            sim.set_replay_chaos(seed);
+            let on = sim.run().expect("chaos run");
+            let mut sim = Simulator::new(
+                &p,
+                mem,
+                MachineConfig::four_wide(),
+                Box::new(Combined::ptlsim_default()),
+            );
+            sim.set_replay(false);
+            let off = sim.run().expect("replay-off run");
+            prop_assert_eq!(&on.stats, &off.stats);
+            prop_assert_eq!(&on.regs, &off.regs);
+            prop_assert_eq!(on.stop, off.stop);
+            prop_assert_eq!(on.memory.written_words(), off.memory.written_words());
+        }
     }
 }

@@ -40,6 +40,43 @@
 //! `update` calls on the recorded metadata), so their internal state and
 //! statistics evolve exactly as full simulation would — L1 hits are
 //! cycle-independent, which is what makes this sound.
+//!
+//! # Adaptive arming
+//!
+//! Signature capture and probing are not free: on workloads whose loops
+//! never converge (irregular branches, growing footprints) every backward
+//! steer would pay a store drain, a full state hash, and — on a miss — an
+//! expensive front-end capture that never pays off. Each loop-head PC
+//! therefore carries a tiny per-site state machine:
+//!
+//! * **Probing** — no signature work at all. A tick costs one map lookup
+//!   and an O(1) proxy signature (the FNV of the cycle/sequence deltas
+//!   since the site's previous trigger). Only after
+//!   [`DirectionPredictor::replay_probe_streak`] consecutive identical
+//!   proxies (a converging loop) does the site arm; after
+//!   [`PROBE_FAIL_LIMIT`] accumulated proxy mismatches in one probing
+//!   period (a loop that is not converging) the site disarms without
+//!   ever having armed.
+//! * **Armed** — the full pre-PR behavior: drain, hash, probe, record.
+//!   A tick that applies no memoized iteration is a *miss tick*; after
+//!   [`MISS_TICK_LIMIT`] consecutive miss ticks the site disarms.
+//! * **Disarmed** — suppressed outright for [`REARM_BASE`]`<< backoff`
+//!   ticks, then back to probing; the backoff grows on every disarm
+//!   (capped) and decays on hits, so persistently non-converging sites
+//!   approach zero overhead while phase-changing loops are re-captured.
+//!
+//! Disarmed sites are cheapest of all: the backward steer itself checks
+//! the site table inside [`ReplayEngine::note_backward`] and burns one
+//! unit of the suppression budget *without arming the trigger*, so the
+//! main loop pays no batch break and no tick for them (an in-flight
+//! recording is aborted — its site just disarmed, so the entry was not
+//! going to pay off). Probing-mode suppressed ticks still finalize an
+//! in-flight recording (finalization touches no memory state, so the
+//! skipped store drain is safe — buffered stores drain on age or at the
+//! next armed trigger) and are otherwise invisible: all signature work
+//! happens only on drained state, and the state the gate consults is
+//! replay-private, so arming decisions can never leak into architectural
+//! results.
 
 use crate::front::FrontSnapshot;
 use crate::pipeline::Simulator;
@@ -58,6 +95,22 @@ const STEP_BUDGET: usize = 2048;
 const MAX_ENTRY_FAILS: u32 = 4;
 /// Entry evictions before a loop-head PC is banned from re-recording.
 const MAX_PC_FAILS: u32 = 8;
+/// Consecutive zero-hit armed ticks before a site disarms.
+const MISS_TICK_LIMIT: u32 = 4;
+/// Miss ticks in an armed period that may start a recording capture.
+/// Later miss ticks still probe the memo table (hits reset the count)
+/// but skip the capture — the expensive part of a miss — since a site
+/// missing this persistently is producing entries that do not match.
+const RECORD_MISS_LIMIT: u32 = 1;
+/// Proxy mismatches accumulated in one probing period before the site
+/// disarms without arming — bounds the per-trigger tick cost a
+/// never-converging loop can pay.
+const PROBE_FAIL_LIMIT: u32 = 8;
+/// Base suppression period (in ticks) of a freshly disarmed site.
+const REARM_BASE: u32 = 64;
+/// Cap on the exponential re-arm backoff: the longest suppression
+/// period is `REARM_BASE << MAX_BACKOFF` ticks.
+const MAX_BACKOFF: u32 = 6;
 
 /// Statistics for the steady-state iteration-replay layer.
 ///
@@ -85,6 +138,14 @@ pub struct ReplayStats {
     /// Memo entries deliberately corrupted by fault injection
     /// (see [`crate::Simulator::set_replay_corruption`]).
     pub corrupted_entries: u64,
+    /// Trigger ticks suppressed by the adaptive arming gate (probing or
+    /// disarmed sites): backward steers that paid neither the store
+    /// drain nor any signature work.
+    pub suppressed_ticks: u64,
+    /// Loop sites in the `Armed` state at the end of the run.
+    pub armed_sites: u64,
+    /// Loop sites sitting out a disarm period at the end of the run.
+    pub disarmed_sites: u64,
 }
 
 /// Incremental FNV-1a over `u64` words, used for the replay signature
@@ -266,6 +327,59 @@ impl Default for Scratch {
     }
 }
 
+/// Where a loop site sits in the adaptive-arming state machine (see the
+/// module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SiteMode {
+    /// Watching the O(1) proxy signature; no capture/probe work yet.
+    Probing {
+        /// Proxy signature of the site's previous trigger interval.
+        last_proxy: u64,
+        /// Consecutive triggers whose proxy matched `last_proxy`.
+        streak: u32,
+        /// Proxy mismatches accumulated this probing period; reaching
+        /// [`PROBE_FAIL_LIMIT`] disarms the site without arming.
+        fails: u32,
+    },
+    /// Full signature capture and probing.
+    Armed {
+        /// Consecutive armed ticks that applied no memoized iteration.
+        miss_ticks: u32,
+    },
+    /// Suppressed outright; re-probes when `remaining` reaches zero.
+    Disarmed {
+        /// Suppressed ticks left before re-probing.
+        remaining: u32,
+    },
+}
+
+/// Per-loop-head arming state.
+#[derive(Clone, Copy, Debug)]
+struct SiteState {
+    mode: SiteMode,
+    /// Exponential re-arm backoff: grows on every disarm, decays on hits.
+    backoff: u32,
+    /// Cycle/sequence counters at the site's previous trigger, for the
+    /// probing-mode proxy signature.
+    last_cycle: u64,
+    last_seq: u64,
+}
+
+impl Default for SiteState {
+    fn default() -> Self {
+        SiteState {
+            mode: SiteMode::Probing {
+                last_proxy: 0,
+                streak: 0,
+                fails: 0,
+            },
+            backoff: 0,
+            last_cycle: 0,
+            last_seq: 0,
+        }
+    }
+}
+
 /// The replay engine: trigger arming, the active recording, and the memo
 /// table. Owned by the [`Simulator`] when the predictor supports replay.
 #[derive(Debug)]
@@ -278,6 +392,15 @@ pub(crate) struct ReplayEngine {
     entry_count: usize,
     /// Evictions per loop-head PC; persistent verify failures ban the PC.
     fail_counts: HashMap<u32, u32, FnvBuild>,
+    /// Adaptive-arming state per loop-head PC.
+    sites: HashMap<u32, SiteState, FnvBuild>,
+    /// Identical proxies required to arm a probing site (from
+    /// [`DirectionPredictor::replay_probe_streak`]).
+    probe_streak: u32,
+    /// Chaos fault-injection seed: when set, the site gate is replaced by
+    /// a seeded random admit/suppress coin (see
+    /// [`crate::Simulator::set_replay_chaos`]).
+    chaos_seed: Option<u64>,
     scratch: Scratch,
     corrupt_seed: Option<u64>,
     stats: ReplayStats,
@@ -291,14 +414,38 @@ impl ReplayEngine {
             table: HashMap::default(),
             entry_count: 0,
             fail_counts: HashMap::default(),
+            sites: HashMap::default(),
+            probe_streak: 2,
+            chaos_seed: None,
             scratch: Scratch::default(),
             corrupt_seed: None,
             stats: ReplayStats::default(),
         }
     }
 
+    /// Reports lifetime counters plus the end-of-run site census.
     pub(crate) fn stats(&self) -> ReplayStats {
-        self.stats
+        let mut s = self.stats;
+        for site in self.sites.values() {
+            match site.mode {
+                SiteMode::Armed { .. } => s.armed_sites += 1,
+                SiteMode::Disarmed { .. } => s.disarmed_sites += 1,
+                SiteMode::Probing { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// Sets the probing-mode arm threshold (predictor-informed).
+    pub(crate) fn set_probe_streak(&mut self, streak: u32) {
+        self.probe_streak = streak;
+    }
+
+    /// Arms chaos fault injection: the adaptive-arming gate is replaced
+    /// by a seeded random admit/suppress decision per trigger tick,
+    /// exercising arbitrary arm/disarm schedules.
+    pub(crate) fn set_chaos(&mut self, seed: u64) {
+        self.chaos_seed = Some(seed | 1);
     }
 
     /// Arms fault injection: every subsequently finalized memo entry has
@@ -307,9 +454,33 @@ impl ReplayEngine {
         self.corrupt_seed = Some(seed | 1);
     }
 
-    /// A backward (loop-closing) steer was predicted/taken this fetch
-    /// cycle: request a trigger at the next main-loop fixed point.
-    pub(crate) fn note_backward(&mut self) {
+    /// A backward (loop-closing) steer to the loop head at `site_pc` was
+    /// predicted/taken this fetch cycle: request a trigger at the next
+    /// main-loop fixed point — unless the site is disarmed, in which
+    /// case the suppression budget is burned right here and the main
+    /// loop never pays a batch break or a tick for it.
+    pub(crate) fn note_backward(&mut self, site_pc: u32) {
+        if self.chaos_seed.is_none() {
+            if let Some(s) = self.sites.get_mut(&site_pc) {
+                if let SiteMode::Disarmed { ref mut remaining } = s.mode {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        s.mode = SiteMode::Probing {
+                            last_proxy: 0,
+                            streak: 0,
+                            fails: 0,
+                        };
+                    }
+                    self.stats.suppressed_ticks += 1;
+                    // The recording's site just disarmed after a run of
+                    // misses — its entry was not going to pay off, and
+                    // nothing will finalize it during the suppression
+                    // window, so stop paying observer costs for it.
+                    self.abort_recording();
+                    return;
+                }
+            }
+        }
         self.armed = true;
     }
 
@@ -403,17 +574,120 @@ impl ReplayEngine {
         rec.steps.push(RecStep { inst, outcome });
     }
 
+    /// Consults and advances the adaptive-arming state for the site at
+    /// `pc`; `true` admits the tick to the full capture/probe path.
+    /// Replay-private state only: admission decisions never read or
+    /// write anything architectural.
+    fn site_gate(&mut self, pc: u32, cycle: u64, seq: u64) -> bool {
+        if let Some(seed) = self.chaos_seed.as_mut() {
+            // Chaos fault injection: an arbitrary admit/suppress schedule
+            // in place of the state machine.
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            return *seed & 1 == 0;
+        }
+        let need = self.probe_streak;
+        let s = self.sites.entry(pc).or_default();
+        let d_cycle = cycle.wrapping_sub(s.last_cycle);
+        let d_seq = seq.wrapping_sub(s.last_seq);
+        s.last_cycle = cycle;
+        s.last_seq = seq;
+        match s.mode {
+            SiteMode::Probing {
+                ref mut last_proxy,
+                ref mut streak,
+                ref mut fails,
+            } => {
+                // O(1) proxy signature: a converged loop shows constant
+                // per-iteration cycle and instruction-sequence deltas.
+                let mut h = Fnv::new();
+                h.u64(d_cycle);
+                h.u64(d_seq);
+                let proxy = h.finish();
+                if proxy == *last_proxy {
+                    *streak += 1;
+                    if *streak >= need {
+                        s.mode = SiteMode::Armed { miss_ticks: 0 };
+                        return true;
+                    }
+                } else {
+                    *last_proxy = proxy;
+                    *streak = 0;
+                    *fails += 1;
+                    if *fails >= PROBE_FAIL_LIMIT {
+                        // Not converging: give up probing for this
+                        // period and back off like a missing armed site.
+                        let period = REARM_BASE << s.backoff.min(MAX_BACKOFF);
+                        s.backoff = (s.backoff + 1).min(MAX_BACKOFF);
+                        s.mode = SiteMode::Disarmed { remaining: period };
+                    }
+                }
+                false
+            }
+            SiteMode::Armed { .. } => true,
+            SiteMode::Disarmed { ref mut remaining } => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    s.mode = SiteMode::Probing {
+                        last_proxy: 0,
+                        streak: 0,
+                        fails: 0,
+                    };
+                }
+                false
+            }
+        }
+    }
+
+    /// Feeds an admitted tick's outcome back into the site state: hits
+    /// reset the miss counter and decay the backoff; `MISS_TICK_LIMIT`
+    /// consecutive zero-hit ticks disarm the site for an exponentially
+    /// growing period.
+    fn site_feedback(&mut self, pc: u32, hit: bool) {
+        let Some(s) = self.sites.get_mut(&pc) else {
+            return; // chaos mode tracks no sites
+        };
+        let SiteMode::Armed { ref mut miss_ticks } = s.mode else {
+            return;
+        };
+        if hit {
+            *miss_ticks = 0;
+            s.backoff = s.backoff.saturating_sub(1);
+        } else {
+            *miss_ticks += 1;
+            if *miss_ticks >= MISS_TICK_LIMIT {
+                let period = REARM_BASE << s.backoff.min(MAX_BACKOFF);
+                s.backoff = (s.backoff + 1).min(MAX_BACKOFF);
+                s.mode = SiteMode::Disarmed { remaining: period };
+            }
+        }
+    }
+
     /// The trigger: runs at the main loop's fixed point (after
     /// redirect-apply and journal compaction, before fetch) when a
-    /// backward steer armed the engine. Finalizes any active recording,
-    /// then replays memoized iterations for as long as they keep
-    /// matching, else starts a new recording.
+    /// backward steer armed the engine. The site gate decides whether
+    /// the tick pays for signature work at all; admitted ticks finalize
+    /// any active recording, then replay memoized iterations for as long
+    /// as they keep matching, else start a new recording.
     fn tick(&mut self, sim: &mut Simulator<'_>) {
         self.armed = false;
         if sim.pending.is_some() || sim.front.is_halted() || sim.halted {
             // A redirect is in flight (the recording, if any, is already
             // aborted) or the machine is stopping: not a steady-state
             // boundary.
+            return;
+        }
+        let site_pc = sim.front.replay_pc();
+        if !self.site_gate(site_pc, sim.cycle, sim.next_seq) {
+            self.stats.suppressed_ticks += 1;
+            // Finalization reads only front-end/statistic state, never
+            // memory, so it is safe without the store drain below; the
+            // skipped drain itself is invisible (stores drain on age or
+            // at the next admitted trigger, before any signature work).
+            if let Some(rec) = self.recording.take() {
+                self.finalize(rec, sim);
+            }
             return;
         }
         // All buffered stores are correct-path here (any conditional that
@@ -424,6 +698,7 @@ impl ReplayEngine {
         if let Some(rec) = self.recording.take() {
             self.finalize(rec, sim);
         }
+        let hits_at_entry = self.stats.hits;
         let mut record_key = None;
         loop {
             let pc = sim.front.replay_pc();
@@ -505,8 +780,22 @@ impl ReplayEngine {
             break;
         }
         if let Some(key) = record_key {
-            self.maybe_start_record(key, sim);
+            // Capture only early in a miss streak: a site that has
+            // missed `RECORD_MISS_LIMIT` ticks straight keeps producing
+            // entries that do not match, so later ticks probe without
+            // paying for a recording. Chaos mode tracks no sites and
+            // always records (the fuzz schedules must reach the
+            // recording paths).
+            let capture = match self.sites.get(&site_pc).map(|s| s.mode) {
+                Some(SiteMode::Armed { miss_ticks }) => miss_ticks < RECORD_MISS_LIMIT,
+                _ => true,
+            };
+            if capture {
+                self.maybe_start_record(key, sim);
+            }
         }
+        let hit_tick = self.stats.hits > hits_at_entry;
+        self.site_feedback(site_pc, hit_tick);
     }
 
     fn maybe_start_record(&mut self, key: (u32, u64), sim: &Simulator<'_>) {
@@ -892,5 +1181,109 @@ mod tests {
         // No conditional steps: the cell value must be bumped.
         assert!(corrupt_entry(&mut e, &mut seed));
         assert_ne!(e.cells[0].1, 3);
+    }
+
+    #[test]
+    fn site_arms_only_after_identical_proxy_streak() {
+        let mut e = ReplayEngine::new();
+        // Varying trigger intervals: the proxy never repeats, the site
+        // never admits a tick.
+        assert!(!e.site_gate(7, 100, 10));
+        assert!(!e.site_gate(7, 250, 31));
+        assert!(!e.site_gate(7, 275, 40));
+        // Constant intervals: the first sets the proxy, the default
+        // streak of 2 arms on the third.
+        assert!(!e.site_gate(7, 300, 50));
+        assert!(!e.site_gate(7, 325, 60));
+        assert!(e.site_gate(7, 350, 70));
+        // Armed sites admit regardless of interval.
+        assert!(e.site_gate(7, 999, 999));
+    }
+
+    #[test]
+    fn armed_site_disarms_after_miss_ticks_and_rearms_with_backoff() {
+        let mut e = ReplayEngine::new();
+        let mut cycle = 0u64;
+        let mut seq = 0u64;
+        let mut tick = move |e: &mut ReplayEngine| {
+            cycle += 10;
+            seq += 4;
+            e.site_gate(5, cycle, seq)
+        };
+        // Probe (proxy set, streak 1), then arm.
+        assert!(!tick(&mut e));
+        assert!(!tick(&mut e));
+        assert!(tick(&mut e));
+        // MISS_TICK_LIMIT consecutive zero-hit ticks disarm the site…
+        e.site_feedback(5, false);
+        for _ in 1..MISS_TICK_LIMIT {
+            assert!(tick(&mut e), "armed until the miss limit");
+            e.site_feedback(5, false);
+        }
+        // …for REARM_BASE suppressed ticks.
+        for i in 0..REARM_BASE {
+            assert!(!tick(&mut e), "suppressed tick {i}");
+        }
+        // Back to probing: three constant-interval ticks re-arm.
+        assert!(!tick(&mut e));
+        assert!(!tick(&mut e));
+        assert!(tick(&mut e));
+        // A second disarm doubles the suppression period (backoff).
+        e.site_feedback(5, false);
+        for _ in 1..MISS_TICK_LIMIT {
+            assert!(tick(&mut e));
+            e.site_feedback(5, false);
+        }
+        for i in 0..2 * REARM_BASE {
+            assert!(!tick(&mut e), "backed-off suppressed tick {i}");
+        }
+        assert!(!tick(&mut e));
+        assert!(!tick(&mut e));
+        assert!(tick(&mut e), "re-arms after the backed-off period");
+    }
+
+    #[test]
+    fn hit_ticks_reset_the_miss_count() {
+        let mut e = ReplayEngine::new();
+        let mut cycle = 0u64;
+        let mut tick = move |e: &mut ReplayEngine| {
+            cycle += 10;
+            e.site_gate(9, cycle, cycle)
+        };
+        assert!(!tick(&mut e));
+        assert!(!tick(&mut e));
+        assert!(tick(&mut e));
+        // Seven misses, one hit, seven more misses: never disarms.
+        for _ in 0..MISS_TICK_LIMIT - 1 {
+            e.site_feedback(9, false);
+            assert!(tick(&mut e));
+        }
+        e.site_feedback(9, true);
+        for _ in 0..MISS_TICK_LIMIT - 1 {
+            assert!(tick(&mut e));
+            e.site_feedback(9, false);
+        }
+        assert!(tick(&mut e), "hit reset the consecutive-miss count");
+    }
+
+    #[test]
+    fn stats_census_counts_armed_and_disarmed_sites() {
+        let mut e = ReplayEngine::new();
+        // Site 1: armed.
+        for i in 1..=3u64 {
+            e.site_gate(1, i * 10, i * 10);
+        }
+        // Site 2: armed then disarmed.
+        for i in 1..=3u64 {
+            e.site_gate(2, i * 7, i * 7);
+        }
+        for _ in 0..MISS_TICK_LIMIT {
+            e.site_feedback(2, false);
+        }
+        // Site 3: still probing.
+        e.site_gate(3, 5, 5);
+        let s = e.stats();
+        assert_eq!(s.armed_sites, 1);
+        assert_eq!(s.disarmed_sites, 1);
     }
 }
